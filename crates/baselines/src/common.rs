@@ -1,0 +1,196 @@
+//! Shared machinery for the baseline allocators: native-latency scheduling
+//! with minimal per-class resource bounds, and grouping helpers.
+
+use std::collections::BTreeMap;
+
+use mwl_core::AllocError;
+use mwl_model::{CostModel, Cycles, OpId, OpShape, ResourceClass, ResourceType, SequencingGraph};
+use mwl_sched::{
+    critical_path_length, ListScheduler, OpLatencies, PerClassBound, SchedError, Schedule,
+    SchedulePriority,
+};
+
+/// Schedules the graph with every operation at its native wordlength latency,
+/// searching for the smallest per-class concurrency bounds that still meet
+/// the latency constraint (classic resource-minimising list scheduling with
+/// the standard Eqn (2) constraint).
+///
+/// Returns the schedule and the native latency table.
+pub(crate) fn native_schedule(
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    latency_constraint: Cycles,
+) -> Result<(Schedule, OpLatencies), AllocError> {
+    let native = OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+    let minimum = critical_path_length(graph, &native);
+    if latency_constraint < minimum {
+        return Err(AllocError::LatencyUnachievable {
+            constraint: latency_constraint,
+            minimum,
+        });
+    }
+    let op_classes: Vec<ResourceClass> = graph
+        .operations()
+        .iter()
+        .map(|o| ResourceClass::for_kind(o.kind()))
+        .collect();
+    let mut class_ops: BTreeMap<ResourceClass, usize> = BTreeMap::new();
+    for &c in &op_classes {
+        *class_ops.entry(c).or_insert(0) += 1;
+    }
+    let mut bounds: BTreeMap<ResourceClass, usize> =
+        class_ops.keys().map(|&c| (c, 1)).collect();
+    let scheduler = ListScheduler::new(SchedulePriority::CriticalPath);
+    let max_rounds: usize = class_ops.values().sum::<usize>() + 1;
+    for _ in 0..=max_rounds {
+        let constraint = PerClassBound::new(op_classes.clone(), bounds.clone());
+        match scheduler.schedule(graph, &native, constraint) {
+            Ok(schedule) if schedule.makespan(&native) <= latency_constraint => {
+                return Ok((schedule, native));
+            }
+            Ok(_) | Err(SchedError::InfeasibleResourceBound { .. }) => {
+                // Escalate the most contended class still below its cap.
+                let next = bounds
+                    .iter()
+                    .filter(|(c, &b)| b < class_ops[c])
+                    .max_by_key(|(c, &b)| (class_ops[c] + b - 1) / b.max(1))
+                    .map(|(&c, _)| c);
+                match next {
+                    Some(c) => *bounds.get_mut(&c).expect("present") += 1,
+                    None => break,
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // With bounds equal to the per-class op counts, list scheduling is ASAP
+    // and meets λ_min ≤ λ, so reaching this point indicates an internal error.
+    Err(AllocError::IterationBudgetExceeded { budget: max_rounds })
+}
+
+/// The smallest resource type able to execute all the given shapes
+/// (componentwise maximum), or `None` for an empty group or a cross-class
+/// group.
+pub(crate) fn group_resource(shapes: &[OpShape]) -> Option<ResourceType> {
+    let first = shapes.first()?;
+    let class = ResourceClass::for_kind(first.kind());
+    let mut max_a = 0;
+    let mut max_b = 0;
+    for s in shapes {
+        if ResourceClass::for_kind(s.kind()) != class {
+            return None;
+        }
+        let (a, b) = s.widths();
+        max_a = max_a.max(a);
+        max_b = max_b.max(b);
+    }
+    Some(match class {
+        ResourceClass::Adder => ResourceType::adder(max_a.max(max_b)),
+        ResourceClass::Multiplier => ResourceType::multiplier(max_a, max_b),
+    })
+}
+
+/// Returns `true` if operation `op` can join the group (sharing a resource
+/// with its members) *without increasing any operation's latency*, i.e. the
+/// resource covering the enlarged group has the same latency as every
+/// member's native implementation, and the operations are pairwise
+/// time-disjoint under the schedule.
+pub(crate) fn can_join_latency_preserving(
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    schedule: &Schedule,
+    native: &OpLatencies,
+    group: &[OpId],
+    op: OpId,
+) -> bool {
+    let mut shapes: Vec<OpShape> = group
+        .iter()
+        .map(|&o| graph.operation(o).shape())
+        .collect();
+    shapes.push(graph.operation(op).shape());
+    let Some(resource) = group_resource(&shapes) else {
+        return false;
+    };
+    let group_latency = cost.latency(&resource);
+    // Latency preservation for every member including the newcomer.
+    let mut members: Vec<OpId> = group.to_vec();
+    members.push(op);
+    if members.iter().any(|&o| group_latency > native.get(o)) {
+        return false;
+    }
+    // Pairwise time-disjointness of the newcomer with the existing members.
+    group
+        .iter()
+        .all(|&other| !schedule.overlaps(op, other, native))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{SequencingGraphBuilder, SonicCostModel};
+
+    #[test]
+    fn native_schedule_meets_constraint_with_minimal_bounds() {
+        let mut b = SequencingGraphBuilder::new();
+        for _ in 0..3 {
+            b.add_operation(OpShape::multiplier(8, 8));
+        }
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        // λ = 6 allows three serial 2-cycle multiplications on one unit.
+        let (s, native) = native_schedule(&g, &cost, 6).unwrap();
+        assert!(s.makespan(&native) <= 6);
+        // λ = 2 forces all three in parallel.
+        let (s, native) = native_schedule(&g, &cost, 2).unwrap();
+        assert_eq!(s.makespan(&native), 2);
+        // λ = 1 is impossible.
+        assert!(matches!(
+            native_schedule(&g, &cost, 1),
+            Err(AllocError::LatencyUnachievable { .. })
+        ));
+    }
+
+    #[test]
+    fn group_resource_componentwise_max() {
+        // Shapes are normalised to descending operand order: (12,8) and
+        // (10,6) -> componentwise maximum (12,8).
+        let r = group_resource(&[OpShape::multiplier(8, 12), OpShape::multiplier(10, 6)]).unwrap();
+        assert_eq!(r, ResourceType::multiplier(12, 8));
+        let r = group_resource(&[OpShape::adder(8), OpShape::subtractor(14)]).unwrap();
+        assert_eq!(r, ResourceType::adder(14));
+        assert!(group_resource(&[]).is_none());
+        assert!(group_resource(&[OpShape::adder(8), OpShape::multiplier(4, 4)]).is_none());
+    }
+
+    #[test]
+    fn latency_preserving_join_rules() {
+        let mut b = SequencingGraphBuilder::new();
+        let small = b.add_operation(OpShape::multiplier(8, 8)); // native 2
+        let big = b.add_operation(OpShape::multiplier(16, 16)); // native 4
+        let a1 = b.add_operation(OpShape::adder(8));
+        let a2 = b.add_operation(OpShape::adder(24));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let native = OpLatencies::from_fn(&g, |op| cost.native_latency(op.shape()));
+        // Sequential schedule so time never conflicts.
+        let schedule = Schedule::from_vec(vec![0, 2, 6, 8]);
+        // Small mul cannot join the big mul (its latency would grow 2 -> 4).
+        assert!(!can_join_latency_preserving(
+            &g, &cost, &schedule, &native, &[big], small
+        ));
+        // Adders of different widths share freely (latency stays 2).
+        assert!(can_join_latency_preserving(
+            &g, &cost, &schedule, &native, &[a1], a2
+        ));
+        // Overlapping operations cannot share.
+        let overlapping = Schedule::from_vec(vec![0, 0, 0, 0]);
+        assert!(!can_join_latency_preserving(
+            &g,
+            &cost,
+            &overlapping,
+            &native,
+            &[a1],
+            a2
+        ));
+    }
+}

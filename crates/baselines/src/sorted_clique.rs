@@ -1,0 +1,138 @@
+//! Wordlength-sorted clique partitioning (reference \[14\], Kum & Sung).
+
+use mwl_core::{AllocError, Datapath, ResourceInstance};
+use mwl_model::{CostModel, Cycles, OpId, ResourceClass, SequencingGraph};
+
+use crate::common::{can_join_latency_preserving, group_resource, native_schedule};
+
+/// Binding by clique partitioning with operations considered in descending
+/// order of wordlength, after a native-latency schedule.
+///
+/// This reproduces the resource-binding modification described by the paper
+/// for reference \[14\]: a standard clique-partitioning pass over the
+/// compatibility graph, but with nodes sorted by decreasing wordlength so
+/// that wide operations seed the cliques.  As with the two-stage baseline,
+/// sharing may not increase any operation's latency (otherwise the
+/// already-fixed schedule would be violated).
+#[derive(Debug)]
+pub struct SortedCliqueAllocator<'a> {
+    cost: &'a dyn CostModel,
+    latency_constraint: Cycles,
+}
+
+impl<'a> SortedCliqueAllocator<'a> {
+    /// Creates the allocator.
+    #[must_use]
+    pub fn new(cost: &'a dyn CostModel, latency_constraint: Cycles) -> Self {
+        SortedCliqueAllocator {
+            cost,
+            latency_constraint,
+        }
+    }
+
+    /// Schedules and binds the graph.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::LatencyUnachievable`] when the constraint is below the
+    /// critical path, plus internal scheduling errors.
+    pub fn allocate(&self, graph: &SequencingGraph) -> Result<Datapath, AllocError> {
+        let (schedule, native) = native_schedule(graph, self.cost, self.latency_constraint)?;
+
+        // Operations in descending order of wordlength (total operand width),
+        // ties broken by id for determinism.
+        let mut order: Vec<OpId> = graph.op_ids().collect();
+        order.sort_by_key(|&o| {
+            let shape = graph.operation(o).shape();
+            (std::cmp::Reverse(shape.total_width()), o)
+        });
+
+        let mut covered = vec![false; graph.len()];
+        let mut instances: Vec<ResourceInstance> = Vec::new();
+        for &seed in &order {
+            if covered[seed.index()] {
+                continue;
+            }
+            covered[seed.index()] = true;
+            let mut clique = vec![seed];
+            let class = ResourceClass::for_kind(graph.operation(seed).kind());
+            for &other in &order {
+                if covered[other.index()] {
+                    continue;
+                }
+                if ResourceClass::for_kind(graph.operation(other).kind()) != class {
+                    continue;
+                }
+                if can_join_latency_preserving(
+                    graph, self.cost, &schedule, &native, &clique, other,
+                ) {
+                    covered[other.index()] = true;
+                    clique.push(other);
+                }
+            }
+            let shapes: Vec<_> = clique
+                .iter()
+                .map(|&o| graph.operation(o).shape())
+                .collect();
+            let resource = group_resource(&shapes).expect("single-class non-empty clique");
+            instances.push(ResourceInstance::new(resource, clique));
+        }
+        Ok(Datapath::assemble(schedule, instances, self.cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_sched::{critical_path_length, OpLatencies};
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    fn lambda_min(graph: &SequencingGraph, cost: &SonicCostModel) -> Cycles {
+        let native = OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+        critical_path_length(graph, &native)
+    }
+
+    #[test]
+    fn produces_valid_datapaths_on_random_graphs() {
+        let cost = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(12), 99);
+        for _ in 0..10 {
+            let g = generator.generate();
+            let lambda = lambda_min(&g, &cost) + 3;
+            let dp = SortedCliqueAllocator::new(&cost, lambda).allocate(&g).unwrap();
+            dp.validate(&g, &cost).unwrap();
+            assert!(dp.latency() <= lambda);
+        }
+    }
+
+    #[test]
+    fn wide_operation_seeds_the_clique() {
+        // Three sequential additions: the 24-bit one seeds the clique and the
+        // narrower ones join it, giving a single 24-bit adder.
+        let mut b = SequencingGraphBuilder::new();
+        let a = b.add_operation(OpShape::adder(8));
+        let c = b.add_operation(OpShape::adder(24));
+        let d = b.add_operation(OpShape::adder(16));
+        b.add_dependency(a, c).unwrap();
+        b.add_dependency(c, d).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let dp = SortedCliqueAllocator::new(&cost, 12).allocate(&g).unwrap();
+        assert_eq!(dp.num_instances(), 1);
+        assert_eq!(dp.area(), 24);
+        assert_eq!(dp.instances()[0].sharing_factor(), 3);
+    }
+
+    #[test]
+    fn unachievable_constraint_rejected() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::adder(8));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        assert!(matches!(
+            SortedCliqueAllocator::new(&cost, 1).allocate(&g),
+            Err(AllocError::LatencyUnachievable { .. })
+        ));
+    }
+}

@@ -1,0 +1,287 @@
+//! The two-stage schedule-then-bind approach of reference \[4\].
+
+use mwl_core::{AllocError, Datapath, ResourceInstance};
+use mwl_model::{CostModel, Cycles, OpId, ResourceClass, SequencingGraph};
+use mwl_sched::{OpLatencies, Schedule};
+
+use crate::common::{can_join_latency_preserving, group_resource, native_schedule};
+
+/// Options for the two-stage baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoStageOptions {
+    /// Node budget for the optimal branch-and-bound binding; when exceeded
+    /// the binder falls back to the greedy first-fit result (which is also
+    /// the incumbent used for pruning).
+    pub binding_node_budget: usize,
+}
+
+impl Default for TwoStageOptions {
+    fn default() -> Self {
+        TwoStageOptions {
+            binding_node_budget: 200_000,
+        }
+    }
+}
+
+/// Reproduction of the two-stage approach of \[4\]: schedule first with
+/// native wordlength latencies, then bind optimally (branch and bound) under
+/// the restriction that sharing must not increase any operation's latency.
+#[derive(Debug)]
+pub struct TwoStageAllocator<'a> {
+    cost: &'a dyn CostModel,
+    latency_constraint: Cycles,
+    options: TwoStageOptions,
+}
+
+impl<'a> TwoStageAllocator<'a> {
+    /// Creates the allocator.
+    #[must_use]
+    pub fn new(cost: &'a dyn CostModel, latency_constraint: Cycles) -> Self {
+        TwoStageAllocator {
+            cost,
+            latency_constraint,
+            options: TwoStageOptions::default(),
+        }
+    }
+
+    /// Overrides the default options.
+    #[must_use]
+    pub fn with_options(mut self, options: TwoStageOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs both stages and returns the allocated datapath.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::LatencyUnachievable`] when the constraint is below the
+    /// critical path, plus internal scheduling errors.
+    pub fn allocate(&self, graph: &SequencingGraph) -> Result<Datapath, AllocError> {
+        let (schedule, native) = native_schedule(graph, self.cost, self.latency_constraint)?;
+        let groups = bind_optimally(
+            graph,
+            self.cost,
+            &schedule,
+            &native,
+            self.options.binding_node_budget,
+        );
+        let instances = groups
+            .into_iter()
+            .map(|ops| {
+                let shapes: Vec<_> = ops.iter().map(|&o| graph.operation(o).shape()).collect();
+                let resource =
+                    group_resource(&shapes).expect("groups are single-class and non-empty");
+                ResourceInstance::new(resource, ops)
+            })
+            .collect();
+        Ok(Datapath::assemble(schedule, instances, self.cost))
+    }
+}
+
+/// Greedy first-fit grouping (also used as the branch-and-bound incumbent).
+fn bind_greedy(
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    schedule: &Schedule,
+    native: &OpLatencies,
+    order: &[OpId],
+) -> Vec<Vec<OpId>> {
+    let mut groups: Vec<Vec<OpId>> = Vec::new();
+    for &op in order {
+        let slot = groups.iter().position(|g| {
+            ResourceClass::for_kind(graph.operation(g[0]).kind())
+                == ResourceClass::for_kind(graph.operation(op).kind())
+                && can_join_latency_preserving(graph, cost, schedule, native, g, op)
+        });
+        match slot {
+            Some(i) => groups[i].push(op),
+            None => groups.push(vec![op]),
+        }
+    }
+    groups
+}
+
+fn groups_area(graph: &SequencingGraph, cost: &dyn CostModel, groups: &[Vec<OpId>]) -> u64 {
+    groups
+        .iter()
+        .map(|g| {
+            let shapes: Vec<_> = g.iter().map(|&o| graph.operation(o).shape()).collect();
+            group_resource(&shapes).map_or(0, |r| cost.area(&r))
+        })
+        .sum()
+}
+
+/// Optimal latency-preserving binding by branch and bound over the operations
+/// in schedule order: each operation either joins a compatible existing group
+/// or opens a new one.  Pruned by the partial area against the greedy
+/// incumbent; falls back to the incumbent when the node budget is exhausted.
+fn bind_optimally(
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    schedule: &Schedule,
+    native: &OpLatencies,
+    node_budget: usize,
+) -> Vec<Vec<OpId>> {
+    let mut order: Vec<OpId> = graph.op_ids().collect();
+    order.sort_by_key(|&o| (schedule.start(o), o));
+
+    let greedy = bind_greedy(graph, cost, schedule, native, &order);
+    let mut best_area = groups_area(graph, cost, &greedy);
+    let mut best = greedy;
+
+    struct Search<'s> {
+        graph: &'s SequencingGraph,
+        cost: &'s dyn CostModel,
+        schedule: &'s Schedule,
+        native: &'s OpLatencies,
+        order: &'s [OpId],
+        nodes: usize,
+        budget: usize,
+    }
+
+    fn dfs(
+        s: &mut Search<'_>,
+        depth: usize,
+        groups: &mut Vec<Vec<OpId>>,
+        best: &mut Vec<Vec<OpId>>,
+        best_area: &mut u64,
+    ) {
+        s.nodes += 1;
+        if s.nodes > s.budget {
+            return;
+        }
+        let partial = groups_area(s.graph, s.cost, groups);
+        if partial >= *best_area {
+            return;
+        }
+        if depth == s.order.len() {
+            *best_area = partial;
+            *best = groups.clone();
+            return;
+        }
+        let op = s.order[depth];
+        let class = ResourceClass::for_kind(s.graph.operation(op).kind());
+        // Try joining each compatible existing group.
+        for i in 0..groups.len() {
+            if ResourceClass::for_kind(s.graph.operation(groups[i][0]).kind()) != class {
+                continue;
+            }
+            if can_join_latency_preserving(s.graph, s.cost, s.schedule, s.native, &groups[i], op) {
+                groups[i].push(op);
+                dfs(s, depth + 1, groups, best, best_area);
+                groups[i].pop();
+            }
+        }
+        // Open a new group.
+        groups.push(vec![op]);
+        dfs(s, depth + 1, groups, best, best_area);
+        groups.pop();
+    }
+
+    let mut search = Search {
+        graph,
+        cost,
+        schedule,
+        native,
+        order: &order,
+        nodes: 0,
+        budget: node_budget,
+    };
+    let mut scratch: Vec<Vec<OpId>> = Vec::new();
+    dfs(&mut search, 0, &mut scratch, &mut best, &mut best_area);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_core::{AllocConfig, DpAllocator};
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_sched::critical_path_length;
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    fn lambda_min(graph: &SequencingGraph, cost: &SonicCostModel) -> Cycles {
+        let native = OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+        critical_path_length(graph, &native)
+    }
+
+    #[test]
+    fn produces_valid_datapaths() {
+        let cost = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 555);
+        for _ in 0..10 {
+            let g = generator.generate();
+            let lambda = lambda_min(&g, &cost) + 3;
+            let dp = TwoStageAllocator::new(&cost, lambda).allocate(&g).unwrap();
+            dp.validate(&g, &cost).unwrap();
+            assert!(dp.latency() <= lambda);
+        }
+    }
+
+    #[test]
+    fn adders_of_different_width_share() {
+        // Two sequential additions of different widths end up on one adder.
+        let mut b = SequencingGraphBuilder::new();
+        let a1 = b.add_operation(OpShape::adder(8));
+        let a2 = b.add_operation(OpShape::adder(20));
+        b.add_dependency(a1, a2).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let dp = TwoStageAllocator::new(&cost, 10).allocate(&g).unwrap();
+        assert_eq!(dp.num_instances(), 1);
+        assert_eq!(dp.area(), 20);
+    }
+
+    #[test]
+    fn mixed_size_multipliers_cannot_share() {
+        // Sequential 8x8 and 16x16 multiplications: the heuristic can share
+        // one 16x16 multiplier (slowing the small one down), the two-stage
+        // approach cannot (it would increase the small one's latency).
+        let mut b = SequencingGraphBuilder::new();
+        let s = b.add_operation(OpShape::multiplier(8, 8));
+        let l = b.add_operation(OpShape::multiplier(16, 16));
+        b.add_dependency(s, l).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let lambda = 10;
+        let two_stage = TwoStageAllocator::new(&cost, lambda).allocate(&g).unwrap();
+        assert_eq!(two_stage.num_instances(), 2);
+        assert_eq!(two_stage.area(), 64 + 256);
+        let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&g)
+            .unwrap();
+        assert!(heuristic.area() < two_stage.area());
+        assert_eq!(heuristic.area(), 256);
+    }
+
+    #[test]
+    fn unachievable_constraint_rejected() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(25, 25));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        assert!(matches!(
+            TwoStageAllocator::new(&cost, 2).allocate(&g),
+            Err(AllocError::LatencyUnachievable { .. })
+        ));
+    }
+
+    #[test]
+    fn optimal_binding_not_worse_than_greedy_fallback() {
+        let cost = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(12), 808);
+        for _ in 0..5 {
+            let g = generator.generate();
+            let lambda = lambda_min(&g, &cost) + 4;
+            let optimal = TwoStageAllocator::new(&cost, lambda).allocate(&g).unwrap();
+            let greedy_only = TwoStageAllocator::new(&cost, lambda)
+                .with_options(TwoStageOptions {
+                    binding_node_budget: 0,
+                })
+                .allocate(&g)
+                .unwrap();
+            assert!(optimal.area() <= greedy_only.area());
+        }
+    }
+}

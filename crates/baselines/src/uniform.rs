@@ -1,0 +1,224 @@
+//! The uniform-wordlength (DSP-processor model) baseline.
+
+use mwl_core::{AllocError, Datapath, ResourceInstance};
+use mwl_model::{
+    CostModel, Cycles, OpId, OpShape, ResourceClass, ResourceType, SequencingGraph,
+};
+use mwl_sched::{
+    critical_path_length, ListScheduler, OpLatencies, PerClassBound, SchedError, SchedulePriority,
+};
+use std::collections::BTreeMap;
+
+/// The traditional single-wordlength design style: every resource class is
+/// implemented at the largest wordlength any of its operations needs, and
+/// every operation pays that resource's latency and area.
+///
+/// This is the "DSP processor model of computation" the paper's introduction
+/// contrasts custom multiple-wordlength hardware against.
+#[derive(Debug)]
+pub struct UniformWordlengthAllocator<'a> {
+    cost: &'a dyn CostModel,
+    latency_constraint: Cycles,
+}
+
+impl<'a> UniformWordlengthAllocator<'a> {
+    /// Creates the allocator.
+    #[must_use]
+    pub fn new(cost: &'a dyn CostModel, latency_constraint: Cycles) -> Self {
+        UniformWordlengthAllocator {
+            cost,
+            latency_constraint,
+        }
+    }
+
+    /// Schedules and binds the graph with uniform per-class wordlengths.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::LatencyUnachievable`] when the constraint cannot be met
+    /// even with one uniform resource per operation, plus internal scheduling
+    /// errors.
+    pub fn allocate(&self, graph: &SequencingGraph) -> Result<Datapath, AllocError> {
+        // Uniform resource type per class: componentwise maximum over the
+        // class's operations.
+        let mut uniform: BTreeMap<ResourceClass, ResourceType> = BTreeMap::new();
+        for op in graph.operations() {
+            let class = ResourceClass::for_kind(op.kind());
+            let (a, b) = op.shape().widths();
+            uniform
+                .entry(class)
+                .and_modify(|r| {
+                    let (ra, rb) = r.widths();
+                    *r = match class {
+                        ResourceClass::Adder => ResourceType::adder(ra.max(a)),
+                        ResourceClass::Multiplier => {
+                            ResourceType::multiplier(ra.max(a), rb.max(b))
+                        }
+                    };
+                })
+                .or_insert_with(|| match class {
+                    ResourceClass::Adder => ResourceType::adder(a),
+                    ResourceClass::Multiplier => ResourceType::multiplier(a, b),
+                });
+        }
+
+        // Every operation takes its class's uniform latency.
+        let latencies = OpLatencies::from_fn(graph, |op| {
+            let class = ResourceClass::for_kind(op.kind());
+            self.cost.latency(&uniform[&class])
+        });
+        let minimum = critical_path_length(graph, &latencies);
+        if self.latency_constraint < minimum {
+            return Err(AllocError::LatencyUnachievable {
+                constraint: self.latency_constraint,
+                minimum,
+            });
+        }
+
+        // Minimal per-class concurrency meeting the constraint.
+        let op_classes: Vec<ResourceClass> = graph
+            .operations()
+            .iter()
+            .map(|o| ResourceClass::for_kind(o.kind()))
+            .collect();
+        let mut class_ops: BTreeMap<ResourceClass, usize> = BTreeMap::new();
+        for &c in &op_classes {
+            *class_ops.entry(c).or_insert(0) += 1;
+        }
+        let mut bounds: BTreeMap<ResourceClass, usize> =
+            class_ops.keys().map(|&c| (c, 1)).collect();
+        let scheduler = ListScheduler::new(SchedulePriority::CriticalPath);
+        let max_rounds: usize = class_ops.values().sum::<usize>() + 1;
+        let mut schedule = None;
+        for _ in 0..=max_rounds {
+            let constraint = PerClassBound::new(op_classes.clone(), bounds.clone());
+            match scheduler.schedule(graph, &latencies, constraint) {
+                Ok(s) if s.makespan(&latencies) <= self.latency_constraint => {
+                    schedule = Some(s);
+                    break;
+                }
+                Ok(_) | Err(SchedError::InfeasibleResourceBound { .. }) => {
+                    let next = bounds
+                        .iter()
+                        .filter(|(c, &b)| b < class_ops[c])
+                        .map(|(&c, _)| c)
+                        .next();
+                    match next {
+                        Some(c) => *bounds.get_mut(&c).expect("present") += 1,
+                        None => break,
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let Some(schedule) = schedule else {
+            return Err(AllocError::LatencyUnachievable {
+                constraint: self.latency_constraint,
+                minimum,
+            });
+        };
+
+        // Bind per class by interval partitioning onto uniform instances.
+        let mut instances = Vec::new();
+        for (&class, &resource) in &uniform {
+            let mut ops: Vec<OpId> = graph
+                .op_ids()
+                .filter(|&o| ResourceClass::for_kind(graph.operation(o).kind()) == class)
+                .collect();
+            ops.sort_by_key(|&o| schedule.start(o));
+            let mut slots: Vec<(Cycles, Vec<OpId>)> = Vec::new();
+            for op in ops {
+                let s = schedule.start(op);
+                let e = s + latencies.get(op);
+                match slots.iter_mut().find(|(free, _)| *free <= s) {
+                    Some((free, list)) => {
+                        list.push(op);
+                        *free = e;
+                    }
+                    None => slots.push((e, vec![op])),
+                }
+            }
+            for (_, ops) in slots {
+                instances.push(ResourceInstance::new(resource, ops));
+            }
+        }
+        Ok(Datapath::assemble(schedule, instances, self.cost))
+    }
+
+    /// The uniform shape a class would use for the given operation shapes
+    /// (exposed for tests and documentation examples).
+    #[must_use]
+    pub fn uniform_shape_for(shapes: &[OpShape]) -> Option<ResourceType> {
+        crate::common::group_resource(shapes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_core::{AllocConfig, DpAllocator};
+    use mwl_model::{SequencingGraphBuilder, SonicCostModel};
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    #[test]
+    fn all_multiplications_pay_for_the_largest() {
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(4, 4));
+        let y = b.add_operation(OpShape::multiplier(20, 20));
+        b.add_dependency(x, y).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let dp = UniformWordlengthAllocator::new(&cost, 20).allocate(&g).unwrap();
+        dp.validate(&g, &cost).unwrap();
+        // One shared 20x20 multiplier; the 4x4 multiplication pays 5 cycles.
+        assert_eq!(dp.num_instances(), 1);
+        assert_eq!(dp.area(), 400);
+        assert_eq!(dp.bound_latencies(&cost).get(x), 5);
+    }
+
+    #[test]
+    fn heuristic_never_worse_than_uniform() {
+        let cost = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 606);
+        for _ in 0..8 {
+            let g = generator.generate();
+            // Use a constraint achievable by the uniform design too.
+            let uniform_lat = OpLatencies::from_fn(&g, |op| {
+                let shapes: Vec<_> = g
+                    .operations()
+                    .iter()
+                    .filter(|o| o.kind().is_additive() == op.kind().is_additive())
+                    .map(|o| o.shape())
+                    .collect();
+                cost.latency(&UniformWordlengthAllocator::uniform_shape_for(&shapes).unwrap())
+            });
+            let lambda = critical_path_length(&g, &uniform_lat) + 4;
+            let uniform = UniformWordlengthAllocator::new(&cost, lambda)
+                .allocate(&g)
+                .unwrap();
+            let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda))
+                .allocate(&g)
+                .unwrap();
+            uniform.validate(&g, &cost).unwrap();
+            assert!(heuristic.area() <= uniform.area());
+        }
+    }
+
+    #[test]
+    fn unachievable_constraint_rejected() {
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(4, 4));
+        let y = b.add_operation(OpShape::multiplier(20, 20));
+        b.add_dependency(x, y).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        // Native critical path is 2 + 5 = 7, but uniform implementation needs
+        // 10; a constraint of 8 is feasible for the heuristic yet not for the
+        // uniform design.
+        assert!(matches!(
+            UniformWordlengthAllocator::new(&cost, 8).allocate(&g),
+            Err(AllocError::LatencyUnachievable { .. })
+        ));
+        assert!(DpAllocator::new(&cost, AllocConfig::new(8)).allocate(&g).is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation: the wordlength-aware scheduling constraint of Eqn (3) versus the
+//! standard per-class constraint of Eqn (2) during list scheduling.
+//!
+//! Eqn (2) can accept schedules that are impossible to bind within the
+//! resource bounds once wordlengths are taken into account (the paper's
+//! Fig. 2 example); this bench measures the scheduling-time cost of the
+//! stricter constraint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_model::{ResourceClass, SonicCostModel};
+use mwl_sched::{
+    scheduling_set, ListScheduler, PerClassBound, SchedulePriority, SchedulingSetBound,
+};
+use mwl_tgff::{TgffConfig, TgffGenerator};
+use mwl_wcg::WordlengthCompatibilityGraph;
+use std::collections::BTreeMap;
+
+fn bench_constraints(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("ablation_constraint");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &ops in &[8usize, 16, 24] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 7).generate();
+        let wcg = WordlengthCompatibilityGraph::new(&graph, &cost);
+        let upper = wcg.upper_bound_latencies();
+        let op_classes: Vec<ResourceClass> = graph
+            .operations()
+            .iter()
+            .map(|o| ResourceClass::for_kind(o.kind()))
+            .collect();
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 2), (ResourceClass::Adder, 2)]);
+        let scheduler = ListScheduler::new(SchedulePriority::CriticalPath);
+
+        group.bench_with_input(BenchmarkId::new("eqn2_per_class", ops), &ops, |b, _| {
+            b.iter(|| {
+                let constraint = PerClassBound::new(op_classes.clone(), bounds.clone());
+                scheduler.schedule(&graph, &upper, constraint)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("eqn3_scheduling_set", ops), &ops, |b, _| {
+            b.iter(|| {
+                let lists = wcg.op_candidate_lists();
+                let members = scheduling_set(&lists);
+                let member_classes: Vec<ResourceClass> =
+                    members.iter().map(|&r| wcg.resource(r).class()).collect();
+                let op_members: Vec<Vec<usize>> = graph
+                    .op_ids()
+                    .map(|o| {
+                        members
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &r)| wcg.has_edge(o, r))
+                            .map(|(j, _)| j)
+                            .collect()
+                    })
+                    .collect();
+                let constraint = SchedulingSetBound::new(
+                    op_classes.clone(),
+                    op_members,
+                    member_classes,
+                    bounds.clone(),
+                );
+                scheduler.schedule(&graph, &upper, constraint)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraints);
+criterion_main!(benches);

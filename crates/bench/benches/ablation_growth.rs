@@ -1,0 +1,62 @@
+//! Ablation: BindSelect with and without the clique-growth compensation step.
+//!
+//! Growth lets a newly selected (cheap, large) clique absorb previously
+//! selected cliques, deleting their resources; disabling it degrades the
+//! binding to plain greedy covering.  The bench reports both runtime and, via
+//! a one-off printout, the area difference on a sample of random graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_bench::{lambda_min, relax_constraint};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::SonicCostModel;
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_growth(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("ablation_growth");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &ops in &[8usize, 16, 24] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 11).generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 20);
+        group.bench_with_input(BenchmarkId::new("with_growth", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("without_growth", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda).with_clique_growth(false))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // One-off area comparison.
+    let mut with_total = 0u64;
+    let mut without_total = 0u64;
+    let mut generator = TgffGenerator::new(TgffConfig::with_ops(16), 99);
+    for _ in 0..20 {
+        let graph = generator.generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 20);
+        with_total += DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap()
+            .area();
+        without_total += DpAllocator::new(&cost, AllocConfig::new(lambda).with_clique_growth(false))
+            .allocate(&graph)
+            .unwrap()
+            .area();
+    }
+    println!(
+        "ablation_growth: total area with growth = {with_total}, without growth = {without_total}"
+    );
+}
+
+criterion_group!(benches, bench_growth);
+criterion_main!(benches);

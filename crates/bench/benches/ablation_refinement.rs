@@ -1,0 +1,68 @@
+//! Ablation: the bound-critical-path refinement rule versus refining the
+//! first refinable operation.
+//!
+//! The paper's rule concentrates refinement on operations that actually
+//! constrain the achieved latency; the naive rule refines more operations
+//! than necessary, giving up sharing opportunities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_bench::{lambda_min, relax_constraint};
+use mwl_core::{AllocConfig, DpAllocator, RefinementPolicy};
+use mwl_model::SonicCostModel;
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_refinement(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("ablation_refinement");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &ops in &[8usize, 16, 24] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 23).generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 10);
+        group.bench_with_input(BenchmarkId::new("bound_critical_path", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("first_refinable", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(
+                    &cost,
+                    AllocConfig::new(lambda).with_refinement(RefinementPolicy::FirstRefinable),
+                )
+                .allocate(&graph)
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // One-off area comparison.
+    let mut paper_total = 0u64;
+    let mut naive_total = 0u64;
+    let mut generator = TgffGenerator::new(TgffConfig::with_ops(14), 33);
+    for _ in 0..20 {
+        let graph = generator.generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 10);
+        paper_total += DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap()
+            .area();
+        naive_total += DpAllocator::new(
+            &cost,
+            AllocConfig::new(lambda).with_refinement(RefinementPolicy::FirstRefinable),
+        )
+        .allocate(&graph)
+        .unwrap()
+        .area();
+    }
+    println!(
+        "ablation_refinement: total area bound-critical-path = {paper_total}, first-refinable = {naive_total}"
+    );
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench backing Figure 3: one allocation of the heuristic and of
+//! the two-stage baseline on representative graph sizes, plus a reduced
+//! area-penalty sweep whose result is printed once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_baselines::TwoStageAllocator;
+use mwl_bench::{lambda_min, relax_constraint, run_fig3, Fig3Config, SweepConfig};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::SonicCostModel;
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_fig3(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("fig3_area_penalty");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &ops in &[6usize, 12, 24] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 42).generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 20);
+        group.bench_with_input(BenchmarkId::new("heuristic", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_stage", ops), &ops, |b, _| {
+            b.iter(|| TwoStageAllocator::new(&cost, lambda).allocate(&graph).unwrap())
+        });
+    }
+    group.finish();
+
+    // Print a reduced version of the figure itself once per bench run.
+    let config = Fig3Config {
+        sizes: vec![4, 8, 16, 24],
+        relaxations: vec![0, 10, 20, 30],
+        sweep: SweepConfig::quick().with_graphs(10),
+    };
+    println!("{}", run_fig3(&config).render_text());
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench backing Figure 4: heuristic vs ILP optimum solve on small
+//! graphs, plus a reduced area-premium sweep printed once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_bench::{lambda_min, run_fig4, Fig4Config, SweepConfig};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::SonicCostModel;
+use mwl_optimal::IlpAllocator;
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_fig4(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("fig4_area_premium");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &ops in &[3usize, 5, 7] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 4242).generate();
+        let lambda = lambda_min(&graph, &cost);
+        group.bench_with_input(BenchmarkId::new("heuristic", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ilp_optimal", ops), &ops, |b, _| {
+            b.iter(|| IlpAllocator::new(&cost, lambda).allocate(&graph).unwrap())
+        });
+    }
+    group.finish();
+
+    let config = Fig4Config {
+        sizes: vec![2, 4, 6],
+        sweep: SweepConfig::quick().with_graphs(8),
+    };
+    println!("{}", run_fig4(&config).render_text());
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

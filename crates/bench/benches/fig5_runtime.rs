@@ -1,0 +1,52 @@
+//! Criterion bench backing Figure 5: scaling of heuristic and ILP runtime
+//! with the number of operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_bench::{lambda_min, run_fig5, Fig5Config, SweepConfig};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::SonicCostModel;
+use mwl_optimal::IlpAllocator;
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_fig5(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("fig5_runtime");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // The heuristic scales polynomially: bench it far beyond the ILP range.
+    for &ops in &[4usize, 9, 16, 24] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 555).generate();
+        let lambda = lambda_min(&graph, &cost);
+        group.bench_with_input(BenchmarkId::new("heuristic", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+    }
+    for &ops in &[3usize, 5, 7] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 555).generate();
+        let lambda = lambda_min(&graph, &cost);
+        group.bench_with_input(BenchmarkId::new("ilp", ops), &ops, |b, _| {
+            b.iter(|| {
+                IlpAllocator::new(&cost, lambda)
+                    .with_time_limit(std::time::Duration::from_secs(5))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let config = Fig5Config {
+        sizes: vec![2, 4, 6],
+        sweep: SweepConfig::quick().with_graphs(5),
+        heuristic_only_sizes: vec![12, 24],
+    };
+    println!("{}", run_fig5(&config).render_text());
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench backing Table 2: how heuristic and ILP runtimes scale with
+//! the latency constraint on a fixed 9-operation graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_bench::{lambda_min, relax_constraint, run_table2, SweepConfig, Table2Config};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::SonicCostModel;
+use mwl_optimal::IlpAllocator;
+use mwl_tgff::{TgffConfig, TgffGenerator};
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let graph = TgffGenerator::new(TgffConfig::with_ops(9), 1999).generate();
+    let minimum = lambda_min(&graph, &cost);
+    let mut group = c.benchmark_group("table2_latency_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &relax in &[0u32, 5, 10, 15] {
+        let lambda = relax_constraint(minimum, relax);
+        group.bench_with_input(BenchmarkId::new("heuristic", relax), &relax, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ilp", relax), &relax, |b, _| {
+            b.iter(|| {
+                IlpAllocator::new(&cost, lambda)
+                    .with_time_limit(Duration::from_secs(2))
+                    .allocate(&graph)
+            })
+        });
+    }
+    group.finish();
+
+    let config = Table2Config {
+        ops: 9,
+        relaxations: vec![0, 5, 10, 15],
+        sweep: SweepConfig::quick().with_graphs(3),
+        ilp_row_budget: Duration::from_secs(30),
+    };
+    println!("{}", run_table2(&config).render_text());
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates Figure 5 of the paper: execution time of the heuristic versus
+//! the ILP as the number of operations grows (λ = λ_min).
+//!
+//! Usage: `cargo run -p mwl-bench --release --bin fig5 [-- --paper | --graphs N]`
+
+use mwl_bench::{run_fig5, Fig5Config};
+
+fn main() {
+    let config = configure();
+    eprintln!(
+        "running Figure 5 sweep ({} ILP sizes, {} heuristic-only sizes, {} graphs each)...",
+        config.sizes.len(),
+        config.heuristic_only_sizes.len(),
+        config.sweep.graphs_per_point
+    );
+    let results = run_fig5(&config);
+    println!("{}", results.render_text());
+    let csv = results.to_csv();
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/fig5.csv", &csv).is_ok()
+    {
+        eprintln!("wrote results/fig5.csv");
+    }
+}
+
+fn configure() -> Fig5Config {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = if args.iter().any(|a| a == "--paper") {
+        Fig5Config::paper()
+    } else {
+        Fig5Config::quick()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--graphs") {
+        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            config.sweep = config.sweep.with_graphs(n);
+        }
+    }
+    config
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table 2 of the paper: execution time of the heuristic versus
+//! the ILP as the latency constraint is relaxed (9-operation graphs).
+//!
+//! Usage: `cargo run -p mwl-bench --release --bin table2 [-- --paper | --graphs N]`
+
+use mwl_bench::{run_table2, Table2Config};
+
+fn main() {
+    let config = configure();
+    eprintln!(
+        "running Table 2 sweep ({} relaxations x {} graphs of {} operations)...",
+        config.relaxations.len(),
+        config.sweep.graphs_per_point,
+        config.ops
+    );
+    let results = run_table2(&config);
+    println!("{}", results.render_text());
+    let csv = results.to_csv();
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/table2.csv", &csv).is_ok()
+    {
+        eprintln!("wrote results/table2.csv");
+    }
+}
+
+fn configure() -> Table2Config {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = if args.iter().any(|a| a == "--paper") {
+        Table2Config::paper()
+    } else {
+        Table2Config::quick()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--graphs") {
+        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            config.sweep = config.sweep.with_graphs(n);
+        }
+    }
+    config
+}

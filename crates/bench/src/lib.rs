@@ -1,0 +1,37 @@
+//! Experiment harness regenerating every table and figure of the DATE 2001
+//! evaluation (Section 3 of the paper).
+//!
+//! Each experiment is a plain library function returning a typed result
+//! table, so the same code backs the command-line binaries
+//! (`cargo run -p mwl-bench --release --bin fig3` …), the Criterion benches
+//! and the integration tests:
+//!
+//! | Paper item | Function | Binary |
+//! |------------|----------|--------|
+//! | Figure 3 — area penalty of the two-stage approach \[4\] over the heuristic, vs `|O|` and latency slack | [`run_fig3`] | `fig3` |
+//! | Figure 4 — area premium of the heuristic over the ILP optimum \[5\], vs `|O|` | [`run_fig4`] | `fig4` |
+//! | Figure 5 — execution time vs `|O|` for heuristic and ILP | [`run_fig5`] | `fig5` |
+//! | Table 2 — execution time vs `λ/λ_min` for 9-operation graphs | [`run_table2`] | `table2` |
+//!
+//! The paper runs 200 random graphs per data point on a Pentium III 450;
+//! [`SweepConfig::paper`] reproduces those counts, while
+//! [`SweepConfig::quick`] uses smaller counts so the whole suite runs in
+//! minutes on a development machine.  Absolute times differ from the paper;
+//! the *shape* (who wins, polynomial vs exponential scaling) is what the
+//! harness reproduces — see `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod fig3;
+mod fig4;
+mod fig5;
+mod sweep;
+mod table2;
+
+pub use fig3::{run_fig3, Fig3Cell, Fig3Config, Fig3Results};
+pub use fig4::{run_fig4, Fig4Config, Fig4Results, Fig4Row};
+pub use fig5::{run_fig5, Fig5Config, Fig5Results, Fig5Row};
+pub use sweep::{lambda_min, relax_constraint, SweepConfig};
+pub use table2::{run_table2, Table2Config, Table2Results, Table2Row};

@@ -1,0 +1,286 @@
+//! Algorithm *BindSelect*: combined resource binding and wordlength
+//! selection as implicit unate covering.
+//!
+//! Once a schedule (with latency upper bounds) has been attached to the
+//! wordlength compatibility graph, every set of pairwise time-compatible
+//! operations that share a common compatible resource type is a candidate
+//! *clique* `k` satisfying Eqn (4); covering all operations with cliques at
+//! minimum total resource cost is a weighted unate covering problem (Eqn 6).
+//! Because the number of cliques is exponential, the paper — and this module
+//! — solves it implicitly in polynomial time, extending Chvátal's greedy
+//! set-covering heuristic:
+//!
+//! 1. repeatedly pick, over all resource types `r`, a **maximum clique**
+//!    `p_r` of still-uncovered operations inside `O(r)` (a longest chain of
+//!    the transitively-oriented subgraph), and select the `r` maximising
+//!    `|p_r| / cost(r)`;
+//! 2. after every selection, try to **grow** the newly selected clique to
+//!    swallow previously selected cliques; any clique swallowed this way is
+//!    deleted, compensating for the greediness of earlier selections.
+
+use mwl_model::OpId;
+use mwl_wcg::WordlengthCompatibilityGraph;
+
+use crate::datapath::ResourceInstance;
+use crate::error::AllocError;
+
+/// Options controlling [`bind_select`]; the defaults follow the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindSelectOptions {
+    /// Enable the clique-growth compensation step (step 2 above).  Disabling
+    /// it degrades the binding to plain greedy covering; exposed for the
+    /// ablation benchmarks.
+    pub grow_cliques: bool,
+}
+
+impl Default for BindSelectOptions {
+    fn default() -> Self {
+        BindSelectOptions { grow_cliques: true }
+    }
+}
+
+/// Runs Algorithm *BindSelect* on a scheduled wordlength compatibility graph,
+/// returning one [`ResourceInstance`] per selected clique.
+///
+/// # Errors
+///
+/// Returns [`AllocError::UncoverableOperation`] if some operation has no
+/// compatible resource type left (which the allocator's refinement step never
+/// causes).
+///
+/// # Panics
+///
+/// Panics if no schedule has been attached to the graph (see
+/// [`WordlengthCompatibilityGraph::attach_schedule`]).
+pub fn bind_select(
+    wcg: &WordlengthCompatibilityGraph,
+    options: BindSelectOptions,
+) -> Result<Vec<ResourceInstance>, AllocError> {
+    let n = wcg.num_ops();
+    let mut covered = vec![false; n];
+    // Selected cliques: operations + chosen resource index.
+    let mut cliques: Vec<(Vec<OpId>, usize)> = Vec::new();
+
+    while covered.iter().any(|&c| !c) {
+        // Find, per resource type, a maximum clique of uncovered operations
+        // and keep the one with the best |p_r| / cost(r) ratio.
+        let mut best: Option<(Vec<OpId>, usize)> = None;
+        let mut best_key = (0.0f64, 0usize, u64::MAX);
+        for r in 0..wcg.resources().len() {
+            let chain = wcg.max_chain(r, &covered);
+            if chain.is_empty() {
+                continue;
+            }
+            let area = wcg.resource_area(r).max(1);
+            let ratio = chain.len() as f64 / area as f64;
+            let key = (ratio, chain.len(), u64::MAX - area);
+            let better = match &best {
+                None => true,
+                Some(_) => {
+                    key.0 > best_key.0 + f64::EPSILON
+                        || ((key.0 - best_key.0).abs() <= f64::EPSILON
+                            && (key.1 > best_key.1
+                                || (key.1 == best_key.1 && key.2 > best_key.2)))
+                }
+            };
+            if better {
+                best_key = key;
+                best = Some((chain, r));
+            }
+        }
+
+        let Some((chain, resource)) = best else {
+            // Some operation is uncovered but no resource can execute it.
+            let op = (0..n)
+                .map(|i| OpId::new(i as u32))
+                .find(|o| !covered[o.index()])
+                .expect("loop condition guarantees an uncovered operation");
+            return Err(AllocError::UncoverableOperation(op));
+        };
+
+        for &op in &chain {
+            covered[op.index()] = true;
+        }
+        let mut new_clique = (chain, resource);
+
+        if options.grow_cliques {
+            // Try to grow the new clique to absorb previously selected
+            // cliques; absorbed cliques are deleted (their resource cost is
+            // saved).
+            let mut i = 0;
+            while i < cliques.len() {
+                let union: Vec<OpId> = new_clique
+                    .0
+                    .iter()
+                    .chain(cliques[i].0.iter())
+                    .copied()
+                    .collect();
+                let resource_covers_union = union
+                    .iter()
+                    .all(|&o| wcg.has_edge(o, new_clique.1));
+                if resource_covers_union && wcg.is_chain(&union) {
+                    new_clique.0 = union;
+                    cliques.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        cliques.push(new_clique);
+    }
+
+    Ok(cliques
+        .into_iter()
+        .map(|(ops, r)| ResourceInstance::new(*wcg.resource(r), ops))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{
+        CostModel, OpShape, ResourceType, SequencingGraph, SequencingGraphBuilder, SonicCostModel,
+    };
+    use mwl_sched::asap;
+
+    fn scheduled_wcg(graph: &SequencingGraph) -> WordlengthCompatibilityGraph {
+        let cost = SonicCostModel::default();
+        let mut wcg = WordlengthCompatibilityGraph::new(graph, &cost);
+        let upper = wcg.upper_bound_latencies();
+        let schedule = asap(graph, &upper);
+        wcg.attach_schedule(&schedule, &upper);
+        wcg
+    }
+
+    fn total_area(instances: &[ResourceInstance]) -> u64 {
+        let cost = SonicCostModel::default();
+        instances.iter().map(|i| cost.area(&i.resource())).sum()
+    }
+
+    fn covers_all(instances: &[ResourceInstance], graph: &SequencingGraph) -> bool {
+        let mut seen = vec![0usize; graph.len()];
+        for inst in instances {
+            for &op in inst.ops() {
+                seen[op.index()] += 1;
+            }
+        }
+        seen.iter().all(|&c| c == 1)
+    }
+
+    #[test]
+    fn chain_of_multiplications_shares_one_resource() {
+        // x -> y -> z, all 8x8: one multiplier instance suffices.
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(8, 8));
+        let y = b.add_operation(OpShape::multiplier(8, 8));
+        let z = b.add_operation(OpShape::multiplier(8, 8));
+        b.add_dependency(x, y).unwrap();
+        b.add_dependency(y, z).unwrap();
+        let g = b.build().unwrap();
+        let wcg = scheduled_wcg(&g);
+        let instances = bind_select(&wcg, BindSelectOptions::default()).unwrap();
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].sharing_factor(), 3);
+        assert!(covers_all(&instances, &g));
+    }
+
+    #[test]
+    fn parallel_multiplications_need_separate_instances() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(8, 8));
+        b.add_operation(OpShape::multiplier(8, 8));
+        let g = b.build().unwrap();
+        let wcg = scheduled_wcg(&g);
+        let instances = bind_select(&wcg, BindSelectOptions::default()).unwrap();
+        assert_eq!(instances.len(), 2);
+        assert!(covers_all(&instances, &g));
+    }
+
+    #[test]
+    fn small_op_absorbed_into_larger_resource() {
+        // A small multiplication followed by a large one: both fit on one
+        // large multiplier because they are sequential (dependence).
+        let mut b = SequencingGraphBuilder::new();
+        let s = b.add_operation(OpShape::multiplier(8, 8));
+        let l = b.add_operation(OpShape::multiplier(16, 16));
+        b.add_dependency(s, l).unwrap();
+        let g = b.build().unwrap();
+        let wcg = scheduled_wcg(&g);
+        let instances = bind_select(&wcg, BindSelectOptions::default()).unwrap();
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].resource(), ResourceType::multiplier(16, 16));
+        assert!(covers_all(&instances, &g));
+    }
+
+    #[test]
+    fn mixed_classes_never_share() {
+        let mut b = SequencingGraphBuilder::new();
+        let m = b.add_operation(OpShape::multiplier(8, 8));
+        let a = b.add_operation(OpShape::adder(16));
+        b.add_dependency(m, a).unwrap();
+        let g = b.build().unwrap();
+        let wcg = scheduled_wcg(&g);
+        let instances = bind_select(&wcg, BindSelectOptions::default()).unwrap();
+        assert_eq!(instances.len(), 2);
+        assert!(covers_all(&instances, &g));
+    }
+
+    #[test]
+    fn growth_never_increases_area() {
+        // Compare with and without the growth step over a family of graphs.
+        use mwl_tgff::{TgffConfig, TgffGenerator};
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(12), 31);
+        for _ in 0..20 {
+            let g = generator.generate();
+            let wcg = scheduled_wcg(&g);
+            let with = bind_select(&wcg, BindSelectOptions { grow_cliques: true }).unwrap();
+            let without = bind_select(
+                &wcg,
+                BindSelectOptions {
+                    grow_cliques: false,
+                },
+            )
+            .unwrap();
+            assert!(covers_all(&with, &g));
+            assert!(covers_all(&without, &g));
+            assert!(total_area(&with) <= total_area(&without));
+        }
+    }
+
+    #[test]
+    fn every_instance_clique_is_time_compatible() {
+        use mwl_tgff::{TgffConfig, TgffGenerator};
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(15), 7);
+        for _ in 0..10 {
+            let g = generator.generate();
+            let wcg = scheduled_wcg(&g);
+            let instances = bind_select(&wcg, BindSelectOptions::default()).unwrap();
+            assert!(covers_all(&instances, &g));
+            for inst in &instances {
+                assert!(wcg.is_chain(inst.ops()), "instance ops must form a chain");
+                for &op in inst.ops() {
+                    assert!(inst.resource().covers(g.operation(op).shape()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncoverable_operation_is_reported() {
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(8, 8));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let mut wcg = WordlengthCompatibilityGraph::new(&g, &cost);
+        let upper = wcg.upper_bound_latencies();
+        let schedule = asap(&g, &upper);
+        // Delete every edge of the only operation.
+        for r in wcg.resources_for(x) {
+            wcg.delete_edge(x, r);
+        }
+        wcg.attach_schedule(&schedule, &upper);
+        let err = bind_select(&wcg, BindSelectOptions::default()).unwrap_err();
+        assert_eq!(err, AllocError::UncoverableOperation(x));
+    }
+}

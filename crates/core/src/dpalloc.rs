@@ -1,0 +1,565 @@
+//! Algorithm *DPAlloc*: the top-level iterative-refinement heuristic.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mwl_model::{CostModel, Cycles, ResourceClass, SequencingGraph};
+use mwl_sched::{
+    critical_path_length, scheduling_set, ListScheduler, OpLatencies, SchedError,
+    SchedulePriority, SchedulingSetBound,
+};
+use mwl_wcg::WordlengthCompatibilityGraph;
+
+use crate::bind::{bind_select, BindSelectOptions};
+use crate::datapath::Datapath;
+use crate::error::AllocError;
+use crate::refine::select_refinement_op;
+
+/// How the allocator chooses the operation whose wordlength information is
+/// refined when the latency constraint is violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RefinementPolicy {
+    /// The paper's rule: pick from the bound critical path the candidate that
+    /// loses the smallest proportion of wordlength edges.
+    #[default]
+    BoundCriticalPath,
+    /// Ablation: refine the first (lowest-id) operation that can still be
+    /// refined, ignoring criticality.
+    FirstRefinable,
+}
+
+/// Configuration of [`DpAllocator`].
+#[derive(Debug, Clone)]
+pub struct AllocConfig {
+    /// The user-specified overall latency constraint `λ` in control steps.
+    pub latency_constraint: Cycles,
+    /// Optional per-class resource bounds `N_y`.  When `None` (the default)
+    /// the allocator searches for minimal bounds itself, starting from one
+    /// unit per class and escalating only when necessary.
+    pub resource_bounds: Option<BTreeMap<ResourceClass, usize>>,
+    /// Ready-list priority used by the list scheduler.
+    pub priority: SchedulePriority,
+    /// Binding options (clique growth on/off).
+    pub bind_options: BindSelectOptions,
+    /// Refinement candidate selection policy.
+    pub refinement: RefinementPolicy,
+    /// Safety budget on the number of schedule/bind/refine iterations per
+    /// resource-bound configuration.
+    pub max_iterations: usize,
+}
+
+impl AllocConfig {
+    /// Creates a configuration with the given latency constraint and the
+    /// paper's default behaviour everywhere else.
+    #[must_use]
+    pub fn new(latency_constraint: Cycles) -> Self {
+        AllocConfig {
+            latency_constraint,
+            resource_bounds: None,
+            priority: SchedulePriority::CriticalPath,
+            bind_options: BindSelectOptions::default(),
+            refinement: RefinementPolicy::default(),
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Sets explicit per-class resource bounds `N_y`.
+    #[must_use]
+    pub fn with_resource_bounds(mut self, bounds: BTreeMap<ResourceClass, usize>) -> Self {
+        self.resource_bounds = Some(bounds);
+        self
+    }
+
+    /// Sets the list-scheduling priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: SchedulePriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Enables or disables the BindSelect clique-growth step.
+    #[must_use]
+    pub fn with_clique_growth(mut self, enabled: bool) -> Self {
+        self.bind_options.grow_cliques = enabled;
+        self
+    }
+
+    /// Sets the refinement policy.
+    #[must_use]
+    pub fn with_refinement(mut self, policy: RefinementPolicy) -> Self {
+        self.refinement = policy;
+        self
+    }
+}
+
+/// Statistics gathered while allocating, returned by
+/// [`DpAllocator::allocate_with_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocOutcome {
+    /// The feasible datapath.
+    pub datapath: Datapath,
+    /// Number of wordlength-refinement iterations performed.
+    pub refinements: usize,
+    /// Number of times the per-class resource bounds had to be escalated
+    /// (always 0 when bounds were supplied by the user).
+    pub bound_escalations: usize,
+    /// The per-class resource bounds in effect for the returned solution.
+    pub resource_bounds: BTreeMap<ResourceClass, usize>,
+}
+
+/// The heuristic allocator (`Algorithm DPAlloc` in the paper).
+#[derive(Debug)]
+pub struct DpAllocator<'a> {
+    cost: &'a dyn CostModel,
+    config: AllocConfig,
+}
+
+enum InnerFailure {
+    /// The current bounds admit no feasible solution; escalate the bound of
+    /// this class if allowed.
+    NeedMoreResources(ResourceClass),
+    /// A hard error independent of the bounds.
+    Fatal(AllocError),
+}
+
+impl<'a> DpAllocator<'a> {
+    /// Creates an allocator over the given cost model and configuration.
+    #[must_use]
+    pub fn new(cost: &'a dyn CostModel, config: AllocConfig) -> Self {
+        DpAllocator { cost, config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &AllocConfig {
+        &self.config
+    }
+
+    /// Runs the heuristic and returns the allocated datapath.
+    ///
+    /// # Errors
+    ///
+    /// * [`AllocError::LatencyUnachievable`] when `λ` is below the graph's
+    ///   critical path even with every operation at its fastest wordlength;
+    /// * [`AllocError::InfeasibleResourceBounds`] when user-supplied bounds
+    ///   admit no solution;
+    /// * [`AllocError::UncoverableOperation`] /
+    ///   [`AllocError::Schedule`] for malformed inputs.
+    pub fn allocate(&self, graph: &SequencingGraph) -> Result<Datapath, AllocError> {
+        self.allocate_with_stats(graph).map(|o| o.datapath)
+    }
+
+    /// Runs the heuristic and additionally reports iteration statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`allocate`](Self::allocate).
+    pub fn allocate_with_stats(&self, graph: &SequencingGraph) -> Result<AllocOutcome, AllocError> {
+        let native = OpLatencies::from_fn(graph, |op| self.cost.native_latency(op.shape()));
+        let minimum = critical_path_length(graph, &native);
+        if self.config.latency_constraint < minimum {
+            return Err(AllocError::LatencyUnachievable {
+                constraint: self.config.latency_constraint,
+                minimum,
+            });
+        }
+
+        // Per-class operation counts bound the escalation.
+        let mut class_ops: BTreeMap<ResourceClass, usize> = BTreeMap::new();
+        for op in graph.operations() {
+            *class_ops
+                .entry(ResourceClass::for_kind(op.kind()))
+                .or_insert(0) += 1;
+        }
+
+        let user_bounds = self.config.resource_bounds.clone();
+        let mut bounds: BTreeMap<ResourceClass, usize> = match &user_bounds {
+            Some(b) => b.clone(),
+            None => class_ops.keys().map(|&c| (c, 1)).collect(),
+        };
+
+        let mut escalations = 0usize;
+        let mut total_refinements = 0usize;
+        let max_escalations: usize = class_ops.values().sum::<usize>() + 1;
+
+        for _ in 0..=max_escalations {
+            match self.try_with_bounds(graph, &bounds, &mut total_refinements) {
+                Ok(datapath) => {
+                    return Ok(AllocOutcome {
+                        datapath,
+                        refinements: total_refinements,
+                        bound_escalations: escalations,
+                        resource_bounds: bounds,
+                    })
+                }
+                Err(InnerFailure::Fatal(e)) => return Err(e),
+                Err(InnerFailure::NeedMoreResources(class)) => {
+                    if user_bounds.is_some() {
+                        return Err(AllocError::InfeasibleResourceBounds { class });
+                    }
+                    let cap = class_ops.get(&class).copied().unwrap_or(1);
+                    let entry = bounds.entry(class).or_insert(1);
+                    if *entry >= cap {
+                        // Escalate some other class that is still below cap.
+                        let alternative = bounds
+                            .iter()
+                            .find(|(c, &b)| b < class_ops.get(c).copied().unwrap_or(1))
+                            .map(|(&c, _)| c);
+                        match alternative {
+                            Some(c) => {
+                                *bounds.get_mut(&c).expect("class present") += 1;
+                            }
+                            None => {
+                                return Err(AllocError::InfeasibleResourceBounds { class });
+                            }
+                        }
+                    } else {
+                        *entry += 1;
+                    }
+                    escalations += 1;
+                }
+            }
+        }
+        Err(AllocError::IterationBudgetExceeded {
+            budget: self.config.max_iterations,
+        })
+    }
+
+    /// One full run of the paper's `while` loop for a fixed resource-bound
+    /// vector: schedule with upper bounds, bind, check the constraint,
+    /// refine, repeat.
+    fn try_with_bounds(
+        &self,
+        graph: &SequencingGraph,
+        bounds: &BTreeMap<ResourceClass, usize>,
+        refinements: &mut usize,
+    ) -> Result<Datapath, InnerFailure> {
+        let mut wcg = WordlengthCompatibilityGraph::new(graph, self.cost);
+        for op in graph.op_ids() {
+            if wcg.resources_for(op).is_empty() {
+                return Err(InnerFailure::Fatal(AllocError::UncoverableOperation(op)));
+            }
+        }
+        let op_classes: Vec<ResourceClass> = graph
+            .operations()
+            .iter()
+            .map(|o| ResourceClass::for_kind(o.kind()))
+            .collect();
+
+        for _ in 0..self.config.max_iterations {
+            let upper = wcg.upper_bound_latencies();
+
+            // Scheduling set S and the Eqn (3) constraint.
+            let candidate_lists = wcg.op_candidate_lists();
+            let members = scheduling_set(&candidate_lists);
+            let member_classes: Vec<ResourceClass> =
+                members.iter().map(|&r| wcg.resource(r).class()).collect();
+            let op_members: Vec<Vec<usize>> = graph
+                .op_ids()
+                .map(|o| {
+                    members
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &r)| wcg.has_edge(o, r))
+                        .map(|(j, _)| j)
+                        .collect()
+                })
+                .collect();
+            let constraint = SchedulingSetBound::new(
+                op_classes.clone(),
+                op_members,
+                member_classes,
+                bounds.clone(),
+            );
+
+            let schedule = match ListScheduler::new(self.config.priority)
+                .schedule(graph, &upper, constraint)
+            {
+                Ok(s) => s,
+                Err(SchedError::InfeasibleResourceBound { op }) => {
+                    return Err(InnerFailure::NeedMoreResources(op_classes[op.index()]));
+                }
+                Err(e) => return Err(InnerFailure::Fatal(e.into())),
+            };
+
+            wcg.attach_schedule(&schedule, &upper);
+            let instances = bind_select(&wcg, self.config.bind_options)
+                .map_err(InnerFailure::Fatal)?;
+            let datapath = Datapath::assemble(schedule.clone(), instances, self.cost);
+
+            if datapath.latency() <= self.config.latency_constraint {
+                return Ok(datapath);
+            }
+
+            // Constraint violated: refine wordlength information.
+            let binding: Vec<usize> = graph.op_ids().map(|o| datapath.instance_of(o)).collect();
+            let bound_latencies = datapath.bound_latencies(self.cost);
+            let chosen = match self.config.refinement {
+                RefinementPolicy::BoundCriticalPath => select_refinement_op(
+                    graph,
+                    &wcg,
+                    &schedule,
+                    &upper,
+                    &bound_latencies,
+                    &binding,
+                    self.config.latency_constraint,
+                ),
+                RefinementPolicy::FirstRefinable => {
+                    graph.op_ids().find(|&o| wcg.refinable(o))
+                }
+            };
+            match chosen {
+                Some(op) => {
+                    *refinements += 1;
+                    wcg.refine_op(op);
+                    wcg.detach_schedule();
+                }
+                None => {
+                    // Fully refined and still over the constraint: more
+                    // resources are needed.  Escalate the class whose
+                    // operations are the most serialised under the current
+                    // bounds.
+                    let class = most_contended_class(graph, &bound_latencies, bounds);
+                    return Err(InnerFailure::NeedMoreResources(class));
+                }
+            }
+        }
+        Err(InnerFailure::Fatal(AllocError::IterationBudgetExceeded {
+            budget: self.config.max_iterations,
+        }))
+    }
+}
+
+/// The class with the largest total workload per allowed resource — the one
+/// whose bound most limits the achievable latency.
+fn most_contended_class(
+    graph: &SequencingGraph,
+    latencies: &OpLatencies,
+    bounds: &BTreeMap<ResourceClass, usize>,
+) -> ResourceClass {
+    let mut work: BTreeMap<ResourceClass, u64> = BTreeMap::new();
+    for op in graph.op_ids() {
+        let class = ResourceClass::for_kind(graph.operation(op).kind());
+        *work.entry(class).or_insert(0) += u64::from(latencies.get(op));
+    }
+    work.into_iter()
+        .max_by(|a, b| {
+            let pa = a.1 as f64 / *bounds.get(&a.0).unwrap_or(&1).max(&1) as f64;
+            let pb = b.1 as f64 / *bounds.get(&b.0).unwrap_or(&1).max(&1) as f64;
+            pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(c, _)| c)
+        .unwrap_or(ResourceClass::Adder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    fn cost() -> SonicCostModel {
+        SonicCostModel::default()
+    }
+
+    fn lambda_min(graph: &SequencingGraph) -> Cycles {
+        let c = cost();
+        let native = OpLatencies::from_fn(graph, |op| c.native_latency(op.shape()));
+        critical_path_length(graph, &native)
+    }
+
+    /// A small graph with sharing opportunities: two independent
+    /// multiplications of different sizes feeding an adder.
+    fn sample() -> SequencingGraph {
+        let mut b = SequencingGraphBuilder::new();
+        let m1 = b.add_operation(OpShape::multiplier(8, 8));
+        let m2 = b.add_operation(OpShape::multiplier(16, 12));
+        let a = b.add_operation(OpShape::adder(24));
+        b.add_dependency(m1, a).unwrap();
+        b.add_dependency(m2, a).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn allocation_respects_latency_constraint() {
+        let g = sample();
+        let c = cost();
+        let lmin = lambda_min(&g);
+        for slack in [0, 2, 5, 10] {
+            let dp = DpAllocator::new(&c, AllocConfig::new(lmin + slack))
+                .allocate(&g)
+                .unwrap();
+            assert!(dp.latency() <= lmin + slack);
+            dp.validate(&g, &c).unwrap();
+        }
+    }
+
+    #[test]
+    fn unachievable_constraint_is_rejected() {
+        let g = sample();
+        let c = cost();
+        let lmin = lambda_min(&g);
+        let err = DpAllocator::new(&c, AllocConfig::new(lmin - 1))
+            .allocate(&g)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::LatencyUnachievable {
+                constraint: lmin - 1,
+                minimum: lmin
+            }
+        );
+    }
+
+    #[test]
+    fn relaxed_constraint_shares_multiplier() {
+        // With plenty of slack the two multiplications share one large
+        // multiplier; with the minimum latency they need two.
+        let g = sample();
+        let c = cost();
+        let lmin = lambda_min(&g);
+        let tight = DpAllocator::new(&c, AllocConfig::new(lmin))
+            .allocate(&g)
+            .unwrap();
+        let relaxed = DpAllocator::new(&c, AllocConfig::new(lmin + 8))
+            .allocate(&g)
+            .unwrap();
+        assert!(relaxed.area() <= tight.area());
+        let mul_instances = |dp: &Datapath| {
+            dp.instances()
+                .iter()
+                .filter(|i| i.resource().class() == ResourceClass::Multiplier)
+                .count()
+        };
+        assert_eq!(mul_instances(&relaxed), 1);
+        assert!(mul_instances(&tight) >= 1);
+    }
+
+    #[test]
+    fn stats_report_bounds_and_refinements() {
+        let g = sample();
+        let c = cost();
+        let lmin = lambda_min(&g);
+        let outcome = DpAllocator::new(&c, AllocConfig::new(lmin))
+            .allocate_with_stats(&g)
+            .unwrap();
+        assert!(outcome.resource_bounds.contains_key(&ResourceClass::Multiplier));
+        outcome.datapath.validate(&g, &c).unwrap();
+        // A tight constraint requires at least one refinement or escalation.
+        assert!(outcome.refinements + outcome.bound_escalations > 0);
+    }
+
+    #[test]
+    fn user_bounds_are_respected_or_rejected() {
+        let g = sample();
+        let c = cost();
+        let lmin = lambda_min(&g);
+        // Generous bounds: fine.
+        let generous = BTreeMap::from([(ResourceClass::Multiplier, 2), (ResourceClass::Adder, 1)]);
+        let dp = DpAllocator::new(
+            &c,
+            AllocConfig::new(lmin).with_resource_bounds(generous.clone()),
+        )
+        .allocate(&g)
+        .unwrap();
+        dp.validate(&g, &c).unwrap();
+        assert!(
+            dp.instances()
+                .iter()
+                .filter(|i| i.resource().class() == ResourceClass::Multiplier)
+                .count()
+                <= 2
+        );
+        // One multiplier at the minimum latency: infeasible (the two
+        // multiplications cannot serialise within λ_min).
+        let stingy = BTreeMap::from([(ResourceClass::Multiplier, 1), (ResourceClass::Adder, 1)]);
+        let err = DpAllocator::new(&c, AllocConfig::new(lmin).with_resource_bounds(stingy))
+            .allocate(&g)
+            .unwrap_err();
+        assert!(matches!(err, AllocError::InfeasibleResourceBounds { .. }));
+    }
+
+    #[test]
+    fn single_operation_graph() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(25, 25));
+        let g = b.build().unwrap();
+        let c = cost();
+        let dp = DpAllocator::new(&c, AllocConfig::new(7)).allocate(&g).unwrap();
+        assert_eq!(dp.num_instances(), 1);
+        assert_eq!(dp.area(), 625);
+        assert_eq!(dp.latency(), 7);
+        dp.validate(&g, &c).unwrap();
+    }
+
+    #[test]
+    fn random_graphs_always_validate_and_meet_constraint() {
+        let c = cost();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 2025);
+        for i in 0..15 {
+            let g = generator.generate();
+            let lmin = lambda_min(&g);
+            let relax = (i % 4) as u32 * 2;
+            let config = AllocConfig::new(lmin + relax);
+            let dp = DpAllocator::new(&c, config).allocate(&g).unwrap();
+            dp.validate(&g, &c).unwrap();
+            assert!(dp.latency() <= lmin + relax);
+        }
+    }
+
+    #[test]
+    fn refinement_policies_both_produce_valid_solutions() {
+        let c = cost();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(8), 404);
+        for _ in 0..5 {
+            let g = generator.generate();
+            let lmin = lambda_min(&g);
+            for policy in [
+                RefinementPolicy::BoundCriticalPath,
+                RefinementPolicy::FirstRefinable,
+            ] {
+                let dp = DpAllocator::new(
+                    &c,
+                    AllocConfig::new(lmin + 2).with_refinement(policy),
+                )
+                .allocate(&g)
+                .unwrap();
+                dp.validate(&g, &c).unwrap();
+                assert!(dp.latency() <= lmin + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn growth_disabled_still_valid_never_cheaper() {
+        let c = cost();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 91);
+        for _ in 0..8 {
+            let g = generator.generate();
+            let lam = lambda_min(&g) + 3;
+            let with = DpAllocator::new(&c, AllocConfig::new(lam))
+                .allocate(&g)
+                .unwrap();
+            let without = DpAllocator::new(&c, AllocConfig::new(lam).with_clique_growth(false))
+                .allocate(&g)
+                .unwrap();
+            with.validate(&g, &c).unwrap();
+            without.validate(&g, &c).unwrap();
+        }
+    }
+
+    #[test]
+    fn config_accessors() {
+        let c = cost();
+        let config = AllocConfig::new(9)
+            .with_priority(SchedulePriority::InputOrder)
+            .with_clique_growth(false)
+            .with_refinement(RefinementPolicy::FirstRefinable);
+        let alloc = DpAllocator::new(&c, config);
+        assert_eq!(alloc.config().latency_constraint, 9);
+        assert_eq!(alloc.config().priority, SchedulePriority::InputOrder);
+        assert!(!alloc.config().bind_options.grow_cliques);
+        assert_eq!(alloc.config().refinement, RefinementPolicy::FirstRefinable);
+    }
+}

@@ -1,0 +1,250 @@
+//! Error types for datapath allocation.
+
+use std::error::Error;
+use std::fmt;
+
+use mwl_model::{Cycles, OpId, ResourceClass};
+use mwl_sched::SchedError;
+
+/// Errors produced by the allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// The latency constraint is smaller than the critical path of the graph
+    /// even when every operation uses its fastest (native) implementation.
+    LatencyUnachievable {
+        /// The requested overall latency constraint `λ`.
+        constraint: Cycles,
+        /// The minimum achievable latency `λ_min`.
+        minimum: Cycles,
+    },
+    /// The user-supplied resource bounds admit no schedule meeting the
+    /// latency constraint.
+    InfeasibleResourceBounds {
+        /// The resource class that could not be satisfied.
+        class: ResourceClass,
+    },
+    /// An operation has no compatible resource type at all (cannot occur for
+    /// graphs built through [`mwl_model::SequencingGraphBuilder`] with the
+    /// standard resource-set extraction).
+    UncoverableOperation(OpId),
+    /// A scheduling error that does not correspond to a refinable situation.
+    Schedule(SchedError),
+    /// The allocator exceeded its iteration budget (indicates an internal
+    /// logic error; the refinement loop is finite by construction).
+    IterationBudgetExceeded {
+        /// The configured maximum number of refinement iterations.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::LatencyUnachievable {
+                constraint,
+                minimum,
+            } => write!(
+                f,
+                "latency constraint {constraint} is below the minimum achievable latency {minimum}"
+            ),
+            AllocError::InfeasibleResourceBounds { class } => write!(
+                f,
+                "the supplied resource bounds for class {class} admit no feasible schedule"
+            ),
+            AllocError::UncoverableOperation(op) => {
+                write!(f, "operation {op} has no compatible resource type")
+            }
+            AllocError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            AllocError::IterationBudgetExceeded { budget } => {
+                write!(f, "allocation exceeded the iteration budget of {budget}")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchedError> for AllocError {
+    fn from(e: SchedError) -> Self {
+        AllocError::Schedule(e)
+    }
+}
+
+/// Errors reported by [`crate::Datapath::validate`]: ways in which an
+/// allegedly valid datapath can violate the problem's constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidateError {
+    /// An operation is not bound to any resource instance.
+    UnboundOperation(OpId),
+    /// An operation is bound to an instance whose resource type cannot
+    /// execute it.
+    IncompatibleBinding {
+        /// The offending operation.
+        op: OpId,
+        /// The instance it is bound to.
+        instance: usize,
+    },
+    /// Two operations bound to the same instance overlap in time.
+    InstanceConflict {
+        /// First operation.
+        first: OpId,
+        /// Second operation.
+        second: OpId,
+        /// The shared instance.
+        instance: usize,
+    },
+    /// A data dependence is violated by the schedule.
+    PrecedenceViolation {
+        /// Producer operation.
+        from: OpId,
+        /// Consumer operation.
+        to: OpId,
+    },
+    /// The reported area does not match the sum of instance areas.
+    AreaMismatch {
+        /// Area reported by the datapath.
+        reported: u64,
+        /// Area recomputed from the instances.
+        recomputed: u64,
+    },
+    /// The reported latency does not match the schedule.
+    LatencyMismatch {
+        /// Latency reported by the datapath.
+        reported: Cycles,
+        /// Latency recomputed from the schedule and bindings.
+        recomputed: Cycles,
+    },
+    /// The datapath covers a different number of operations than the graph.
+    SizeMismatch {
+        /// Operations in the graph.
+        graph_ops: usize,
+        /// Operations covered by the datapath.
+        datapath_ops: usize,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnboundOperation(op) => {
+                write!(f, "operation {op} is not bound to any resource instance")
+            }
+            ValidateError::IncompatibleBinding { op, instance } => write!(
+                f,
+                "operation {op} is bound to instance {instance} which cannot execute it"
+            ),
+            ValidateError::InstanceConflict {
+                first,
+                second,
+                instance,
+            } => write!(
+                f,
+                "operations {first} and {second} overlap on instance {instance}"
+            ),
+            ValidateError::PrecedenceViolation { from, to } => {
+                write!(f, "dependence {from} -> {to} is violated by the schedule")
+            }
+            ValidateError::AreaMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "reported area {reported} differs from recomputed area {recomputed}"
+            ),
+            ValidateError::LatencyMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "reported latency {reported} differs from recomputed latency {recomputed}"
+            ),
+            ValidateError::SizeMismatch {
+                graph_ops,
+                datapath_ops,
+            } => write!(
+                f,
+                "datapath covers {datapath_ops} operations but the graph has {graph_ops}"
+            ),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_error_display_and_source() {
+        let e = AllocError::LatencyUnachievable {
+            constraint: 4,
+            minimum: 9,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.source().is_none());
+        let inner = SchedError::ZeroLatency(OpId::new(2));
+        let e: AllocError = inner.clone().into();
+        assert_eq!(e, AllocError::Schedule(inner));
+        assert!(e.source().is_some());
+        let e = AllocError::InfeasibleResourceBounds {
+            class: ResourceClass::Multiplier,
+        };
+        assert!(e.to_string().contains("multiplier"));
+        let e = AllocError::UncoverableOperation(OpId::new(7));
+        assert!(e.to_string().contains("o7"));
+        let e = AllocError::IterationBudgetExceeded { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn validate_error_display() {
+        let cases: Vec<ValidateError> = vec![
+            ValidateError::UnboundOperation(OpId::new(0)),
+            ValidateError::IncompatibleBinding {
+                op: OpId::new(1),
+                instance: 2,
+            },
+            ValidateError::InstanceConflict {
+                first: OpId::new(1),
+                second: OpId::new(2),
+                instance: 0,
+            },
+            ValidateError::PrecedenceViolation {
+                from: OpId::new(0),
+                to: OpId::new(1),
+            },
+            ValidateError::AreaMismatch {
+                reported: 10,
+                recomputed: 12,
+            },
+            ValidateError::LatencyMismatch {
+                reported: 5,
+                recomputed: 6,
+            },
+            ValidateError::SizeMismatch {
+                graph_ops: 3,
+                datapath_ops: 2,
+            },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AllocError>();
+        assert_send_sync::<ValidateError>();
+    }
+}

@@ -1,0 +1,321 @@
+//! Wordlength-information refinement (Section 2.4).
+//!
+//! When the scheduled and bound solution violates the user's latency
+//! constraint, the allocator must lower some operation's latency upper bound
+//! `L_o` by deleting its slowest compatible resource types from the
+//! wordlength compatibility graph.  The operation is chosen from the
+//! **bound critical path** `Q_b`: the critical path of the sequencing graph
+//! augmented with *binding* edges `S_b` that serialise operations sharing a
+//! resource instance back-to-back.  Among the candidates that can still
+//! finish before the constraint, the one losing the smallest proportion of
+//! wordlength edges is refined, with ties broken in favour of operations
+//! already bound to a resource faster than their upper bound.
+
+use mwl_model::{Cycles, OpId, SequencingGraph};
+use mwl_sched::{OpLatencies, Schedule};
+use mwl_wcg::WordlengthCompatibilityGraph;
+
+/// Computes the bound critical path `Q_b`.
+///
+/// The sequencing edges are augmented with `S_b = {(o1, o2) : start(o1) +
+/// ℓ(o1) = start(o2) and o1, o2 bound to the same instance}`; the returned
+/// operations are those with equal ASAP and ALAP times on the augmented graph
+/// under the bound latencies `ℓ(o)` — i.e. the operations whose latency
+/// directly determines the achieved overall latency.
+///
+/// `binding[i]` is the resource-instance index of operation `i`.
+#[must_use]
+pub fn bound_critical_path(
+    graph: &SequencingGraph,
+    schedule: &Schedule,
+    bound_latencies: &OpLatencies,
+    binding: &[usize],
+) -> Vec<OpId> {
+    let n = graph.len();
+    // Augmented successor lists.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in graph.edges() {
+        succ[e.from.index()].push(e.to.index());
+        pred[e.to.index()].push(e.from.index());
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || binding[i] != binding[j] || binding[i] == usize::MAX {
+                continue;
+            }
+            let oi = OpId::new(i as u32);
+            let oj = OpId::new(j as u32);
+            if schedule.start(oi) + bound_latencies.get(oi) == schedule.start(oj)
+                && !succ[i].contains(&j)
+            {
+                succ[i].push(j);
+                pred[j].push(i);
+            }
+        }
+    }
+
+    // Topological order of the augmented DAG (it is acyclic: both edge kinds
+    // only point forward in schedule time).
+    let order = topological_order(&succ, &pred);
+
+    // ASAP on the augmented graph.
+    let mut asap = vec![0 as Cycles; n];
+    for &v in &order {
+        let op_v = OpId::new(v as u32);
+        let _ = op_v;
+        for &p in &pred[v] {
+            let op_p = OpId::new(p as u32);
+            asap[v] = asap[v].max(asap[p] + bound_latencies.get(op_p));
+        }
+    }
+    let deadline = (0..n)
+        .map(|i| asap[i] + bound_latencies.get(OpId::new(i as u32)))
+        .max()
+        .unwrap_or(0);
+
+    // ALAP (start times) against that deadline.
+    let mut alap_end = vec![deadline; n];
+    for &v in order.iter().rev() {
+        for &s in &succ[v] {
+            let op_s = OpId::new(s as u32);
+            let succ_start = alap_end[s] - bound_latencies.get(op_s);
+            alap_end[v] = alap_end[v].min(succ_start);
+        }
+    }
+
+    (0..n)
+        .filter(|&i| {
+            let op = OpId::new(i as u32);
+            let alap_start = alap_end[i] - bound_latencies.get(op);
+            asap[i] == alap_start
+        })
+        .map(|i| OpId::new(i as u32))
+        .collect()
+}
+
+fn topological_order(succ: &[Vec<usize>], pred: &[Vec<usize>]) -> Vec<usize> {
+    let n = succ.len();
+    let mut indegree: Vec<usize> = pred.iter().map(Vec::len).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for &s in &succ[v] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "augmented graph must stay acyclic");
+    order
+}
+
+/// Selects the operation whose latency upper bound should be refined next,
+/// following the paper's candidate-selection rule, or `None` when no
+/// candidate can be refined any further.
+///
+/// * `upper_bounds` — the latency upper bounds `L_o` used in the violated
+///   schedule;
+/// * `bound_latencies` — the latencies `ℓ(o)` of the resources each operation
+///   is currently bound to;
+/// * `binding` — instance index per operation;
+/// * `constraint` — the user's overall latency constraint `λ`.
+#[must_use]
+pub fn select_refinement_op(
+    graph: &SequencingGraph,
+    wcg: &WordlengthCompatibilityGraph,
+    schedule: &Schedule,
+    upper_bounds: &OpLatencies,
+    bound_latencies: &OpLatencies,
+    binding: &[usize],
+    constraint: Cycles,
+) -> Option<OpId> {
+    let critical = bound_critical_path(graph, schedule, bound_latencies, binding);
+
+    // Candidate subset W: critical operations finishing before the
+    // constraint even at their upper-bound latency.
+    let in_window = |o: &OpId| schedule.start(*o) + upper_bounds.get(*o) <= constraint;
+    let refinable = |o: &OpId| wcg.refinable(*o);
+
+    let tier1: Vec<OpId> = critical
+        .iter()
+        .copied()
+        .filter(|o| in_window(o) && refinable(o))
+        .collect();
+    let tier2: Vec<OpId> = critical.iter().copied().filter(refinable).collect();
+    let tier3: Vec<OpId> = graph.op_ids().filter(|o| wcg.refinable(*o)).collect();
+
+    let candidates = if !tier1.is_empty() {
+        tier1
+    } else if !tier2.is_empty() {
+        tier2
+    } else {
+        tier3
+    };
+    if candidates.is_empty() {
+        return None;
+    }
+
+    // Choose the candidate losing the smallest proportion of edges in
+    // {{o1, r} ∈ H : ∃{o, r} ∈ H}; tie-break toward operations currently
+    // bound to a resource faster than their upper bound, then by id.
+    candidates
+        .into_iter()
+        .min_by(|&a, &b| {
+            let pa = deletion_proportion(wcg, a);
+            let pb = deletion_proportion(wcg, b);
+            pa.partial_cmp(&pb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    let fa = bound_latencies.get(a) < upper_bounds.get(a);
+                    let fb = bound_latencies.get(b) < upper_bounds.get(b);
+                    fb.cmp(&fa) // prefer "already bound faster" (true first)
+                })
+                .then(a.cmp(&b))
+        })
+}
+
+/// Proportion of wordlength edges incident to resources compatible with `op`
+/// that would be lost by refining `op`'s upper bound.
+fn deletion_proportion(wcg: &WordlengthCompatibilityGraph, op: OpId) -> f64 {
+    let bound = wcg.upper_bound_latency(op);
+    let resources = wcg.resources_for(op);
+    let pool: usize = resources.iter().map(|&r| wcg.ops_for(r).len()).sum();
+    let deleted: usize = resources
+        .iter()
+        .filter(|&&r| wcg.resource_latency(r) == bound)
+        .count();
+    if pool == 0 {
+        f64::INFINITY
+    } else {
+        deleted as f64 / pool as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_sched::asap;
+
+    /// Two independent multiplications bound to one shared instance, followed
+    /// by an addition that depends on the first multiplication only.
+    fn setup() -> (
+        SequencingGraph,
+        WordlengthCompatibilityGraph,
+        Schedule,
+        OpLatencies,
+        OpLatencies,
+        Vec<usize>,
+    ) {
+        let mut b = SequencingGraphBuilder::new();
+        let m0 = b.add_operation(OpShape::multiplier(8, 8));
+        let m1 = b.add_operation(OpShape::multiplier(16, 16));
+        let a = b.add_operation(OpShape::adder(20));
+        b.add_dependency(m0, a).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let mut wcg = WordlengthCompatibilityGraph::new(&g, &cost);
+        let upper = wcg.upper_bound_latencies();
+        // Serial schedule: m0 then m1 on the same instance, a after m0.
+        let schedule = Schedule::from_vec(vec![0, 4, 4]);
+        wcg.attach_schedule(&schedule, &upper);
+        // Bind both multiplications to instance 0 (16x16) and the adder to 1.
+        let binding = vec![0, 0, 1];
+        let bound = OpLatencies::from_vec(vec![4, 4, 2]);
+        let _ = m1;
+        (g, wcg, schedule, upper, bound, binding)
+    }
+
+    #[test]
+    fn bound_critical_path_includes_serialised_chain() {
+        let (g, _wcg, schedule, _upper, bound, binding) = setup();
+        let qb = bound_critical_path(&g, &schedule, &bound, &binding);
+        // The chain m0 (0..4) then m1 (4..8) on the same instance is the
+        // longest path (length 8); the adder (4..6) is not critical.
+        assert!(qb.contains(&OpId::new(0)));
+        assert!(qb.contains(&OpId::new(1)));
+        assert!(!qb.contains(&OpId::new(2)));
+    }
+
+    #[test]
+    fn bound_critical_path_without_binding_edges_is_plain_critical_path() {
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(8, 8));
+        let y = b.add_operation(OpShape::adder(16));
+        let z = b.add_operation(OpShape::adder(4));
+        b.add_dependency(x, y).unwrap();
+        let g = b.build().unwrap();
+        let lat = OpLatencies::from_vec(vec![2, 2, 2]);
+        let schedule = asap(&g, &lat);
+        // Distinct instances everywhere: no S_b edges.
+        let binding = vec![0, 1, 2];
+        let qb = bound_critical_path(&g, &schedule, &lat, &binding);
+        assert!(qb.contains(&x));
+        assert!(qb.contains(&y));
+        assert!(!qb.contains(&z));
+    }
+
+    #[test]
+    fn selects_a_critical_refinable_op_within_window() {
+        let (g, wcg, schedule, upper, bound, binding) = setup();
+        // Constraint of 8: both critical multiplications finish within 8 at
+        // their upper bounds, so both are tier-1 candidates; the small one
+        // (o0) loses a smaller proportion of edges.
+        let chosen =
+            select_refinement_op(&g, &wcg, &schedule, &upper, &bound, &binding, 8).unwrap();
+        assert_eq!(chosen, OpId::new(0));
+    }
+
+    #[test]
+    fn falls_back_to_critical_ops_outside_window() {
+        let (g, wcg, schedule, upper, bound, binding) = setup();
+        // An impossible constraint of 1: no candidate finishes in time, so
+        // the rule falls back to any refinable critical operation.
+        let chosen =
+            select_refinement_op(&g, &wcg, &schedule, &upper, &bound, &binding, 1).unwrap();
+        assert!(chosen == OpId::new(0) || chosen == OpId::new(1));
+    }
+
+    #[test]
+    fn returns_none_when_nothing_is_refinable() {
+        let (g, mut wcg, schedule, upper, bound, binding) = setup();
+        // Exhaust refinement on every operation.
+        for op in g.op_ids() {
+            while wcg.refinable(op) {
+                assert!(wcg.refine_op(op) > 0);
+            }
+        }
+        assert_eq!(
+            select_refinement_op(&g, &wcg, &schedule, &upper, &bound, &binding, 8),
+            None
+        );
+    }
+
+    #[test]
+    fn refinement_loop_reduces_upper_bound() {
+        let (g, mut wcg, schedule, upper, bound, binding) = setup();
+        let before = wcg.upper_bound_latency(OpId::new(0));
+        let chosen =
+            select_refinement_op(&g, &wcg, &schedule, &upper, &bound, &binding, 8).unwrap();
+        assert!(wcg.refine_op(chosen) > 0);
+        assert!(wcg.upper_bound_latency(chosen) < before.max(2));
+        let _ = g;
+    }
+
+    #[test]
+    fn single_op_graph_critical_path() {
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::adder(8));
+        let g = b.build().unwrap();
+        let lat = OpLatencies::uniform(&g, 2);
+        let schedule = Schedule::from_vec(vec![0]);
+        let qb = bound_critical_path(&g, &schedule, &lat, &[0]);
+        assert_eq!(qb, vec![x]);
+    }
+}

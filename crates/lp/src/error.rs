@@ -1,0 +1,71 @@
+//! Error type for the LP/ILP solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LP and branch-and-bound solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The branch-and-bound search exceeded its wall-clock time limit before
+    /// proving optimality (an incumbent may still exist; see
+    /// [`crate::MipSolution`]).
+    TimeLimit,
+    /// A constraint or objective references a variable that does not belong
+    /// to the problem.
+    UnknownVariable(usize),
+    /// A variable was declared with an empty domain (lower bound above upper
+    /// bound).
+    EmptyDomain {
+        /// The offending variable index.
+        var: usize,
+    },
+    /// The simplex iteration limit was exceeded (numerical cycling guard).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "the problem is infeasible"),
+            LpError::Unbounded => write!(f, "the objective is unbounded"),
+            LpError::TimeLimit => write!(f, "the time limit was reached before proving optimality"),
+            LpError::UnknownVariable(v) => write!(f, "unknown variable index {v}"),
+            LpError::EmptyDomain { var } => {
+                write!(f, "variable {var} has an empty domain")
+            }
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            LpError::Infeasible,
+            LpError::Unbounded,
+            LpError::TimeLimit,
+            LpError::UnknownVariable(3),
+            LpError::EmptyDomain { var: 1 },
+            LpError::IterationLimit,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

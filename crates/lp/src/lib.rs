@@ -1,0 +1,48 @@
+//! Linear-programming and integer-programming substrate.
+//!
+//! The DATE 2001 paper compares its heuristic against the *optimal* solution
+//! of the combined scheduling/binding/wordlength-selection problem, obtained
+//! by solving an ILP with `lp_solve`.  This crate provides the equivalent
+//! machinery built from scratch:
+//!
+//! * [`LpProblem`] — a small modelling API for linear programs with
+//!   continuous and integer variables, bounds and linear constraints;
+//! * a dense **two-phase primal simplex** solver for the LP relaxation
+//!   ([`LpProblem::solve_relaxation`]);
+//! * a **branch-and-bound** integer solver with wall-clock time limits
+//!   ([`LpProblem::solve`], [`BranchBoundOptions`]).
+//!
+//! The solver is deliberately simple (dense tableau, best-bound node
+//! selection, most-fractional branching) but exact; its exponential worst
+//! case is precisely the behaviour the paper's Figure 5 and Table 2
+//! demonstrate.
+//!
+//! # Example
+//!
+//! ```
+//! use mwl_lp::{LpProblem, Sense, VarKind};
+//!
+//! # fn main() -> Result<(), mwl_lp::LpError> {
+//! // maximise 3x + 2y  s.t.  x + y <= 4,  x <= 2,  x,y integer >= 0
+//! let mut lp = LpProblem::new(Sense::Maximize);
+//! let x = lp.add_var(VarKind::Integer, 3.0, 0.0, Some(2.0));
+//! let y = lp.add_var(VarKind::Integer, 2.0, 0.0, None);
+//! lp.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+//! let solution = lp.solve(Default::default())?;
+//! assert_eq!(solution.objective.round() as i64, 10); // x = 2, y = 2
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod branch_bound;
+mod error;
+mod model;
+mod simplex;
+
+pub use branch_bound::{BranchBoundOptions, MipSolution, SolveStatus};
+pub use error::LpError;
+pub use model::{Constraint, ConstraintOp, LpProblem, LpSolution, Sense, VarId, VarKind};

@@ -1,0 +1,421 @@
+//! Dense two-phase primal simplex.
+//!
+//! The solver operates on the minimisation form of the problem.  General
+//! (finite) lower bounds are handled by shifting variables, upper bounds by
+//! additional constraint rows; phase 1 drives artificial variables out of the
+//! basis, phase 2 optimises the shifted objective.  Entering variables are
+//! chosen by the most negative reduced cost with a Bland's-rule fallback to
+//! guarantee termination.
+
+use crate::error::LpError;
+use crate::model::{ConstraintOp, LpProblem, LpSolution};
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP relaxation of `problem`, optionally overriding variable
+/// bounds (per-variable `(lower, upper)` replacements).
+pub(crate) fn solve_simplex(
+    problem: &LpProblem,
+    bound_overrides: Option<&[Option<(f64, Option<f64>)>]>,
+) -> Result<LpSolution, LpError> {
+    let n = problem.vars.len();
+    let objective = problem.minimize_objective();
+
+    // Effective bounds.
+    let mut lower = vec![0.0f64; n];
+    let mut upper: Vec<Option<f64>> = vec![None; n];
+    for (i, v) in problem.vars.iter().enumerate() {
+        lower[i] = v.lower;
+        upper[i] = v.upper;
+    }
+    if let Some(overrides) = bound_overrides {
+        for (i, o) in overrides.iter().enumerate() {
+            if let Some((l, u)) = o {
+                lower[i] = *l;
+                upper[i] = *u;
+            }
+        }
+    }
+    for i in 0..n {
+        if let Some(u) = upper[i] {
+            if u < lower[i] - EPS {
+                return Err(LpError::Infeasible);
+            }
+        }
+    }
+
+    // Shifted problem: x = lower + x', x' >= 0.
+    // Build rows: original constraints (rhs adjusted), then upper-bound rows.
+    struct Row {
+        coeffs: Vec<f64>,
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in &problem.constraints {
+        let mut coeffs = vec![0.0; n];
+        let mut shift = 0.0;
+        for &(v, a) in &c.terms {
+            coeffs[v.0] += a;
+            shift += a * lower[v.0];
+        }
+        rows.push(Row {
+            coeffs,
+            op: c.op,
+            rhs: c.rhs - shift,
+        });
+    }
+    for i in 0..n {
+        if let Some(u) = upper[i] {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push(Row {
+                coeffs,
+                op: ConstraintOp::Le,
+                rhs: u - lower[i],
+            });
+        }
+    }
+
+    // Normalise rows to nonnegative rhs.
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            for c in &mut row.coeffs {
+                *c = -*c;
+            }
+            row.rhs = -row.rhs;
+            row.op = match row.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural n][slack/surplus][artificial]; count them.
+    let mut num_slack = 0;
+    let mut num_artificial = 0;
+    for row in &rows {
+        match row.op {
+            ConstraintOp::Le => num_slack += 1,
+            ConstraintOp::Ge => {
+                num_slack += 1;
+                num_artificial += 1;
+            }
+            ConstraintOp::Eq => num_artificial += 1,
+        }
+    }
+    let total = n + num_slack + num_artificial;
+    let artificial_start = n + num_slack;
+
+    // Tableau: m rows of (total + 1) columns (last = rhs).
+    let mut a = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    {
+        let mut slack_idx = n;
+        let mut art_idx = artificial_start;
+        for (i, row) in rows.iter().enumerate() {
+            a[i][..n].copy_from_slice(&row.coeffs);
+            a[i][total] = row.rhs;
+            match row.op {
+                ConstraintOp::Le => {
+                    a[i][slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[i][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    a[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+                ConstraintOp::Eq => {
+                    a[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+    }
+
+    let iteration_limit = 200 * (m + total) + 1000;
+
+    // Phase 1: minimise the sum of artificial variables.
+    if num_artificial > 0 {
+        let mut cost = vec![0.0f64; total];
+        for c in cost.iter_mut().take(total).skip(artificial_start) {
+            *c = 1.0;
+        }
+        let phase1_obj = run_phase(&mut a, &mut basis, &cost, total, iteration_limit, None)?;
+        if phase1_obj > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive artificial variables out of the basis where possible.
+        for i in 0..m {
+            if basis[i] >= artificial_start {
+                if let Some(j) = (0..artificial_start).find(|&j| a[i][j].abs() > EPS) {
+                    pivot(&mut a, &mut basis, i, j, total);
+                }
+            }
+        }
+    }
+
+    // Phase 2: original (shifted) objective; artificial columns barred.
+    let mut cost = vec![0.0f64; total];
+    cost[..n].copy_from_slice(&objective);
+    let barred = if num_artificial > 0 {
+        Some(artificial_start)
+    } else {
+        None
+    };
+    let obj_value = run_phase(&mut a, &mut basis, &cost, total, iteration_limit, barred)?;
+
+    // Extract values of the structural variables (un-shift).
+    let mut values = lower;
+    for i in 0..m {
+        if basis[i] < n {
+            values[basis[i]] += a[i][total];
+        }
+    }
+    // Objective of the original problem = shifted objective + c·lower.
+    let offset: f64 = problem
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, _)| problem.minimize_objective()[i] * (values[i] - values[i]))
+        .sum::<f64>();
+    let _ = offset;
+    let fixed_part: f64 = (0..n)
+        .map(|i| objective[i] * (values[i]))
+        .sum::<f64>();
+    // `obj_value` is the optimal value of the shifted objective; recomputing
+    // from the extracted values is equivalent and avoids sign bookkeeping.
+    let _ = obj_value;
+
+    Ok(LpSolution {
+        objective: problem.external_objective(fixed_part),
+        values,
+    })
+}
+
+/// Runs simplex iterations for one phase, returning the phase objective.
+fn run_phase(
+    a: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    total: usize,
+    iteration_limit: usize,
+    barred_from: Option<usize>,
+) -> Result<f64, LpError> {
+    let m = a.len();
+    // Reduced-cost row: z[j] = cost[j] - sum_i cost[basis[i]] * a[i][j].
+    let mut z = vec![0.0f64; total + 1];
+    for j in 0..=total {
+        let mut v = if j < total { cost[j] } else { 0.0 };
+        for i in 0..m {
+            v -= cost[basis[i]] * a[i][j];
+        }
+        z[j] = v;
+    }
+
+    let allowed = |j: usize| barred_from.map_or(true, |b| j < b);
+
+    let mut iterations = 0usize;
+    let mut bland = false;
+    loop {
+        iterations += 1;
+        if iterations > iteration_limit {
+            return Err(LpError::IterationLimit);
+        }
+        if iterations > iteration_limit / 2 {
+            bland = true;
+        }
+        // Entering column.
+        let entering = if bland {
+            (0..total).find(|&j| allowed(j) && z[j] < -EPS)
+        } else {
+            (0..total)
+                .filter(|&j| allowed(j) && z[j] < -EPS)
+                .min_by(|&p, &q| z[p].partial_cmp(&z[q]).unwrap_or(std::cmp::Ordering::Equal))
+        };
+        let Some(entering) = entering else {
+            // Optimal for this phase.
+            let obj = -z[total];
+            return Ok(obj);
+        };
+        // Ratio test.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if a[i][entering] > EPS {
+                let ratio = a[i][total] / a[i][entering];
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leaving.map_or(true, |l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(leaving) = leaving else {
+            return Err(LpError::Unbounded);
+        };
+        pivot_with_z(a, basis, &mut z, leaving, entering, total);
+    }
+}
+
+fn pivot(a: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let m = a.len();
+    let p = a[row][col];
+    for j in 0..=total {
+        a[row][j] /= p;
+    }
+    for i in 0..m {
+        if i != row && a[i][col].abs() > EPS {
+            let factor = a[i][col];
+            for j in 0..=total {
+                a[i][j] -= factor * a[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+fn pivot_with_z(
+    a: &mut [Vec<f64>],
+    basis: &mut [usize],
+    z: &mut [f64],
+    row: usize,
+    col: usize,
+    total: usize,
+) {
+    pivot(a, basis, row, col, total);
+    let factor = z[col];
+    if factor.abs() > EPS {
+        for j in 0..=total {
+            z[j] -= factor * a[row][j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{LpProblem, Sense, VarKind};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6).
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(VarKind::Continuous, 3.0, 0.0, None);
+        let y = lp.add_var(VarKind::Continuous, 5.0, 0.0, None);
+        lp.add_le(&[(x, 1.0)], 4.0);
+        lp.add_le(&[(y, 2.0)], 12.0);
+        lp.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let s = lp.solve_relaxation().unwrap();
+        approx(s.objective, 36.0);
+        approx(s.values[x.index()], 2.0);
+        approx(s.values[y.index()], 6.0);
+    }
+
+    #[test]
+    fn minimisation_with_ge_constraints() {
+        // min 0.12x + 0.15y s.t. 60x + 60y >= 300, 12x + 6y >= 36, 10x + 30y >= 90
+        // classic diet problem: optimum 0.66 at (3, 2).
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(VarKind::Continuous, 0.12, 0.0, None);
+        let y = lp.add_var(VarKind::Continuous, 0.15, 0.0, None);
+        lp.add_ge(&[(x, 60.0), (y, 60.0)], 300.0);
+        lp.add_ge(&[(x, 12.0), (y, 6.0)], 36.0);
+        lp.add_ge(&[(x, 10.0), (y, 30.0)], 90.0);
+        let s = lp.solve_relaxation().unwrap();
+        approx(s.objective, 0.66);
+        approx(s.values[x.index()], 3.0);
+        approx(s.values[y.index()], 2.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y = 10, x - y = 2 -> x=6, y=4, obj=14.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(VarKind::Continuous, 1.0, 0.0, None);
+        let y = lp.add_var(VarKind::Continuous, 2.0, 0.0, None);
+        lp.add_eq(&[(x, 1.0), (y, 1.0)], 10.0);
+        lp.add_eq(&[(x, 1.0), (y, -1.0)], 2.0);
+        let s = lp.solve_relaxation().unwrap();
+        approx(s.objective, 14.0);
+        approx(s.values[x.index()], 6.0);
+        approx(s.values[y.index()], 4.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(VarKind::Continuous, 1.0, 0.0, None);
+        lp.add_le(&[(x, 1.0)], 1.0);
+        lp.add_ge(&[(x, 1.0)], 5.0);
+        assert_eq!(lp.solve_relaxation(), Err(crate::LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(VarKind::Continuous, 1.0, 0.0, None);
+        let y = lp.add_var(VarKind::Continuous, 1.0, 0.0, None);
+        lp.add_ge(&[(x, 1.0), (y, -1.0)], 0.0);
+        assert_eq!(lp.solve_relaxation(), Err(crate::LpError::Unbounded));
+    }
+
+    #[test]
+    fn variable_bounds_are_respected() {
+        // max x + y with 1 <= x <= 3, 0 <= y <= 2, x + y <= 4 -> 4.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(VarKind::Continuous, 1.0, 1.0, Some(3.0));
+        let y = lp.add_var(VarKind::Continuous, 1.0, 0.0, Some(2.0));
+        lp.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        let s = lp.solve_relaxation().unwrap();
+        approx(s.objective, 4.0);
+        assert!(s.values[x.index()] >= 1.0 - 1e-9);
+        assert!(s.values[x.index()] <= 3.0 + 1e-9);
+        assert!(s.values[y.index()] <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn lower_bounds_shift_objective_correctly() {
+        // min x with x >= 5 -> 5.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(VarKind::Continuous, 1.0, 5.0, None);
+        let s = lp.solve_relaxation().unwrap();
+        approx(s.objective, 5.0);
+        approx(s.values[x.index()], 5.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Highly degenerate: many redundant constraints through the origin.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(VarKind::Continuous, 1.0, 0.0, None);
+        let y = lp.add_var(VarKind::Continuous, 1.0, 0.0, None);
+        for k in 1..6 {
+            lp.add_le(&[(x, k as f64), (y, 1.0)], k as f64);
+        }
+        let s = lp.solve_relaxation().unwrap();
+        assert!(s.objective >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn empty_objective_is_feasibility_check() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(VarKind::Continuous, 0.0, 0.0, Some(1.0));
+        lp.add_ge(&[(x, 1.0)], 0.5);
+        let s = lp.solve_relaxation().unwrap();
+        approx(s.objective, 0.0);
+        assert!(s.values[x.index()] >= 0.5 - 1e-9);
+    }
+}

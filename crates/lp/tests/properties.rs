@@ -1,0 +1,149 @@
+//! Property-based tests of the LP/ILP substrate against brute-force oracles.
+
+use proptest::prelude::*;
+
+use mwl_lp::{BranchBoundOptions, LpProblem, Sense, VarKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// 0/1 knapsack solved by branch and bound matches a dynamic-programming
+    /// oracle exactly.
+    #[test]
+    fn knapsack_matches_dp(
+        values in prop::collection::vec(1u32..30, 1..10),
+        weights_extra in prop::collection::vec(1u32..10, 1..10),
+        capacity in 1u32..40,
+    ) {
+        let n = values.len().min(weights_extra.len());
+        let values = &values[..n];
+        let weights = &weights_extra[..n];
+
+        // DP oracle.
+        let cap = capacity as usize;
+        let mut dp = vec![0u32; cap + 1];
+        for i in 0..n {
+            let w = weights[i] as usize;
+            for c in (w..=cap).rev() {
+                dp[c] = dp[c].max(dp[c - w] + values[i]);
+            }
+        }
+        let oracle = dp[cap];
+
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = values.iter().map(|&v| lp.add_binary(f64::from(v))).collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(weights.iter())
+            .map(|(&v, &w)| (v, f64::from(w)))
+            .collect();
+        lp.add_le(&terms, f64::from(capacity));
+        let solution = lp.solve(BranchBoundOptions::default()).unwrap();
+        prop_assert!((solution.objective - f64::from(oracle)).abs() < 1e-6,
+            "bb {} vs dp {}", solution.objective, oracle);
+        // The reported assignment is consistent with the objective and the
+        // capacity.
+        let mut total_value = 0.0;
+        let mut total_weight = 0.0;
+        for (i, &v) in vars.iter().enumerate() {
+            let x = solution.values[v.index()];
+            prop_assert!(x.abs() < 1e-6 || (x - 1.0).abs() < 1e-6);
+            total_value += x * f64::from(values[i]);
+            total_weight += x * f64::from(weights[i]);
+        }
+        prop_assert!((total_value - solution.objective).abs() < 1e-6);
+        prop_assert!(total_weight <= f64::from(capacity) + 1e-6);
+    }
+
+    /// The LP relaxation never has a worse objective than the integer
+    /// optimum (it is a true relaxation), and both respect the constraints.
+    #[test]
+    fn relaxation_bounds_integer_optimum(
+        costs in prop::collection::vec(1u32..20, 2..6),
+        rhs in 2u32..15,
+    ) {
+        // Cover-style minimisation: minimise c·x subject to sum(x) >= rhs/2,
+        // x integer in [0, 3].
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let vars: Vec<_> = costs
+            .iter()
+            .map(|&c| lp.add_var(VarKind::Integer, f64::from(c), 0.0, Some(3.0)))
+            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        // Keep the requirement achievable: each variable contributes at most 3.
+        let need = (f64::from(rhs) / 2.0).min(3.0 * costs.len() as f64);
+        lp.add_ge(&terms, need);
+        let relaxed = lp.solve_relaxation().unwrap();
+        let integer = lp.solve(BranchBoundOptions::default()).unwrap();
+        prop_assert!(relaxed.objective <= integer.objective + 1e-6);
+        let total: f64 = vars.iter().map(|&v| integer.values[v.index()]).sum();
+        prop_assert!(total >= need - 1e-6);
+        for &v in &vars {
+            let x = integer.values[v.index()];
+            prop_assert!((x - x.round()).abs() < 1e-6);
+            prop_assert!(x >= -1e-9 && x <= 3.0 + 1e-9);
+        }
+    }
+
+    /// Assignment problems (a permutation matrix constraint set) are solved
+    /// to the same optimum as brute-force enumeration of permutations.
+    #[test]
+    fn assignment_matches_brute_force(size in 2usize..4, seed in any::<u64>()) {
+        // Deterministic pseudo-random cost matrix from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 20) as f64 + 1.0
+        };
+        let costs: Vec<Vec<f64>> = (0..size).map(|_| (0..size).map(|_| next()).collect()).collect();
+
+        // Brute force over permutations.
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            if n == 1 {
+                return vec![vec![0]];
+            }
+            let mut out = Vec::new();
+            for p in permutations(n - 1) {
+                for slot in 0..n {
+                    let mut q: Vec<usize> = p.iter().map(|&x| if x >= slot { x + 1 } else { x }).collect();
+                    q.push(slot);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        let oracle = permutations(size)
+            .into_iter()
+            .map(|p| p.iter().enumerate().map(|(i, &j)| costs[i][j]).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let mut vars = vec![vec![]; size];
+        for (i, row) in costs.iter().enumerate() {
+            for &c in row {
+                vars[i].push(lp.add_binary(c));
+            }
+        }
+        for i in 0..size {
+            let row: Vec<_> = (0..size).map(|j| (vars[i][j], 1.0)).collect();
+            lp.add_eq(&row, 1.0);
+            let col: Vec<_> = (0..size).map(|j| (vars[j][i], 1.0)).collect();
+            lp.add_eq(&col, 1.0);
+        }
+        let solution = lp.solve(BranchBoundOptions::default()).unwrap();
+        prop_assert!((solution.objective - oracle).abs() < 1e-6);
+    }
+
+    /// Infeasible interval constraints are always detected.
+    #[test]
+    fn infeasibility_detected(lo in 5.0f64..10.0, gap in 1.0f64..5.0) {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(VarKind::Continuous, 1.0, 0.0, None);
+        lp.add_ge(&[(x, 1.0)], lo);
+        lp.add_le(&[(x, 1.0)], lo - gap);
+        prop_assert_eq!(lp.solve_relaxation(), Err(mwl_lp::LpError::Infeasible));
+        prop_assert_eq!(lp.solve(BranchBoundOptions::default()), Err(mwl_lp::LpError::Infeasible));
+    }
+}

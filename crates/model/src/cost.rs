@@ -1,0 +1,276 @@
+//! Area and latency cost models.
+//!
+//! The paper evaluates its heuristic on the SONIC reconfigurable computing
+//! platform and states the empirical multiplier latency formula
+//! `⌈(n+m)/8⌉` cycles for an `n×m`-bit multiplier at a fixed clock rate, and
+//! a two-cycle adder latency.  The associated area model ("the area model
+//! presented in \[5\]") is not reproduced in the paper; [`SonicCostModel`]
+//! substitutes an area model that scales linearly with adder width and
+//! bilinearly with multiplier operand widths, which preserves the trade-off
+//! the heuristic exploits (see `DESIGN.md`, section 3).
+
+use std::fmt::Debug;
+
+use crate::resource::{ResourceClass, ResourceType};
+use crate::{Area, Cycles};
+
+/// Maps resource-wordlength types to implementation area and latency.
+///
+/// Implementations must be deterministic: repeated calls with the same
+/// resource type must return identical values, because the allocator caches
+/// and compares costs across iterations.
+pub trait CostModel: Debug {
+    /// Implementation area of one instance of the resource type, in abstract
+    /// area units.
+    fn area(&self, resource: &ResourceType) -> Area;
+
+    /// Latency of one operation executed on the resource type, in control
+    /// steps.  Must be at least 1.
+    fn latency(&self, resource: &ResourceType) -> Cycles;
+
+    /// Convenience: latency of the *smallest* resource able to execute the
+    /// given operation shape, i.e. the fastest implementation of the
+    /// operation.  This is the operation's native latency used by
+    /// latency-lower-bound computations.
+    fn native_latency(&self, shape: crate::OpShape) -> Cycles {
+        self.latency(&ResourceType::for_shape(shape))
+    }
+}
+
+/// The default cost model modelled on the SONIC platform measurements quoted
+/// in the paper.
+///
+/// * adder of width `w`:  latency 2 cycles, area `w · adder_area_per_bit`;
+/// * `n×m` multiplier:    latency `⌈(n+m)/8⌉` cycles, area
+///   `n · m · multiplier_area_per_bit²`.
+///
+/// # Examples
+///
+/// ```
+/// use mwl_model::{CostModel, SonicCostModel, ResourceType};
+/// let m = SonicCostModel::default();
+/// assert_eq!(m.latency(&ResourceType::adder(32)), 2);
+/// assert_eq!(m.latency(&ResourceType::multiplier(20, 18)), 5); // ceil(38/8)
+/// assert_eq!(m.area(&ResourceType::adder(16)), 16);
+/// assert_eq!(m.area(&ResourceType::multiplier(8, 8)), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SonicCostModel {
+    /// Area units per bit of adder width.
+    pub adder_area_per_bit: Area,
+    /// Area units per bit-product of multiplier operand widths.
+    pub multiplier_area_per_bit_product: Area,
+    /// Fixed adder latency in cycles.
+    pub adder_latency: Cycles,
+    /// Number of operand-width bits a multiplier retires per pipeline cycle
+    /// (`⌈(n+m)/bits_per_cycle⌉`).
+    pub multiplier_bits_per_cycle: u32,
+}
+
+impl SonicCostModel {
+    /// Creates the model with the paper's published latency parameters and
+    /// unit area scale factors.
+    #[must_use]
+    pub fn new() -> Self {
+        SonicCostModel {
+            adder_area_per_bit: 1,
+            multiplier_area_per_bit_product: 1,
+            adder_latency: 2,
+            multiplier_bits_per_cycle: 8,
+        }
+    }
+}
+
+impl Default for SonicCostModel {
+    fn default() -> Self {
+        SonicCostModel::new()
+    }
+}
+
+impl CostModel for SonicCostModel {
+    fn area(&self, resource: &ResourceType) -> Area {
+        let (a, b) = resource.widths();
+        match resource.class() {
+            ResourceClass::Adder => Area::from(a) * self.adder_area_per_bit,
+            ResourceClass::Multiplier => {
+                Area::from(a) * Area::from(b) * self.multiplier_area_per_bit_product
+            }
+        }
+    }
+
+    fn latency(&self, resource: &ResourceType) -> Cycles {
+        match resource.class() {
+            ResourceClass::Adder => self.adder_latency.max(1),
+            ResourceClass::Multiplier => {
+                let total = resource.total_width();
+                let bpc = self.multiplier_bits_per_cycle.max(1);
+                total.div_ceil(bpc).max(1)
+            }
+        }
+    }
+}
+
+/// A cost model in which both area and latency scale linearly with the total
+/// resource width.
+///
+/// Used by ablation experiments to check how sensitive the heuristic's
+/// advantage is to the *shape* of the area model (bilinear multipliers vs
+/// linear ones), and as a stand-in for module libraries where, unlike the
+/// paper's observation, the common "area inversely scales with latency"
+/// assumption also fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearCostModel {
+    /// Area units per bit of total width.
+    pub area_per_bit: Area,
+    /// Total-width bits retired per cycle (latency = `⌈total/bits⌉`).
+    pub bits_per_cycle: u32,
+    /// Additional fixed latency added to every resource.
+    pub base_latency: Cycles,
+}
+
+impl LinearCostModel {
+    /// Creates the model with unit area per bit, 8 bits per cycle and one
+    /// base cycle.
+    #[must_use]
+    pub fn new() -> Self {
+        LinearCostModel {
+            area_per_bit: 1,
+            bits_per_cycle: 8,
+            base_latency: 1,
+        }
+    }
+}
+
+impl Default for LinearCostModel {
+    fn default() -> Self {
+        LinearCostModel::new()
+    }
+}
+
+impl CostModel for LinearCostModel {
+    fn area(&self, resource: &ResourceType) -> Area {
+        Area::from(resource.total_width()) * self.area_per_bit
+    }
+
+    fn latency(&self, resource: &ResourceType) -> Cycles {
+        let bpc = self.bits_per_cycle.max(1);
+        (resource.total_width().div_ceil(bpc) + self.base_latency).max(1)
+    }
+}
+
+/// A degenerate cost model in which every resource costs one area unit and
+/// takes one cycle, regardless of wordlength.
+///
+/// With this model the multiple-wordlength problem collapses to classic
+/// scheduling/binding; it is useful in tests to isolate scheduling behaviour
+/// from wordlength effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnitCostModel;
+
+impl UnitCostModel {
+    /// Creates the unit model.
+    #[must_use]
+    pub fn new() -> Self {
+        UnitCostModel
+    }
+}
+
+impl CostModel for UnitCostModel {
+    fn area(&self, _resource: &ResourceType) -> Area {
+        1
+    }
+
+    fn latency(&self, _resource: &ResourceType) -> Cycles {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpShape;
+
+    #[test]
+    fn sonic_latencies_match_paper() {
+        let m = SonicCostModel::default();
+        // Paper, Fig. 1 discussion: adders always take two cycles.
+        assert_eq!(m.latency(&ResourceType::adder(8)), 2);
+        assert_eq!(m.latency(&ResourceType::adder(25)), 2);
+        // ceil((n+m)/8) for multipliers.
+        assert_eq!(m.latency(&ResourceType::multiplier(8, 8)), 2);
+        assert_eq!(m.latency(&ResourceType::multiplier(25, 25)), 7);
+        assert_eq!(m.latency(&ResourceType::multiplier(20, 18)), 5);
+        assert_eq!(m.latency(&ResourceType::multiplier(1, 1)), 1);
+    }
+
+    #[test]
+    fn sonic_area_scaling() {
+        let m = SonicCostModel::default();
+        assert_eq!(m.area(&ResourceType::adder(12)), 12);
+        assert_eq!(m.area(&ResourceType::multiplier(12, 10)), 120);
+        // Bigger resources are never cheaper.
+        assert!(m.area(&ResourceType::multiplier(16, 16)) > m.area(&ResourceType::multiplier(8, 8)));
+    }
+
+    #[test]
+    fn sonic_native_latency_uses_smallest_cover() {
+        let m = SonicCostModel::default();
+        assert_eq!(m.native_latency(OpShape::multiplier(8, 8)), 2);
+        assert_eq!(m.native_latency(OpShape::adder(30)), 2);
+        assert_eq!(m.native_latency(OpShape::multiplier(25, 25)), 7);
+    }
+
+    #[test]
+    fn bigger_multiplier_never_faster_under_sonic() {
+        let m = SonicCostModel::default();
+        for a in 1..32u32 {
+            for b in 1..=a {
+                let small = ResourceType::multiplier(a, b);
+                let big = ResourceType::multiplier(a + 3, b + 5);
+                assert!(m.latency(&big) >= m.latency(&small));
+                assert!(m.area(&big) >= m.area(&small));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_model() {
+        let m = LinearCostModel::default();
+        assert_eq!(m.area(&ResourceType::adder(12)), 12);
+        assert_eq!(m.area(&ResourceType::multiplier(12, 4)), 16);
+        assert_eq!(m.latency(&ResourceType::multiplier(12, 4)), 3);
+        assert_eq!(m.latency(&ResourceType::adder(8)), 2);
+    }
+
+    #[test]
+    fn unit_model() {
+        let m = UnitCostModel::new();
+        assert_eq!(m.area(&ResourceType::adder(64)), 1);
+        assert_eq!(m.latency(&ResourceType::multiplier(25, 25)), 1);
+    }
+
+    #[test]
+    fn degenerate_parameters_still_give_positive_latency() {
+        let m = SonicCostModel {
+            adder_area_per_bit: 1,
+            multiplier_area_per_bit_product: 1,
+            adder_latency: 0,
+            multiplier_bits_per_cycle: 0,
+        };
+        assert!(m.latency(&ResourceType::adder(4)) >= 1);
+        assert!(m.latency(&ResourceType::multiplier(4, 4)) >= 1);
+    }
+
+    #[test]
+    fn cost_model_is_object_safe() {
+        let models: Vec<Box<dyn CostModel>> = vec![
+            Box::new(SonicCostModel::default()),
+            Box::new(LinearCostModel::default()),
+            Box::new(UnitCostModel),
+        ];
+        for m in &models {
+            assert!(m.latency(&ResourceType::adder(8)) >= 1);
+            assert!(m.area(&ResourceType::adder(8)) >= 1);
+        }
+    }
+}

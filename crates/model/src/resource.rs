@@ -1,0 +1,356 @@
+//! Resource-wordlength types and resource-set extraction.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{OpKind, OpShape, Operation};
+
+/// The class of a functional unit.
+///
+/// Every operation kind maps to exactly one resource class
+/// ([`ResourceClass::for_kind`]); additions and subtractions share adders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceClass {
+    /// Ripple-carry style adder/subtractor unit.
+    Adder,
+    /// Parallel array multiplier.
+    Multiplier,
+}
+
+impl ResourceClass {
+    /// All supported resource classes.
+    pub const ALL: [ResourceClass; 2] = [ResourceClass::Adder, ResourceClass::Multiplier];
+
+    /// Returns the resource class executing the given operation kind.
+    #[must_use]
+    pub fn for_kind(kind: OpKind) -> Self {
+        match kind {
+            OpKind::Add | OpKind::Sub => ResourceClass::Adder,
+            OpKind::Mul => ResourceClass::Multiplier,
+        }
+    }
+}
+
+impl fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceClass::Adder => "adder",
+            ResourceClass::Multiplier => "multiplier",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A *resource-wordlength type*: a functional unit class together with the
+/// wordlengths it is built for, such as "16×16-bit multiplier" or
+/// "12-bit adder".
+///
+/// A resource type can execute every operation of its class whose operand
+/// wordlengths it covers, even when the operation is smaller than the
+/// resource; this is precisely the flexibility exploited by the paper's
+/// combined binding and wordlength selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceType {
+    class: ResourceClass,
+    /// Primary (larger) operand width in bits.
+    width_a: u32,
+    /// Secondary operand width in bits (equals `width_a` for adders).
+    width_b: u32,
+}
+
+impl ResourceType {
+    /// Creates an adder resource type of the given width.
+    #[must_use]
+    pub fn adder(width: u32) -> Self {
+        ResourceType {
+            class: ResourceClass::Adder,
+            width_a: width,
+            width_b: width,
+        }
+    }
+
+    /// Creates an `a × b`-bit multiplier resource type (operand order is
+    /// normalised so that `a >= b`).
+    #[must_use]
+    pub fn multiplier(a: u32, b: u32) -> Self {
+        let (a, b) = if a >= b { (a, b) } else { (b, a) };
+        ResourceType {
+            class: ResourceClass::Multiplier,
+            width_a: a,
+            width_b: b,
+        }
+    }
+
+    /// Creates the smallest resource type able to execute the given shape.
+    #[must_use]
+    pub fn for_shape(shape: OpShape) -> Self {
+        match shape {
+            OpShape::Additive { width, .. } => ResourceType::adder(width),
+            OpShape::Multiplicative { a, b } => ResourceType::multiplier(a, b),
+        }
+    }
+
+    /// Resource class of the unit.
+    #[must_use]
+    pub fn class(&self) -> ResourceClass {
+        self.class
+    }
+
+    /// Operand widths `(a, b)` with `a >= b`.
+    #[must_use]
+    pub fn widths(&self) -> (u32, u32) {
+        (self.width_a, self.width_b)
+    }
+
+    /// Sum of the operand widths (drives the SONIC multiplier latency).
+    #[must_use]
+    pub fn total_width(&self) -> u32 {
+        match self.class {
+            ResourceClass::Adder => self.width_a,
+            ResourceClass::Multiplier => self.width_a + self.width_b,
+        }
+    }
+
+    /// Returns `true` if this resource can execute an operation of the given
+    /// shape: the classes must match and each operand width of the resource
+    /// must be at least the corresponding operand width of the operation.
+    ///
+    /// Multiplier operands may be swapped (an `18×12` multiplier covers a
+    /// `10×16` multiplication because both normalise to descending order).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwl_model::{ResourceType, OpShape};
+    /// let big = ResourceType::multiplier(16, 16);
+    /// assert!(big.covers(OpShape::multiplier(8, 12)));
+    /// assert!(!big.covers(OpShape::multiplier(20, 4)));
+    /// assert!(!big.covers(OpShape::adder(8)));
+    /// ```
+    #[must_use]
+    pub fn covers(&self, shape: OpShape) -> bool {
+        if self.class != ResourceClass::for_kind(shape.kind()) {
+            return false;
+        }
+        let (oa, ob) = shape.widths();
+        match self.class {
+            ResourceClass::Adder => self.width_a >= oa.max(ob),
+            ResourceClass::Multiplier => {
+                // Both pairs are normalised to descending order.
+                self.width_a >= oa && self.width_b >= ob
+            }
+        }
+    }
+
+    /// Returns `true` if this resource covers every shape the other resource
+    /// covers (i.e. it dominates it functionally; it may still be slower).
+    #[must_use]
+    pub fn dominates(&self, other: &ResourceType) -> bool {
+        self.class == other.class && self.width_a >= other.width_a && self.width_b >= other.width_b
+    }
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            ResourceClass::Adder => write!(f, "{}-bit adder", self.width_a),
+            ResourceClass::Multiplier => {
+                write!(f, "{}x{}-bit multiplier", self.width_a, self.width_b)
+            }
+        }
+    }
+}
+
+/// Extracts the set of candidate resource-wordlength types `R` from a set of
+/// operations.
+///
+/// Following the construction referenced by the paper (the algorithm of
+/// reference \[5\]), the candidates per class are generated from the operand
+/// widths observed in the operations of that class:
+///
+/// * adders: one candidate per distinct additive width;
+/// * multipliers: the cross product of observed primary and secondary operand
+///   widths, filtered to combinations that cover at least one operation.
+///
+/// The result is sorted and duplicate-free.  The resource set is polynomial
+/// in the number of operations (at most `|O|` adder types and `|O|²`
+/// multiplier types).
+///
+/// # Examples
+///
+/// ```
+/// use mwl_model::{extract_resource_types, Operation, OpId, OpShape, ResourceType};
+/// let ops = vec![
+///     Operation::new(OpId::new(0), OpShape::multiplier(8, 6)),
+///     Operation::new(OpId::new(1), OpShape::multiplier(12, 4)),
+/// ];
+/// let r = extract_resource_types(&ops);
+/// assert!(r.contains(&ResourceType::multiplier(8, 6)));
+/// assert!(r.contains(&ResourceType::multiplier(12, 6)));
+/// assert!(r.contains(&ResourceType::multiplier(12, 4)));
+/// ```
+#[must_use]
+pub fn extract_resource_types(ops: &[Operation]) -> Vec<ResourceType> {
+    let mut adder_widths: BTreeSet<u32> = BTreeSet::new();
+    let mut mul_primary: BTreeSet<u32> = BTreeSet::new();
+    let mut mul_secondary: BTreeSet<u32> = BTreeSet::new();
+    let mut mul_shapes: Vec<OpShape> = Vec::new();
+
+    for op in ops {
+        match op.shape() {
+            OpShape::Additive { width, .. } => {
+                adder_widths.insert(width);
+            }
+            s @ OpShape::Multiplicative { a, b } => {
+                mul_primary.insert(a);
+                mul_secondary.insert(b);
+                mul_shapes.push(s);
+            }
+        }
+    }
+
+    let mut out: BTreeSet<ResourceType> = BTreeSet::new();
+    for w in adder_widths {
+        out.insert(ResourceType::adder(w));
+    }
+    for &a in &mul_primary {
+        for &b in &mul_secondary {
+            let candidate = ResourceType::multiplier(a, b);
+            if mul_shapes.iter().any(|&s| candidate.covers(s)) {
+                out.insert(candidate);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpId;
+
+    #[test]
+    fn class_for_kind() {
+        assert_eq!(ResourceClass::for_kind(OpKind::Add), ResourceClass::Adder);
+        assert_eq!(ResourceClass::for_kind(OpKind::Sub), ResourceClass::Adder);
+        assert_eq!(
+            ResourceClass::for_kind(OpKind::Mul),
+            ResourceClass::Multiplier
+        );
+    }
+
+    #[test]
+    fn adder_covers_smaller_adds_and_subs() {
+        let r = ResourceType::adder(16);
+        assert!(r.covers(OpShape::adder(16)));
+        assert!(r.covers(OpShape::adder(8)));
+        assert!(r.covers(OpShape::subtractor(12)));
+        assert!(!r.covers(OpShape::adder(17)));
+        assert!(!r.covers(OpShape::multiplier(4, 4)));
+    }
+
+    #[test]
+    fn multiplier_covers_with_operand_swap() {
+        let r = ResourceType::multiplier(12, 8);
+        assert!(r.covers(OpShape::multiplier(12, 8)));
+        assert!(r.covers(OpShape::multiplier(8, 12)));
+        assert!(r.covers(OpShape::multiplier(10, 7)));
+        // Normalisation: an 8x12 request becomes 12x8 and is covered.
+        assert!(r.covers(OpShape::multiplier(8, 8)));
+        // A 9x9 multiplication fits within 12x8? Normalised op (9,9): needs b>=9.
+        assert!(!r.covers(OpShape::multiplier(9, 9)));
+        assert!(!r.covers(OpShape::multiplier(13, 2)));
+        assert!(!r.covers(OpShape::adder(4)));
+    }
+
+    #[test]
+    fn for_shape_is_smallest_cover() {
+        let s = OpShape::multiplier(7, 11);
+        let r = ResourceType::for_shape(s);
+        assert!(r.covers(s));
+        assert_eq!(r.widths(), (11, 7));
+        let s = OpShape::subtractor(5);
+        let r = ResourceType::for_shape(s);
+        assert_eq!(r, ResourceType::adder(5));
+        assert!(r.covers(s));
+    }
+
+    #[test]
+    fn dominates_relation() {
+        let big = ResourceType::multiplier(16, 12);
+        let small = ResourceType::multiplier(12, 8);
+        assert!(big.dominates(&small));
+        assert!(!small.dominates(&big));
+        assert!(big.dominates(&big));
+        assert!(!big.dominates(&ResourceType::adder(4)));
+    }
+
+    #[test]
+    fn total_width() {
+        assert_eq!(ResourceType::adder(12).total_width(), 12);
+        assert_eq!(ResourceType::multiplier(12, 8).total_width(), 20);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ResourceType::adder(12).to_string(), "12-bit adder");
+        assert_eq!(
+            ResourceType::multiplier(8, 16).to_string(),
+            "16x8-bit multiplier"
+        );
+    }
+
+    #[test]
+    fn extraction_adders_only_distinct_widths() {
+        let ops = vec![
+            Operation::new(OpId::new(0), OpShape::adder(8)),
+            Operation::new(OpId::new(1), OpShape::adder(8)),
+            Operation::new(OpId::new(2), OpShape::subtractor(12)),
+        ];
+        let r = extract_resource_types(&ops);
+        assert_eq!(r, vec![ResourceType::adder(8), ResourceType::adder(12)]);
+    }
+
+    #[test]
+    fn extraction_multiplier_cross_product_filtered() {
+        let ops = vec![
+            Operation::new(OpId::new(0), OpShape::multiplier(8, 6)),
+            Operation::new(OpId::new(1), OpShape::multiplier(12, 4)),
+        ];
+        let r = extract_resource_types(&ops);
+        // Candidates from primaries {8,12} x secondaries {4,6}:
+        //   8x4  -> covers nothing (8x6 needs b>=6; 12x4 needs a>=12) -> excluded
+        //   8x6  -> covers 8x6 -> included
+        //   12x4 -> covers 12x4 -> included
+        //   12x6 -> covers both -> included
+        assert!(!r.contains(&ResourceType::multiplier(8, 4)));
+        assert!(r.contains(&ResourceType::multiplier(8, 6)));
+        assert!(r.contains(&ResourceType::multiplier(12, 4)));
+        assert!(r.contains(&ResourceType::multiplier(12, 6)));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn extraction_every_op_is_covered_by_some_type() {
+        let ops = vec![
+            Operation::new(OpId::new(0), OpShape::multiplier(25, 25)),
+            Operation::new(OpId::new(1), OpShape::multiplier(20, 18)),
+            Operation::new(OpId::new(2), OpShape::adder(19)),
+            Operation::new(OpId::new(3), OpShape::adder(30)),
+        ];
+        let r = extract_resource_types(&ops);
+        for op in &ops {
+            assert!(
+                r.iter().any(|rt| rt.covers(op.shape())),
+                "no resource covers {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_empty_input() {
+        assert!(extract_resource_types(&[]).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the model substrate.
+
+use proptest::prelude::*;
+
+use mwl_model::{
+    extract_resource_types, CostModel, OpId, OpShape, Operation, ResourceType,
+    SequencingGraphBuilder, SonicCostModel,
+};
+
+fn shape_strategy() -> impl Strategy<Value = OpShape> {
+    prop_oneof![
+        (1u32..=32).prop_map(OpShape::adder),
+        (1u32..=32).prop_map(OpShape::subtractor),
+        (1u32..=32, 1u32..=32).prop_map(|(a, b)| OpShape::multiplier(a, b)),
+    ]
+}
+
+proptest! {
+    /// Multiplier shapes are commutative in their operands.
+    #[test]
+    fn multiplier_shape_commutative(a in 1u32..=64, b in 1u32..=64) {
+        prop_assert_eq!(OpShape::multiplier(a, b), OpShape::multiplier(b, a));
+    }
+
+    /// The smallest covering resource really covers the shape, and any
+    /// resource that covers a shape dominates the smallest one.
+    #[test]
+    fn for_shape_is_minimal_cover(shape in shape_strategy()) {
+        let minimal = ResourceType::for_shape(shape);
+        prop_assert!(minimal.covers(shape));
+        let cost = SonicCostModel::default();
+        // Any strictly smaller resource of the same class cannot cover it.
+        let (a, b) = minimal.widths();
+        if a > 1 {
+            let smaller = match minimal.class() {
+                mwl_model::ResourceClass::Adder => ResourceType::adder(a - 1),
+                mwl_model::ResourceClass::Multiplier => ResourceType::multiplier(a - 1, b),
+            };
+            prop_assert!(!smaller.covers(shape));
+            prop_assert!(cost.area(&smaller) <= cost.area(&minimal));
+        }
+    }
+
+    /// `covers` is monotone: a resource dominating another covers everything
+    /// the dominated one covers.
+    #[test]
+    fn dominance_implies_coverage(
+        shape in shape_strategy(),
+        extra_a in 0u32..8,
+        extra_b in 0u32..8,
+    ) {
+        let base = ResourceType::for_shape(shape);
+        let (a, b) = base.widths();
+        let bigger = match base.class() {
+            mwl_model::ResourceClass::Adder => ResourceType::adder(a + extra_a),
+            mwl_model::ResourceClass::Multiplier => ResourceType::multiplier(a + extra_a, b + extra_b),
+        };
+        prop_assert!(bigger.dominates(&base));
+        prop_assert!(bigger.covers(shape));
+    }
+
+    /// Under the SONIC model, dominating resources are never cheaper and
+    /// never faster.
+    #[test]
+    fn sonic_cost_monotone_in_wordlength(
+        a in 1u32..=48, b in 1u32..=48, da in 0u32..16, db in 0u32..16,
+    ) {
+        let cost = SonicCostModel::default();
+        let small = ResourceType::multiplier(a, b);
+        let big = ResourceType::multiplier(a + da, b + db);
+        if big.dominates(&small) {
+            prop_assert!(cost.area(&big) >= cost.area(&small));
+            prop_assert!(cost.latency(&big) >= cost.latency(&small));
+        }
+        let small = ResourceType::adder(a);
+        let big = ResourceType::adder(a + da);
+        prop_assert!(cost.area(&big) >= cost.area(&small));
+        prop_assert!(cost.latency(&big) >= cost.latency(&small));
+    }
+
+    /// Every operation of an arbitrary shape multiset is covered by at least
+    /// one extracted resource type, and every extracted type covers at least
+    /// one operation.
+    #[test]
+    fn resource_extraction_is_sound_and_tight(shapes in prop::collection::vec(shape_strategy(), 1..12)) {
+        let ops: Vec<Operation> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Operation::new(OpId::new(i as u32), s))
+            .collect();
+        let resources = extract_resource_types(&ops);
+        for op in &ops {
+            prop_assert!(resources.iter().any(|r| r.covers(op.shape())));
+        }
+        for r in &resources {
+            prop_assert!(ops.iter().any(|o| r.covers(o.shape())));
+        }
+        // Polynomial bound: at most |adders| + |mul primaries| x |mul secondaries|.
+        prop_assert!(resources.len() <= shapes.len() + shapes.len() * shapes.len());
+    }
+
+    /// Random layered DAG construction through the builder never creates a
+    /// cycle and topological order is consistent with every edge.
+    #[test]
+    fn builder_graphs_are_acyclic(
+        n in 1usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20), 0..40),
+    ) {
+        let mut builder = SequencingGraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| builder.add_operation(OpShape::adder(8))).collect();
+        for (a, b) in edges {
+            if a < n && b < n && a != b {
+                // Always orient edges from the lower to the higher index so
+                // that the attempt is acyclic; the builder must accept it.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                let _ = builder.add_dependency(ids[lo], ids[hi]);
+            }
+        }
+        let graph = builder.build().unwrap();
+        let order = graph.topological_order();
+        prop_assert_eq!(order.len(), graph.len());
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; graph.len()];
+            for (i, &op) in order.iter().enumerate() {
+                pos[op.index()] = i;
+            }
+            pos
+        };
+        for e in graph.edges() {
+            prop_assert!(pos[e.from.index()] < pos[e.to.index()]);
+            prop_assert!(graph.reaches(e.from, e.to));
+        }
+        prop_assert!(graph.depth() >= 1);
+        prop_assert!(graph.depth() <= graph.len());
+    }
+}

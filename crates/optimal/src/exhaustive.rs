@@ -1,0 +1,298 @@
+//! Exhaustive (depth-first, area-pruned) optimal allocation for tiny graphs.
+//!
+//! The search enumerates, for every operation in topological order, every
+//! compatible resource type and every feasible start step, maintaining the
+//! per-type usage profile.  The area of a partial assignment (sum over types
+//! of `area · peak usage`) is a lower bound on any completion, so branches
+//! are pruned against the incumbent.  This is exponential and only intended
+//! as an independent oracle for the ILP encoding on graphs of up to roughly
+//! six operations.
+
+use std::collections::BTreeMap;
+
+use mwl_core::{Datapath, ResourceInstance};
+use mwl_model::{CostModel, Cycles, OpId, ResourceType, SequencingGraph};
+use mwl_sched::{alap, asap, critical_path_length, OpLatencies, Schedule};
+
+use crate::ilp::OptError;
+
+/// Brute-force optimal allocator (oracle for tests and tiny instances).
+#[derive(Debug)]
+pub struct ExhaustiveAllocator<'a> {
+    cost: &'a dyn CostModel,
+    latency_constraint: Cycles,
+    node_budget: usize,
+}
+
+struct SearchState<'g> {
+    graph: &'g SequencingGraph,
+    resources: Vec<ResourceType>,
+    res_latency: Vec<Cycles>,
+    res_area: Vec<u64>,
+    order: Vec<OpId>,
+    windows: Vec<(Cycles, Cycles)>,
+    lambda: Cycles,
+    // usage[r][t]
+    usage: Vec<Vec<u32>>,
+    assignment: Vec<Option<(usize, Cycles)>>,
+    best_area: u64,
+    best_assignment: Option<Vec<(usize, Cycles)>>,
+    nodes: usize,
+    node_budget: usize,
+}
+
+impl<'a> ExhaustiveAllocator<'a> {
+    /// Creates an exhaustive allocator with a default node budget.
+    #[must_use]
+    pub fn new(cost: &'a dyn CostModel, latency_constraint: Cycles) -> Self {
+        ExhaustiveAllocator {
+            cost,
+            latency_constraint,
+            node_budget: 2_000_000,
+        }
+    }
+
+    /// Sets the search-node budget (the search aborts with
+    /// [`OptError::TimeLimit`] when exceeded).
+    #[must_use]
+    pub fn with_node_budget(mut self, budget: usize) -> Self {
+        self.node_budget = budget;
+        self
+    }
+
+    /// Finds the minimum-area datapath meeting the latency constraint.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::LatencyUnachievable`] when the constraint is below the
+    ///   critical path;
+    /// * [`OptError::TimeLimit`] when the node budget is exhausted.
+    pub fn allocate(&self, graph: &SequencingGraph) -> Result<Datapath, OptError> {
+        let lambda = self.latency_constraint;
+        let native = OpLatencies::from_fn(graph, |op| self.cost.native_latency(op.shape()));
+        let minimum = critical_path_length(graph, &native);
+        if lambda < minimum {
+            return Err(OptError::LatencyUnachievable {
+                constraint: lambda,
+                minimum,
+            });
+        }
+        let resources = graph.extract_resource_types();
+        let res_latency: Vec<Cycles> = resources.iter().map(|r| self.cost.latency(r)).collect();
+        let res_area: Vec<u64> = resources.iter().map(|r| self.cost.area(r)).collect();
+        let early = asap(graph, &native);
+        let late = alap(graph, &native, lambda).map_err(|_| OptError::LatencyUnachievable {
+            constraint: lambda,
+            minimum,
+        })?;
+        let windows: Vec<(Cycles, Cycles)> = graph
+            .op_ids()
+            .map(|o| (early.start(o), late.start(o)))
+            .collect();
+
+        let mut state = SearchState {
+            graph,
+            res_latency,
+            res_area,
+            order: graph.topological_order(),
+            windows,
+            lambda,
+            usage: vec![vec![0; lambda as usize]; resources.len()],
+            assignment: vec![None; graph.len()],
+            best_area: u64::MAX,
+            best_assignment: None,
+            nodes: 0,
+            node_budget: self.node_budget,
+            resources,
+        };
+        let completed = dfs(&mut state, 0);
+        if !completed && state.best_assignment.is_none() {
+            return Err(OptError::TimeLimit);
+        }
+        let Some(best) = state.best_assignment else {
+            return Err(OptError::InvalidSolution(
+                "no feasible assignment found despite achievable latency".into(),
+            ));
+        };
+        build_datapath(graph, &state.resources, &state.res_latency, &best, self.cost)
+    }
+}
+
+/// Returns `false` if the node budget was exhausted.
+fn dfs(state: &mut SearchState<'_>, depth: usize) -> bool {
+    state.nodes += 1;
+    if state.nodes > state.node_budget {
+        return false;
+    }
+    if depth == state.order.len() {
+        let area = current_area(state);
+        if area < state.best_area {
+            state.best_area = area;
+            state.best_assignment = Some(
+                state
+                    .assignment
+                    .iter()
+                    .map(|a| a.expect("complete assignment"))
+                    .collect(),
+            );
+        }
+        return true;
+    }
+    // Prune on the partial-area lower bound.
+    if current_area(state) >= state.best_area {
+        return true;
+    }
+    let op = state.order[depth];
+    let shape = state.graph.operation(op).shape();
+    let (w_lo, w_hi) = state.windows[op.index()];
+    let mut complete = true;
+    for ri in 0..state.resources.len() {
+        if !state.resources[ri].covers(shape) {
+            continue;
+        }
+        let lat = state.res_latency[ri];
+        for t in w_lo..=w_hi {
+            if t + lat > state.lambda {
+                continue;
+            }
+            // Precedence with already-assigned predecessors.
+            let preds_ok = state.graph.predecessors(op).iter().all(|&p| {
+                match state.assignment[p.index()] {
+                    Some((pri, pt)) => pt + state.res_latency[pri] <= t,
+                    None => true, // predecessor later in topological order is impossible
+                }
+            });
+            if !preds_ok {
+                continue;
+            }
+            // Apply.
+            state.assignment[op.index()] = Some((ri, t));
+            for step in t..t + lat {
+                state.usage[ri][step as usize] += 1;
+            }
+            complete &= dfs(state, depth + 1);
+            for step in t..t + lat {
+                state.usage[ri][step as usize] -= 1;
+            }
+            state.assignment[op.index()] = None;
+            if !complete {
+                return false;
+            }
+        }
+    }
+    complete
+}
+
+fn current_area(state: &SearchState<'_>) -> u64 {
+    (0..state.resources.len())
+        .map(|ri| {
+            let peak = state.usage[ri].iter().copied().max().unwrap_or(0);
+            state.res_area[ri] * u64::from(peak)
+        })
+        .sum()
+}
+
+fn build_datapath(
+    graph: &SequencingGraph,
+    resources: &[ResourceType],
+    res_latency: &[Cycles],
+    assignment: &[(usize, Cycles)],
+    cost: &dyn CostModel,
+) -> Result<Datapath, OptError> {
+    let schedule = Schedule::from_vec(assignment.iter().map(|&(_, t)| t).collect());
+    let mut by_type: BTreeMap<usize, Vec<OpId>> = BTreeMap::new();
+    for (i, &(ri, _)) in assignment.iter().enumerate() {
+        by_type.entry(ri).or_default().push(OpId::new(i as u32));
+    }
+    let mut instances = Vec::new();
+    for (ri, mut ops) in by_type {
+        ops.sort_by_key(|&o| schedule.start(o));
+        let mut slots: Vec<(Cycles, Vec<OpId>)> = Vec::new();
+        for op in ops {
+            let s = schedule.start(op);
+            let e = s + res_latency[ri];
+            match slots.iter_mut().find(|(free, _)| *free <= s) {
+                Some((free, list)) => {
+                    list.push(op);
+                    *free = e;
+                }
+                None => slots.push((e, vec![op])),
+            }
+        }
+        for (_, ops) in slots {
+            instances.push(ResourceInstance::new(resources[ri], ops));
+        }
+    }
+    let datapath = Datapath::assemble(schedule, instances, cost);
+    datapath
+        .validate(graph, cost)
+        .map_err(|e| OptError::InvalidSolution(e.to_string()))?;
+    Ok(datapath)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilp::IlpAllocator;
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    #[test]
+    fn matches_hand_computed_optimum() {
+        // Two independent 8x8 muls with slack share one multiplier.
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(8, 8));
+        b.add_operation(OpShape::multiplier(8, 8));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let dp = ExhaustiveAllocator::new(&cost, 4).allocate(&g).unwrap();
+        assert_eq!(dp.area(), 64);
+        let dp = ExhaustiveAllocator::new(&cost, 2).allocate(&g).unwrap();
+        assert_eq!(dp.area(), 128);
+    }
+
+    #[test]
+    fn agrees_with_ilp_on_random_tiny_graphs() {
+        let cost = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(4), 12345);
+        for _ in 0..10 {
+            let g = generator.generate();
+            let native = OpLatencies::from_fn(&g, |op| cost.native_latency(op.shape()));
+            let lambda = critical_path_length(&g, &native) + 2;
+            let brute = ExhaustiveAllocator::new(&cost, lambda).allocate(&g).unwrap();
+            let ilp = IlpAllocator::new(&cost, lambda).allocate(&g).unwrap();
+            assert!(ilp.stats.proven_optimal);
+            assert_eq!(
+                brute.area(),
+                ilp.datapath.area(),
+                "exhaustive and ILP optimum disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unachievable_constraint() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(16, 16));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        assert!(matches!(
+            ExhaustiveAllocator::new(&cost, 1).allocate(&g),
+            Err(OptError::LatencyUnachievable { .. })
+        ));
+    }
+
+    #[test]
+    fn node_budget_exhaustion_is_reported() {
+        let mut b = SequencingGraphBuilder::new();
+        for _ in 0..6 {
+            b.add_operation(OpShape::multiplier(8, 8));
+        }
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let result = ExhaustiveAllocator::new(&cost, 12)
+            .with_node_budget(3)
+            .allocate(&g);
+        assert!(matches!(result, Err(OptError::TimeLimit)));
+    }
+}

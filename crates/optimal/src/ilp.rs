@@ -1,0 +1,480 @@
+//! Time-indexed ILP formulation of the combined problem.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use mwl_core::{Datapath, ResourceInstance};
+use mwl_lp::{BranchBoundOptions, LpError, LpProblem, Sense, SolveStatus, VarId, VarKind};
+use mwl_model::{CostModel, Cycles, OpId, ResourceType, SequencingGraph};
+use mwl_sched::{alap, asap, critical_path_length, OpLatencies, Schedule};
+
+/// Errors produced by the optimal allocators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// The latency constraint is below the minimum achievable latency.
+    LatencyUnachievable {
+        /// The requested constraint.
+        constraint: Cycles,
+        /// The minimum achievable latency.
+        minimum: Cycles,
+    },
+    /// The solver hit its time limit before finding any feasible solution.
+    TimeLimit,
+    /// The underlying LP/ILP solver failed.
+    Solver(LpError),
+    /// The decoded solution failed validation (indicates an encoding bug).
+    InvalidSolution(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::LatencyUnachievable {
+                constraint,
+                minimum,
+            } => write!(
+                f,
+                "latency constraint {constraint} is below the minimum achievable latency {minimum}"
+            ),
+            OptError::TimeLimit => write!(f, "time limit reached before any feasible solution"),
+            OptError::Solver(e) => write!(f, "ILP solver failed: {e}"),
+            OptError::InvalidSolution(msg) => write!(f, "decoded solution is invalid: {msg}"),
+        }
+    }
+}
+
+impl Error for OptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for OptError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::TimeLimit => OptError::TimeLimit,
+            other => OptError::Solver(other),
+        }
+    }
+}
+
+/// Size and effort statistics of one ILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IlpStats {
+    /// Number of decision variables in the model.
+    pub variables: usize,
+    /// Number of constraints in the model.
+    pub constraints: usize,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Whether the result was proven optimal (false = best found within the
+    /// time limit).
+    pub proven_optimal: bool,
+}
+
+/// A solved instance: the optimal (or best-found) datapath plus statistics.
+#[derive(Debug, Clone)]
+pub struct IlpOutcome {
+    /// The allocated datapath.
+    pub datapath: Datapath,
+    /// Model and search statistics.
+    pub stats: IlpStats,
+}
+
+/// Optimal allocator based on the time-indexed ILP of reference \[5\].
+#[derive(Debug)]
+pub struct IlpAllocator<'a> {
+    cost: &'a dyn CostModel,
+    latency_constraint: Cycles,
+    time_limit: Option<Duration>,
+}
+
+impl<'a> IlpAllocator<'a> {
+    /// Creates an allocator for the given cost model and latency constraint.
+    #[must_use]
+    pub fn new(cost: &'a dyn CostModel, latency_constraint: Cycles) -> Self {
+        IlpAllocator {
+            cost,
+            latency_constraint,
+            time_limit: None,
+        }
+    }
+
+    /// Sets a wall-clock limit for the branch-and-bound search.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Solves the combined problem to optimality (or to the best solution
+    /// found within the time limit).
+    ///
+    /// # Errors
+    ///
+    /// * [`OptError::LatencyUnachievable`] when the constraint is below the
+    ///   graph's critical path;
+    /// * [`OptError::TimeLimit`] when the limit expired with no feasible
+    ///   solution;
+    /// * [`OptError::Solver`] for internal solver failures.
+    pub fn allocate(&self, graph: &SequencingGraph) -> Result<IlpOutcome, OptError> {
+        let lambda = self.latency_constraint;
+        let native = OpLatencies::from_fn(graph, |op| self.cost.native_latency(op.shape()));
+        let minimum = critical_path_length(graph, &native);
+        if lambda < minimum {
+            return Err(OptError::LatencyUnachievable {
+                constraint: lambda,
+                minimum,
+            });
+        }
+
+        let resources = graph.extract_resource_types();
+        let res_latency: Vec<Cycles> = resources.iter().map(|r| self.cost.latency(r)).collect();
+        let res_area: Vec<u64> = resources.iter().map(|r| self.cost.area(r)).collect();
+
+        // Start-time windows from ASAP/ALAP with native latencies (valid
+        // outer bounds on any feasible start time).
+        let early = asap(graph, &native);
+        let late = alap(graph, &native, lambda).map_err(|_| OptError::LatencyUnachievable {
+            constraint: lambda,
+            minimum,
+        })?;
+
+        let mut lp = LpProblem::new(Sense::Minimize);
+
+        // x[o][r][t] variables.
+        type Key = (usize, usize, Cycles);
+        let mut x: BTreeMap<Key, VarId> = BTreeMap::new();
+        for op in graph.op_ids() {
+            let shape = graph.operation(op).shape();
+            for (ri, r) in resources.iter().enumerate() {
+                if !r.covers(shape) {
+                    continue;
+                }
+                let lat = res_latency[ri];
+                for t in early.start(op)..=late.start(op) {
+                    if t + lat <= lambda {
+                        let v = lp.add_binary(0.0);
+                        x.insert((op.index(), ri, t), v);
+                    }
+                }
+            }
+        }
+
+        // n_r instance-count variables.
+        let n_vars: Vec<VarId> = resources
+            .iter()
+            .enumerate()
+            .map(|(ri, _)| {
+                let max_instances = graph
+                    .operations()
+                    .iter()
+                    .filter(|o| resources[ri].covers(o.shape()))
+                    .count();
+                lp.add_var(
+                    VarKind::Integer,
+                    res_area[ri] as f64,
+                    0.0,
+                    Some(max_instances as f64),
+                )
+            })
+            .collect();
+
+        // (1) assignment: every operation starts exactly once.
+        for op in graph.op_ids() {
+            let terms: Vec<(VarId, f64)> = x
+                .iter()
+                .filter(|((o, _, _), _)| *o == op.index())
+                .map(|(_, &v)| (v, 1.0))
+                .collect();
+            if terms.is_empty() {
+                return Err(OptError::InvalidSolution(format!(
+                    "operation {op} has no feasible start/resource combination"
+                )));
+            }
+            lp.add_eq(&terms, 1.0);
+        }
+
+        // (2) precedence: start(o2) >= start(o1) + latency(chosen resource of o1).
+        for edge in graph.edges() {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for (&(o, ri, t), &v) in &x {
+                if o == edge.to.index() {
+                    terms.push((v, t as f64));
+                } else if o == edge.from.index() {
+                    terms.push((v, -((t + res_latency[ri]) as f64)));
+                }
+            }
+            lp.add_ge(&terms, 0.0);
+        }
+
+        // (3) resource usage: at every step, executing ops on type r <= n_r.
+        for (ri, _) in resources.iter().enumerate() {
+            for step in 0..lambda {
+                let mut terms: Vec<(VarId, f64)> = x
+                    .iter()
+                    .filter(|(&(_, r, t), _)| {
+                        r == ri && t <= step && step < t + res_latency[ri]
+                    })
+                    .map(|(_, &v)| (v, 1.0))
+                    .collect();
+                if terms.is_empty() {
+                    continue;
+                }
+                terms.push((n_vars[ri], -1.0));
+                lp.add_le(&terms, 0.0);
+            }
+        }
+
+        let stats_vars = lp.num_vars();
+        let stats_cons = lp.num_constraints();
+
+        let options = BranchBoundOptions {
+            time_limit: self.time_limit,
+            ..Default::default()
+        };
+        let solution = lp.solve(options)?;
+
+        let datapath = decode(
+            graph,
+            &resources,
+            &res_latency,
+            &x,
+            &solution.values,
+            self.cost,
+        )?;
+
+        Ok(IlpOutcome {
+            datapath,
+            stats: IlpStats {
+                variables: stats_vars,
+                constraints: stats_cons,
+                nodes: solution.nodes,
+                proven_optimal: solution.status == SolveStatus::Optimal,
+            },
+        })
+    }
+}
+
+/// Decodes a 0-1 solution vector into a [`Datapath`]: start times and
+/// resource types per operation, then interval-partitioning the operations of
+/// each type into the minimum number of instances.
+fn decode(
+    graph: &SequencingGraph,
+    resources: &[ResourceType],
+    res_latency: &[Cycles],
+    x: &BTreeMap<(usize, usize, Cycles), VarId>,
+    values: &[f64],
+    cost: &dyn CostModel,
+) -> Result<Datapath, OptError> {
+    let n = graph.len();
+    let mut start = vec![None; n];
+    let mut chosen_resource = vec![None; n];
+    for (&(o, ri, t), &v) in x {
+        if values[v.index()] > 0.5 {
+            if start[o].is_some() {
+                return Err(OptError::InvalidSolution(format!(
+                    "operation o{o} assigned more than once"
+                )));
+            }
+            start[o] = Some(t);
+            chosen_resource[o] = Some(ri);
+        }
+    }
+    for o in 0..n {
+        if start[o].is_none() {
+            return Err(OptError::InvalidSolution(format!(
+                "operation o{o} left unassigned"
+            )));
+        }
+    }
+    let schedule = Schedule::from_vec(start.iter().map(|s| s.unwrap_or(0)).collect());
+
+    // Group operations by resource type and pack each group into instances by
+    // interval partitioning (greedy over start times — optimal for interval
+    // graphs).
+    let mut by_type: BTreeMap<usize, Vec<OpId>> = BTreeMap::new();
+    for o in 0..n {
+        by_type
+            .entry(chosen_resource[o].expect("checked above"))
+            .or_default()
+            .push(OpId::new(o as u32));
+    }
+    let mut instances: Vec<ResourceInstance> = Vec::new();
+    for (ri, mut ops) in by_type {
+        ops.sort_by_key(|&o| schedule.start(o));
+        // Greedy assignment to the first instance that is free.
+        let mut instance_ops: Vec<Vec<OpId>> = Vec::new();
+        let mut instance_free_at: Vec<Cycles> = Vec::new();
+        for op in ops {
+            let s = schedule.start(op);
+            let e = s + res_latency[ri];
+            match instance_free_at
+                .iter()
+                .position(|&free| free <= s)
+            {
+                Some(slot) => {
+                    instance_ops[slot].push(op);
+                    instance_free_at[slot] = e;
+                }
+                None => {
+                    instance_ops.push(vec![op]);
+                    instance_free_at.push(e);
+                }
+            }
+        }
+        for ops in instance_ops {
+            instances.push(ResourceInstance::new(resources[ri], ops));
+        }
+    }
+
+    let datapath = Datapath::assemble(schedule, instances, cost);
+    datapath
+        .validate(graph, cost)
+        .map_err(|e| OptError::InvalidSolution(e.to_string()))?;
+    Ok(datapath)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_core::{AllocConfig, DpAllocator};
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    fn lambda_min(graph: &SequencingGraph, cost: &SonicCostModel) -> Cycles {
+        let native = OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+        critical_path_length(graph, &native)
+    }
+
+    #[test]
+    fn single_operation_optimal() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(10, 10));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let out = IlpAllocator::new(&cost, 5).allocate(&g).unwrap();
+        assert_eq!(out.datapath.area(), 100);
+        assert!(out.stats.proven_optimal);
+        assert!(out.stats.variables > 0);
+        assert!(out.stats.constraints > 0);
+    }
+
+    #[test]
+    fn unachievable_constraint_rejected() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(16, 16));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let err = IlpAllocator::new(&cost, 1).allocate(&g).unwrap_err();
+        assert!(matches!(err, OptError::LatencyUnachievable { .. }));
+    }
+
+    #[test]
+    fn sharing_is_found_when_slack_allows() {
+        // Two independent 8x8 multiplications: at lambda_min (2) they need two
+        // multipliers (area 128); with lambda 4 they share one (area 64).
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(8, 8));
+        b.add_operation(OpShape::multiplier(8, 8));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let tight = IlpAllocator::new(&cost, 2).allocate(&g).unwrap();
+        assert_eq!(tight.datapath.area(), 128);
+        let relaxed = IlpAllocator::new(&cost, 4).allocate(&g).unwrap();
+        assert_eq!(relaxed.datapath.area(), 64);
+        assert_eq!(relaxed.datapath.num_instances(), 1);
+    }
+
+    #[test]
+    fn mixed_wordlength_sharing_uses_larger_resource() {
+        // An 8x8 and a 12x12 multiplication with slack: optimal shares a
+        // single 12x12 multiplier (area 144) instead of two (64 + 144).
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(8, 8));
+        b.add_operation(OpShape::multiplier(12, 12));
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let out = IlpAllocator::new(&cost, 6).allocate(&g).unwrap();
+        assert_eq!(out.datapath.area(), 144);
+        assert_eq!(out.datapath.num_instances(), 1);
+    }
+
+    #[test]
+    fn optimum_never_exceeds_heuristic_area() {
+        let cost = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(5), 777);
+        for _ in 0..8 {
+            let g = generator.generate();
+            let lambda = lambda_min(&g, &cost) + 2;
+            let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda))
+                .allocate(&g)
+                .unwrap();
+            let optimal = IlpAllocator::new(&cost, lambda).allocate(&g).unwrap();
+            assert!(optimal.stats.proven_optimal);
+            assert!(
+                optimal.datapath.area() <= heuristic.datapath_area_for_test(),
+                "optimal {} > heuristic {}",
+                optimal.datapath.area(),
+                heuristic.datapath_area_for_test()
+            );
+            optimal.datapath.validate(&g, &cost).unwrap();
+            assert!(optimal.datapath.latency() <= lambda);
+        }
+    }
+
+    #[test]
+    fn chain_with_precedence_respects_dependences() {
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(8, 8));
+        let y = b.add_operation(OpShape::adder(16));
+        let z = b.add_operation(OpShape::multiplier(10, 8));
+        b.add_dependency(x, y).unwrap();
+        b.add_dependency(y, z).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let lmin = lambda_min(&g, &cost);
+        let out = IlpAllocator::new(&cost, lmin + 3).allocate(&g).unwrap();
+        out.datapath.validate(&g, &cost).unwrap();
+        assert!(out.datapath.latency() <= lmin + 3);
+        // The two multiplications are sequential, so they can share.
+        let muls: Vec<_> = out
+            .datapath
+            .instances()
+            .iter()
+            .filter(|i| i.resource().class() == mwl_model::ResourceClass::Multiplier)
+            .collect();
+        assert_eq!(muls.len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = OptError::LatencyUnachievable {
+            constraint: 2,
+            minimum: 5,
+        };
+        assert!(e.to_string().contains('2'));
+        assert!(OptError::TimeLimit.to_string().contains("time limit"));
+        let e: OptError = LpError::Infeasible.into();
+        assert!(matches!(e, OptError::Solver(_)));
+        assert!(e.source().is_some());
+        let e: OptError = LpError::TimeLimit.into();
+        assert_eq!(e, OptError::TimeLimit);
+    }
+
+    /// Helper so the comparison test reads naturally.
+    trait AreaForTest {
+        fn datapath_area_for_test(&self) -> u64;
+    }
+    impl AreaForTest for Datapath {
+        fn datapath_area_for_test(&self) -> u64 {
+            self.area()
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Optimal datapath allocation for multiple-wordlength systems.
+//!
+//! The paper's evaluation compares the heuristic against the *optimum*
+//! solution of the combined scheduling, resource binding and wordlength
+//! selection problem, obtained from the ILP formulation of reference \[5\]
+//! solved with `lp_solve`.  This crate reproduces that baseline:
+//!
+//! * [`IlpAllocator`] builds a time-indexed 0-1 ILP over the variables
+//!   `x[o][r][t]` ("operation `o` starts at step `t` on resource type `r`")
+//!   plus per-type instance counts `n_r`, and solves it with the
+//!   [`mwl_lp`] branch-and-bound solver.  The number of variables grows with
+//!   the latency constraint, which is exactly the scaling behaviour the
+//!   paper's Table 2 demonstrates.
+//! * [`ExhaustiveAllocator`] enumerates the same assignment space by
+//!   depth-first search with area pruning.  It is only practical for a
+//!   handful of operations and serves as an independent oracle for the ILP
+//!   encoding in tests.
+//!
+//! Both allocators return an ordinary [`mwl_core::Datapath`], so results are
+//! directly comparable with the heuristic and validated with the same
+//! machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod exhaustive;
+mod ilp;
+
+pub use exhaustive::ExhaustiveAllocator;
+pub use ilp::{IlpAllocator, IlpOutcome, IlpStats, OptError};

@@ -1,0 +1,425 @@
+//! Resource-constraint strategies for list scheduling.
+//!
+//! The list scheduler is generic over a [`ResourceConstraint`]; three
+//! strategies are provided:
+//!
+//! * [`Unbounded`] — no limits (list scheduling degenerates to ASAP);
+//! * [`PerClassBound`] — the standard constraint of Eqn (2): at every control
+//!   step, no more than `N_y` operations of type `y` execute simultaneously;
+//! * [`SchedulingSetBound`] — the paper's constraint of Eqn (3), which uses
+//!   the incomplete wordlength information of the compatibility graph.  For
+//!   every type `y` it requires
+//!   `Σ_{s ∈ S_y} max_t Σ_{o ∈ O(s)} e_{o,t} / |S(o)|  ≤  N_y`,
+//!   i.e. operations that could be executed by several scheduling-set members
+//!   share their usage equally between those members, and each member
+//!   contributes its peak usage to the type total.
+
+use std::collections::BTreeMap;
+
+use mwl_model::{Cycles, OpId, ResourceClass};
+
+/// Numerical slack used when comparing fractional resource usage.
+const EPSILON: f64 = 1e-9;
+
+/// A pluggable admission policy consulted by the list scheduler before
+/// placing an operation at a control step.
+///
+/// Implementations carry their own bookkeeping of already-committed
+/// placements.  The scheduler guarantees that it calls [`commit`] exactly
+/// once for every placement it makes, immediately after a successful
+/// [`admits`] query with the same arguments.
+///
+/// [`admits`]: ResourceConstraint::admits
+/// [`commit`]: ResourceConstraint::commit
+pub trait ResourceConstraint {
+    /// Returns `true` if the operation may start at `step` and occupy
+    /// `latency` control steps without violating the constraint, given all
+    /// previously committed placements.
+    fn admits(&self, op: OpId, step: Cycles, latency: Cycles) -> bool;
+
+    /// Records the placement of an operation.
+    fn commit(&mut self, op: OpId, step: Cycles, latency: Cycles);
+
+    /// Returns `true` if the operation could be admitted at *some* step in an
+    /// otherwise empty schedule.  Used to distinguish "temporarily blocked"
+    /// from "permanently impossible".
+    fn admissible_at_all(&self, op: OpId, latency: Cycles) -> bool {
+        // Default: being admitted at a far-future step of an empty timeline
+        // is representative.  Implementations with history-dependent
+        // constraints should override this.
+        let _ = (op, latency);
+        true
+    }
+}
+
+/// No resource constraint: every operation is admitted immediately.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Unbounded;
+
+impl Unbounded {
+    /// Creates the unbounded policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Unbounded
+    }
+}
+
+impl ResourceConstraint for Unbounded {
+    fn admits(&self, _op: OpId, _step: Cycles, _latency: Cycles) -> bool {
+        true
+    }
+
+    fn commit(&mut self, _op: OpId, _step: Cycles, _latency: Cycles) {}
+}
+
+/// The standard resource constraint of Eqn (2): at most `N_y` operations of
+/// class `y` execute during any control step.
+#[derive(Debug, Clone)]
+pub struct PerClassBound {
+    /// Class of every operation, indexed by [`OpId`].
+    op_classes: Vec<ResourceClass>,
+    /// Bound per class; classes missing from the map are unbounded.
+    bounds: BTreeMap<ResourceClass, usize>,
+    /// Committed placements: `(start, end, class)`.
+    committed: Vec<(Cycles, Cycles, ResourceClass)>,
+}
+
+impl PerClassBound {
+    /// Creates the policy from per-operation classes and per-class bounds.
+    /// Classes absent from `bounds` are not constrained.
+    #[must_use]
+    pub fn new(op_classes: Vec<ResourceClass>, bounds: BTreeMap<ResourceClass, usize>) -> Self {
+        PerClassBound {
+            op_classes,
+            bounds,
+            committed: Vec::new(),
+        }
+    }
+
+    fn usage_at(&self, class: ResourceClass, step: Cycles) -> usize {
+        self.committed
+            .iter()
+            .filter(|&&(s, e, c)| c == class && s <= step && step < e)
+            .count()
+    }
+}
+
+impl ResourceConstraint for PerClassBound {
+    fn admits(&self, op: OpId, step: Cycles, latency: Cycles) -> bool {
+        let class = self.op_classes[op.index()];
+        let Some(&bound) = self.bounds.get(&class) else {
+            return true;
+        };
+        if bound == 0 {
+            return false;
+        }
+        (step..step + latency).all(|t| self.usage_at(class, t) < bound)
+    }
+
+    fn commit(&mut self, op: OpId, step: Cycles, latency: Cycles) {
+        let class = self.op_classes[op.index()];
+        self.committed.push((step, step + latency, class));
+    }
+
+    fn admissible_at_all(&self, op: OpId, _latency: Cycles) -> bool {
+        let class = self.op_classes[op.index()];
+        self.bounds.get(&class).map_or(true, |&b| b > 0)
+    }
+}
+
+/// The paper's wordlength-aware constraint of Eqn (3).
+///
+/// Built from the wordlength compatibility graph: every operation `o` has a
+/// set `S(o)` of compatible scheduling-set members; every member `s` has a
+/// resource class.  The committed usage of a member `s` during step `t` is
+/// `Σ_{o ∈ O(s) active at t} 1/|S(o)|`, and the constraint requires, for each
+/// class `y`, that the sum over members of class `y` of their *peak* usage
+/// stays within the bound `N_y`.
+#[derive(Debug, Clone)]
+pub struct SchedulingSetBound {
+    /// Class of every operation, indexed by [`OpId`].
+    op_classes: Vec<ResourceClass>,
+    /// Scheduling-set members compatible with every operation (indices into
+    /// `member_classes`), indexed by [`OpId`].
+    op_members: Vec<Vec<usize>>,
+    /// Resource class of every scheduling-set member.
+    member_classes: Vec<ResourceClass>,
+    /// Bound per class; classes missing from the map are unbounded.
+    bounds: BTreeMap<ResourceClass, usize>,
+    /// Per-member load profile over control steps.
+    load: Vec<Vec<f64>>,
+    /// Per-member peak load so far.
+    peak: Vec<f64>,
+}
+
+impl SchedulingSetBound {
+    /// Creates the policy.
+    ///
+    /// * `op_classes[i]` — resource class of operation `i`;
+    /// * `op_members[i]` — scheduling-set members able to execute operation
+    ///   `i` (the paper's `S(o)`), as indices into `member_classes`;
+    /// * `member_classes[j]` — class of scheduling-set member `j`;
+    /// * `bounds` — `N_y` per class (absent classes are unbounded).
+    #[must_use]
+    pub fn new(
+        op_classes: Vec<ResourceClass>,
+        op_members: Vec<Vec<usize>>,
+        member_classes: Vec<ResourceClass>,
+        bounds: BTreeMap<ResourceClass, usize>,
+    ) -> Self {
+        let members = member_classes.len();
+        SchedulingSetBound {
+            op_classes,
+            op_members,
+            member_classes,
+            bounds,
+            load: vec![Vec::new(); members],
+            peak: vec![0.0; members],
+        }
+    }
+
+    /// The left-hand side of Eqn (3) for one class, given optional tentative
+    /// peaks overriding the committed ones.
+    fn class_total(&self, class: ResourceClass, tentative: Option<&[f64]>) -> f64 {
+        (0..self.member_classes.len())
+            .filter(|&j| self.member_classes[j] == class)
+            .map(|j| tentative.map_or(self.peak[j], |t| t[j]))
+            .sum()
+    }
+
+    /// Current value of the Eqn (3) left-hand side for a class (useful for
+    /// diagnostics and tests).
+    #[must_use]
+    pub fn current_class_total(&self, class: ResourceClass) -> f64 {
+        self.class_total(class, None)
+    }
+
+    fn member_load_at(&self, member: usize, step: Cycles) -> f64 {
+        self.load[member]
+            .get(step as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+impl ResourceConstraint for SchedulingSetBound {
+    fn admits(&self, op: OpId, step: Cycles, latency: Cycles) -> bool {
+        let class = self.op_classes[op.index()];
+        let Some(&bound) = self.bounds.get(&class) else {
+            return true;
+        };
+        let members = &self.op_members[op.index()];
+        if members.is_empty() {
+            return false;
+        }
+        let share = 1.0 / members.len() as f64;
+        // Tentative peaks with this operation placed.
+        let mut tentative = self.peak.clone();
+        for &m in members {
+            let mut new_peak = self.peak[m];
+            for t in step..step + latency {
+                new_peak = new_peak.max(self.member_load_at(m, t) + share);
+            }
+            tentative[m] = new_peak;
+        }
+        self.class_total(class, Some(&tentative)) <= bound as f64 + EPSILON
+    }
+
+    fn commit(&mut self, op: OpId, step: Cycles, latency: Cycles) {
+        let members = self.op_members[op.index()].clone();
+        if members.is_empty() {
+            return;
+        }
+        let share = 1.0 / members.len() as f64;
+        let end = (step + latency) as usize;
+        for &m in &members {
+            if self.load[m].len() < end {
+                self.load[m].resize(end, 0.0);
+            }
+            for t in step as usize..end {
+                self.load[m][t] += share;
+                if self.load[m][t] > self.peak[m] {
+                    self.peak[m] = self.load[m][t];
+                }
+            }
+        }
+    }
+
+    fn admissible_at_all(&self, op: OpId, latency: Cycles) -> bool {
+        let class = self.op_classes[op.index()];
+        let Some(&bound) = self.bounds.get(&class) else {
+            return true;
+        };
+        let members = &self.op_members[op.index()];
+        if members.is_empty() || bound == 0 {
+            return false;
+        }
+        // Placing the op in untouched future steps raises each compatible
+        // member's peak to at least 1/|S(o)| (if not already higher); the
+        // other members keep their current peaks.
+        let share = 1.0 / members.len() as f64;
+        let mut tentative = self.peak.clone();
+        for &m in members {
+            tentative[m] = tentative[m].max(share);
+        }
+        let _ = latency;
+        self.class_total(class, Some(&tentative)) <= bound as f64 + EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> OpId {
+        OpId::new(i)
+    }
+
+    #[test]
+    fn unbounded_admits_everything() {
+        let mut u = Unbounded::new();
+        assert!(u.admits(id(0), 0, 5));
+        u.commit(id(0), 0, 5);
+        assert!(u.admits(id(1), 0, 5));
+        assert!(u.admissible_at_all(id(1), 3));
+    }
+
+    #[test]
+    fn per_class_bound_limits_concurrency() {
+        let classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 1)]);
+        let mut c = PerClassBound::new(classes, bounds);
+        assert!(c.admits(id(0), 0, 3));
+        c.commit(id(0), 0, 3);
+        assert!(!c.admits(id(1), 0, 2));
+        assert!(!c.admits(id(1), 2, 2));
+        assert!(c.admits(id(1), 3, 2));
+        assert!(c.admissible_at_all(id(1), 2));
+    }
+
+    #[test]
+    fn per_class_bound_ignores_other_classes() {
+        let classes = vec![ResourceClass::Multiplier, ResourceClass::Adder];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 1)]);
+        let mut c = PerClassBound::new(classes, bounds);
+        c.commit(id(0), 0, 3);
+        // The adder is unconstrained (no entry in the bound map).
+        assert!(c.admits(id(1), 0, 3));
+    }
+
+    #[test]
+    fn per_class_zero_bound_rejects_forever() {
+        let classes = vec![ResourceClass::Adder];
+        let bounds = BTreeMap::from([(ResourceClass::Adder, 0)]);
+        let c = PerClassBound::new(classes, bounds);
+        assert!(!c.admits(id(0), 10, 1));
+        assert!(!c.admissible_at_all(id(0), 1));
+    }
+
+    /// Reproduces the paper's Fig. 2 discussion: after deleting the edge
+    /// between `o1` and the large multiplier, one multiplier resource is no
+    /// longer enough even though the operations never overlap in time.
+    #[test]
+    fn eqn3_rejects_single_multiplier_after_edge_deletion() {
+        // Two multiplications; members: 0 = small multiplier, 1 = large.
+        let op_classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        let member_classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        // o0 can only use the small member, o1 only the large member.
+        let op_members = vec![vec![0], vec![1]];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 1)]);
+        let mut c = SchedulingSetBound::new(op_classes, op_members, member_classes, bounds);
+        assert!(c.admits(id(0), 0, 3));
+        c.commit(id(0), 0, 3);
+        // Even though o1 would run later (no time overlap), admitting it
+        // would need a second multiplier: sum of member peaks = 2 > 1.
+        assert!(!c.admits(id(1), 5, 3));
+        assert!(!c.admissible_at_all(id(1), 3));
+    }
+
+    #[test]
+    fn eqn3_degenerates_to_eqn2_with_single_member() {
+        // Both ops can use the single big member: constraint behaves like a
+        // concurrency bound of 1.
+        let op_classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        let member_classes = vec![ResourceClass::Multiplier];
+        let op_members = vec![vec![0], vec![0]];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 1)]);
+        let mut c = SchedulingSetBound::new(op_classes, op_members, member_classes, bounds);
+        assert!(c.admits(id(0), 0, 3));
+        c.commit(id(0), 0, 3);
+        assert!(!c.admits(id(1), 1, 3)); // overlap -> rejected
+        assert!(c.admits(id(1), 3, 3)); // sequential -> accepted
+        c.commit(id(1), 3, 3);
+        assert!((c.current_class_total(ResourceClass::Multiplier) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eqn3_fractional_sharing_allows_flexible_ops() {
+        // Two members; op0 and op1 can use either member (|S(o)| = 2), so
+        // each contributes 0.5 to each member.  Under a bound of one
+        // multiplier the two flexible operations may run sequentially (class
+        // total stays at 1.0) but not concurrently (total would reach 2.0).
+        let op_classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        let member_classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        let op_members = vec![vec![0, 1], vec![0, 1]];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 1)]);
+        let mut c = SchedulingSetBound::new(op_classes, op_members, member_classes, bounds);
+        assert!(c.admits(id(0), 0, 2));
+        c.commit(id(0), 0, 2);
+        assert!((c.current_class_total(ResourceClass::Multiplier) - 1.0).abs() < 1e-9);
+        assert!(!c.admits(id(1), 0, 2)); // concurrent -> total 2.0 > 1
+        assert!(c.admits(id(1), 2, 2)); // sequential -> total stays 1.0
+        c.commit(id(1), 2, 2);
+        assert!((c.current_class_total(ResourceClass::Multiplier) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eqn3_is_at_least_as_strict_as_eqn2() {
+        // Any placement admitted by Eqn 3 must also be admitted by Eqn 2 with
+        // the same bounds (the paper: Eqn 3 is at least as strict).
+        let op_classes = vec![ResourceClass::Multiplier; 4];
+        let member_classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        let op_members = vec![vec![0], vec![0, 1], vec![1], vec![0, 1]];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 2)]);
+        let mut eqn3 = SchedulingSetBound::new(
+            op_classes.clone(),
+            op_members,
+            member_classes,
+            bounds.clone(),
+        );
+        let mut eqn2 = PerClassBound::new(op_classes, bounds);
+        let placements = [(0u32, 0u32, 2u32), (1, 0, 2), (2, 2, 2), (3, 2, 2)];
+        for &(op, step, lat) in &placements {
+            if eqn3.admits(id(op), step, lat) {
+                assert!(
+                    eqn2.admits(id(op), step, lat),
+                    "Eqn3 admitted a placement Eqn2 rejects"
+                );
+                eqn3.commit(id(op), step, lat);
+                eqn2.commit(id(op), step, lat);
+            }
+        }
+    }
+
+    #[test]
+    fn eqn3_unlisted_class_is_unbounded() {
+        let op_classes = vec![ResourceClass::Adder];
+        let member_classes = vec![ResourceClass::Adder];
+        let op_members = vec![vec![0]];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 1)]);
+        let c = SchedulingSetBound::new(op_classes, op_members, member_classes, bounds);
+        assert!(c.admits(id(0), 0, 2));
+        assert!(c.admissible_at_all(id(0), 2));
+    }
+
+    #[test]
+    fn eqn3_empty_member_set_rejected() {
+        let op_classes = vec![ResourceClass::Adder];
+        let member_classes = vec![ResourceClass::Adder];
+        let op_members = vec![vec![]];
+        let bounds = BTreeMap::from([(ResourceClass::Adder, 4)]);
+        let c = SchedulingSetBound::new(op_classes, op_members, member_classes, bounds);
+        assert!(!c.admits(id(0), 0, 2));
+        assert!(!c.admissible_at_all(id(0), 2));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+use mwl_model::{Cycles, OpId};
+
+/// Errors produced by the schedulers in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The requested deadline is shorter than the critical path, so no
+    /// schedule can exist regardless of resources.
+    DeadlineTooTight {
+        /// The requested overall latency constraint.
+        deadline: Cycles,
+        /// The minimum achievable latency (critical path length).
+        critical_path: Cycles,
+    },
+    /// The resource constraint rejects an operation at every control step,
+    /// so list scheduling cannot make progress.
+    InfeasibleResourceBound {
+        /// The first operation that could not be placed.
+        op: OpId,
+    },
+    /// A latency table does not match the graph it is used with.
+    LatencyTableMismatch {
+        /// Number of operations in the graph.
+        graph_ops: usize,
+        /// Number of entries in the latency table.
+        table_ops: usize,
+    },
+    /// An operation has a zero latency entry, which the schedulers do not
+    /// support (every operation must occupy at least one control step).
+    ZeroLatency(OpId),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::DeadlineTooTight {
+                deadline,
+                critical_path,
+            } => write!(
+                f,
+                "deadline {deadline} is shorter than the critical path of {critical_path} steps"
+            ),
+            SchedError::InfeasibleResourceBound { op } => {
+                write!(f, "resource constraint permanently rejects operation {op}")
+            }
+            SchedError::LatencyTableMismatch {
+                graph_ops,
+                table_ops,
+            } => write!(
+                f,
+                "latency table has {table_ops} entries but the graph has {graph_ops} operations"
+            ),
+            SchedError::ZeroLatency(op) => {
+                write!(f, "operation {op} has zero latency")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SchedError::DeadlineTooTight {
+            deadline: 3,
+            critical_path: 7,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('7'));
+        let e = SchedError::InfeasibleResourceBound { op: OpId::new(4) };
+        assert!(e.to_string().contains("o4"));
+        let e = SchedError::LatencyTableMismatch {
+            graph_ops: 5,
+            table_ops: 2,
+        };
+        assert!(e.to_string().contains('5'));
+        let e = SchedError::ZeroLatency(OpId::new(1));
+        assert!(e.to_string().contains("o1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchedError>();
+    }
+}

@@ -1,0 +1,402 @@
+//! Resource-constrained list scheduling.
+
+use mwl_model::{Cycles, OpId, SequencingGraph};
+use serde::{Deserialize, Serialize};
+
+use crate::constraint::ResourceConstraint;
+use crate::error::SchedError;
+use crate::schedule::{OpLatencies, Schedule};
+
+/// Ready-operation ordering used by the list scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulePriority {
+    /// Order ready operations by decreasing length of their longest path to
+    /// a sink (classic critical-path list scheduling).  Ties are broken by
+    /// operation id for determinism.
+    #[default]
+    CriticalPath,
+    /// Order ready operations by their id (insertion order).  Mainly useful
+    /// for tests and ablations.
+    InputOrder,
+}
+
+/// Resource-constrained list scheduler.
+///
+/// The scheduler walks control steps in increasing order; at every step it
+/// offers the ready operations (all predecessors finished) to the
+/// [`ResourceConstraint`] in priority order and places those that are
+/// admitted.  Time then advances to the next completion event.
+///
+/// # Examples
+///
+/// ```
+/// use mwl_model::{OpShape, SequencingGraphBuilder, ResourceClass};
+/// use mwl_sched::{ListScheduler, OpLatencies, PerClassBound, SchedulePriority};
+/// use std::collections::BTreeMap;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SequencingGraphBuilder::new();
+/// let x = b.add_operation(OpShape::multiplier(8, 8));
+/// let y = b.add_operation(OpShape::multiplier(8, 8));
+/// let g = b.build()?;
+/// let lats = OpLatencies::uniform(&g, 2);
+///
+/// // One multiplier: the two independent multiplications serialise.
+/// let classes = g.operations().iter()
+///     .map(|o| ResourceClass::for_kind(o.kind()))
+///     .collect();
+/// let constraint = PerClassBound::new(classes, BTreeMap::from([(ResourceClass::Multiplier, 1)]));
+/// let schedule = ListScheduler::new(SchedulePriority::CriticalPath)
+///     .schedule(&g, &lats, constraint)?;
+/// assert_eq!(schedule.makespan(&lats), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListScheduler {
+    priority: SchedulePriority,
+}
+
+impl ListScheduler {
+    /// Creates a list scheduler with the given ready-list priority.
+    #[must_use]
+    pub fn new(priority: SchedulePriority) -> Self {
+        ListScheduler { priority }
+    }
+
+    /// The configured priority.
+    #[must_use]
+    pub fn priority(&self) -> SchedulePriority {
+        self.priority
+    }
+
+    /// Schedules the graph under the given latencies and resource constraint.
+    ///
+    /// # Errors
+    ///
+    /// * [`SchedError::LatencyTableMismatch`] / [`SchedError::ZeroLatency`]
+    ///   if the latency table is inconsistent with the graph;
+    /// * [`SchedError::InfeasibleResourceBound`] if some operation can never
+    ///   be admitted by the constraint.
+    pub fn schedule<C: ResourceConstraint>(
+        &self,
+        graph: &SequencingGraph,
+        latencies: &OpLatencies,
+        mut constraint: C,
+    ) -> Result<Schedule, SchedError> {
+        latencies.validate(graph)?;
+        let n = graph.len();
+        let priority = self.priority_values(graph, latencies);
+
+        let mut start: Vec<Option<Cycles>> = vec![None; n];
+        let mut scheduled = 0usize;
+        let mut step: Cycles = 0;
+
+        while scheduled < n {
+            // Ready operations: unscheduled, all predecessors finished by `step`.
+            let mut ready: Vec<OpId> = graph
+                .op_ids()
+                .filter(|&o| start[o.index()].is_none())
+                .filter(|&o| {
+                    graph.predecessors(o).iter().all(|&p| {
+                        start[p.index()]
+                            .map(|s| s + latencies.get(p) <= step)
+                            .unwrap_or(false)
+                    })
+                })
+                .collect();
+            self.sort_ready(&mut ready, &priority);
+
+            let mut placed_any = false;
+            for &op in &ready {
+                let lat = latencies.get(op);
+                if constraint.admits(op, step, lat) {
+                    constraint.commit(op, step, lat);
+                    start[op.index()] = Some(step);
+                    scheduled += 1;
+                    placed_any = true;
+                }
+            }
+
+            if scheduled == n {
+                break;
+            }
+
+            // Advance to the next event: the earliest completion strictly
+            // after `step`, or `step + 1` if something was just placed (its
+            // completion is such an event anyway).
+            let next_event = graph
+                .op_ids()
+                .filter_map(|o| start[o.index()].map(|s| s + latencies.get(o)))
+                .filter(|&e| e > step)
+                .min();
+
+            match next_event {
+                Some(e) => step = e,
+                None => {
+                    // Nothing is running beyond `step` and nothing could be
+                    // placed: the constraint permanently rejects some ready
+                    // operation (or no operation is ready, which cannot
+                    // happen in a DAG once all running work has finished).
+                    if placed_any {
+                        step += 1;
+                        continue;
+                    }
+                    let blocked = ready
+                        .iter()
+                        .copied()
+                        .find(|&o| !constraint.admissible_at_all(o, latencies.get(o)))
+                        .or_else(|| ready.first().copied())
+                        .or_else(|| graph.op_ids().find(|&o| start[o.index()].is_none()))
+                        .expect("some operation remains unscheduled");
+                    return Err(SchedError::InfeasibleResourceBound { op: blocked });
+                }
+            }
+        }
+
+        Ok(Schedule::from_vec(
+            start.into_iter().map(|s| s.unwrap_or(0)).collect(),
+        ))
+    }
+
+    /// Longest path from each operation to any sink, including the
+    /// operation's own latency (classic list-scheduling urgency metric).
+    fn priority_values(&self, graph: &SequencingGraph, latencies: &OpLatencies) -> Vec<Cycles> {
+        let order = graph.topological_order();
+        let mut value = vec![0; graph.len()];
+        for &v in order.iter().rev() {
+            let tail = graph
+                .successors(v)
+                .iter()
+                .map(|&s| value[s.index()])
+                .max()
+                .unwrap_or(0);
+            value[v.index()] = tail + latencies.get(v);
+        }
+        value
+    }
+
+    fn sort_ready(&self, ready: &mut [OpId], priority: &[Cycles]) {
+        match self.priority {
+            SchedulePriority::CriticalPath => {
+                ready.sort_by_key(|&o| (std::cmp::Reverse(priority[o.index()]), o));
+            }
+            SchedulePriority::InputOrder => ready.sort_unstable(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{PerClassBound, SchedulingSetBound, Unbounded};
+    use crate::timing::asap;
+    use mwl_model::{OpShape, ResourceClass, SequencingGraphBuilder};
+    use std::collections::BTreeMap;
+
+    fn classes_of(graph: &SequencingGraph) -> Vec<ResourceClass> {
+        graph
+            .operations()
+            .iter()
+            .map(|o| ResourceClass::for_kind(o.kind()))
+            .collect()
+    }
+
+    fn parallel_muls(n: usize) -> SequencingGraph {
+        let mut b = SequencingGraphBuilder::new();
+        for _ in 0..n {
+            b.add_operation(OpShape::multiplier(8, 8));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unbounded_equals_asap() {
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(8, 8));
+        let y = b.add_operation(OpShape::adder(8));
+        let z = b.add_operation(OpShape::adder(8));
+        b.add_dependency(x, y).unwrap();
+        b.add_dependency(x, z).unwrap();
+        let g = b.build().unwrap();
+        let lat = OpLatencies::from_vec(vec![2, 2, 2]);
+        let s = ListScheduler::default()
+            .schedule(&g, &lat, Unbounded::new())
+            .unwrap();
+        assert_eq!(s, asap(&g, &lat));
+    }
+
+    #[test]
+    fn single_resource_serialises_independent_ops() {
+        let g = parallel_muls(4);
+        let lat = OpLatencies::uniform(&g, 3);
+        let constraint = PerClassBound::new(
+            classes_of(&g),
+            BTreeMap::from([(ResourceClass::Multiplier, 1)]),
+        );
+        let s = ListScheduler::default()
+            .schedule(&g, &lat, constraint)
+            .unwrap();
+        assert!(s.is_valid(&g, &lat));
+        assert_eq!(s.makespan(&lat), 12);
+        // No two operations overlap.
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                assert!(!s.overlaps(OpId::new(i), OpId::new(j), &lat));
+            }
+        }
+    }
+
+    #[test]
+    fn two_resources_halve_the_makespan() {
+        let g = parallel_muls(4);
+        let lat = OpLatencies::uniform(&g, 3);
+        let constraint = PerClassBound::new(
+            classes_of(&g),
+            BTreeMap::from([(ResourceClass::Multiplier, 2)]),
+        );
+        let s = ListScheduler::default()
+            .schedule(&g, &lat, constraint)
+            .unwrap();
+        assert_eq!(s.makespan(&lat), 6);
+    }
+
+    #[test]
+    fn zero_bound_is_reported_infeasible() {
+        let g = parallel_muls(2);
+        let lat = OpLatencies::uniform(&g, 1);
+        let constraint = PerClassBound::new(
+            classes_of(&g),
+            BTreeMap::from([(ResourceClass::Multiplier, 0)]),
+        );
+        let err = ListScheduler::default()
+            .schedule(&g, &lat, constraint)
+            .unwrap_err();
+        assert!(matches!(err, SchedError::InfeasibleResourceBound { .. }));
+    }
+
+    #[test]
+    fn priority_respects_critical_path() {
+        // Two chains: a long chain (a -> b) and a single short op c; with one
+        // adder the long chain's head should be scheduled first.
+        let mut b = SequencingGraphBuilder::new();
+        let a = b.add_operation(OpShape::adder(8));
+        let b2 = b.add_operation(OpShape::adder(8));
+        let c = b.add_operation(OpShape::adder(8));
+        b.add_dependency(a, b2).unwrap();
+        let g = b.build().unwrap();
+        let lat = OpLatencies::uniform(&g, 2);
+        let constraint =
+            PerClassBound::new(classes_of(&g), BTreeMap::from([(ResourceClass::Adder, 1)]));
+        let s = ListScheduler::new(SchedulePriority::CriticalPath)
+            .schedule(&g, &lat, constraint)
+            .unwrap();
+        assert_eq!(s.start(a), 0);
+        assert!(s.start(c) >= 2);
+        assert_eq!(s.makespan(&lat), 6);
+    }
+
+    #[test]
+    fn input_order_priority_is_deterministic() {
+        let g = parallel_muls(3);
+        let lat = OpLatencies::uniform(&g, 2);
+        let mk = || {
+            PerClassBound::new(
+                classes_of(&g),
+                BTreeMap::from([(ResourceClass::Multiplier, 1)]),
+            )
+        };
+        let s1 = ListScheduler::new(SchedulePriority::InputOrder)
+            .schedule(&g, &lat, mk())
+            .unwrap();
+        let s2 = ListScheduler::new(SchedulePriority::InputOrder)
+            .schedule(&g, &lat, mk())
+            .unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.start(OpId::new(0)), 0);
+        assert_eq!(s1.start(OpId::new(1)), 2);
+        assert_eq!(s1.start(OpId::new(2)), 4);
+    }
+
+    #[test]
+    fn mixed_classes_are_constrained_independently() {
+        let mut b = SequencingGraphBuilder::new();
+        let m1 = b.add_operation(OpShape::multiplier(8, 8));
+        let m2 = b.add_operation(OpShape::multiplier(8, 8));
+        let a1 = b.add_operation(OpShape::adder(8));
+        let a2 = b.add_operation(OpShape::adder(8));
+        let g = b.build().unwrap();
+        let lat = OpLatencies::from_vec(vec![2, 2, 2, 2]);
+        let constraint = PerClassBound::new(
+            classes_of(&g),
+            BTreeMap::from([(ResourceClass::Multiplier, 1), (ResourceClass::Adder, 1)]),
+        );
+        let s = ListScheduler::default()
+            .schedule(&g, &lat, constraint)
+            .unwrap();
+        // Multipliers serialise among themselves, adders among themselves,
+        // but a multiplier and an adder may overlap.
+        assert!(!s.overlaps(m1, m2, &lat));
+        assert!(!s.overlaps(a1, a2, &lat));
+        assert_eq!(s.makespan(&lat), 4);
+    }
+
+    #[test]
+    fn eqn3_constraint_schedules_under_wordlength_splits() {
+        // Three multiplications; o0 can only use the small member, o1 only
+        // the large one, o2 either.  With a bound of 2 multipliers this is
+        // schedulable; with 1 it is not.
+        let g = parallel_muls(3);
+        let lat = OpLatencies::uniform(&g, 2);
+        let member_classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        let op_members = vec![vec![0], vec![1], vec![0, 1]];
+        let mk = |bound: usize| {
+            SchedulingSetBound::new(
+                classes_of(&g),
+                op_members.clone(),
+                member_classes.clone(),
+                BTreeMap::from([(ResourceClass::Multiplier, bound)]),
+            )
+        };
+        let ok = ListScheduler::default().schedule(&g, &lat, mk(2)).unwrap();
+        assert!(ok.is_valid(&g, &lat));
+        let err = ListScheduler::default()
+            .schedule(&g, &lat, mk(1))
+            .unwrap_err();
+        assert!(matches!(err, SchedError::InfeasibleResourceBound { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_latency_table() {
+        let g = parallel_muls(2);
+        let lat = OpLatencies::from_vec(vec![1]);
+        let err = ListScheduler::default()
+            .schedule(&g, &lat, Unbounded::new())
+            .unwrap_err();
+        assert!(matches!(err, SchedError::LatencyTableMismatch { .. }));
+    }
+
+    #[test]
+    fn dependent_chain_with_shared_resource() {
+        // Chain x -> y plus independent z, one multiplier; the scheduler must
+        // interleave without violating precedence.
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(8, 8));
+        let y = b.add_operation(OpShape::multiplier(8, 8));
+        let z = b.add_operation(OpShape::multiplier(8, 8));
+        b.add_dependency(x, y).unwrap();
+        let g = b.build().unwrap();
+        let lat = OpLatencies::uniform(&g, 2);
+        let constraint = PerClassBound::new(
+            classes_of(&g),
+            BTreeMap::from([(ResourceClass::Multiplier, 1)]),
+        );
+        let s = ListScheduler::default()
+            .schedule(&g, &lat, constraint)
+            .unwrap();
+        assert!(s.is_valid(&g, &lat));
+        assert_eq!(s.makespan(&lat), 6);
+        assert!(!s.overlaps(x, z, &lat));
+        assert!(!s.overlaps(y, z, &lat));
+    }
+}

@@ -1,0 +1,218 @@
+//! ASAP / ALAP scheduling, critical path and mobility.
+
+use mwl_model::{Cycles, OpId, SequencingGraph};
+
+use crate::error::SchedError;
+use crate::schedule::{OpLatencies, Schedule};
+
+/// As-soon-as-possible schedule: every operation starts as early as its data
+/// dependences allow, with unlimited resources.
+///
+/// # Panics
+///
+/// Panics if the latency table does not match the graph (use
+/// [`OpLatencies::validate`] first when the table comes from untrusted
+/// input).
+#[must_use]
+pub fn asap(graph: &SequencingGraph, latencies: &OpLatencies) -> Schedule {
+    assert_eq!(latencies.len(), graph.len(), "latency table mismatch");
+    let order = graph.topological_order();
+    let mut start = vec![0; graph.len()];
+    for &v in &order {
+        let mut earliest = 0;
+        for &p in graph.predecessors(v) {
+            earliest = earliest.max(start[p.index()] + latencies.get(p));
+        }
+        start[v.index()] = earliest;
+    }
+    Schedule::from_vec(start)
+}
+
+/// As-late-as-possible schedule with respect to the given deadline: every
+/// operation finishes as late as possible while still meeting the deadline
+/// and all data dependences, with unlimited resources.
+///
+/// # Errors
+///
+/// Returns [`SchedError::DeadlineTooTight`] if the deadline is smaller than
+/// the critical path length, and latency-table validation errors otherwise.
+pub fn alap(
+    graph: &SequencingGraph,
+    latencies: &OpLatencies,
+    deadline: Cycles,
+) -> Result<Schedule, SchedError> {
+    latencies.validate(graph)?;
+    let cp = critical_path_length(graph, latencies);
+    if deadline < cp {
+        return Err(SchedError::DeadlineTooTight {
+            deadline,
+            critical_path: cp,
+        });
+    }
+    let order = graph.topological_order();
+    let mut end = vec![deadline; graph.len()];
+    for &v in order.iter().rev() {
+        let mut latest_end = deadline;
+        for &s in graph.successors(v) {
+            let succ_start = end[s.index()] - latencies.get(s);
+            latest_end = latest_end.min(succ_start);
+        }
+        end[v.index()] = latest_end;
+    }
+    let start = (0..graph.len())
+        .map(|i| end[i] - latencies.get(OpId::new(i as u32)))
+        .collect();
+    Ok(Schedule::from_vec(start))
+}
+
+/// Length of the critical path of the graph under the given latencies: the
+/// minimum achievable overall latency with unlimited resources.
+#[must_use]
+pub fn critical_path_length(graph: &SequencingGraph, latencies: &OpLatencies) -> Cycles {
+    asap(graph, latencies).makespan(latencies)
+}
+
+/// Mobility (ALAP start minus ASAP start) of every operation with respect to
+/// a deadline.  Operations with zero mobility form the classic critical path.
+///
+/// # Errors
+///
+/// Same conditions as [`alap`].
+pub fn mobility(
+    graph: &SequencingGraph,
+    latencies: &OpLatencies,
+    deadline: Cycles,
+) -> Result<Vec<Cycles>, SchedError> {
+    let early = asap(graph, latencies);
+    let late = alap(graph, latencies, deadline)?;
+    Ok((0..graph.len())
+        .map(|i| {
+            let op = OpId::new(i as u32);
+            late.start(op) - early.start(op)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{OpShape, SequencingGraphBuilder};
+
+    /// The motivational graph of the paper's Fig. 1(a):
+    /// four multiplications feeding a chain of two additions (shape chosen to
+    /// exercise both parallelism and chaining).
+    fn fig1_like() -> (SequencingGraph, OpLatencies) {
+        let mut b = SequencingGraphBuilder::new();
+        let m1 = b.add_operation(OpShape::multiplier(8, 8)); // lat 2
+        let m2 = b.add_operation(OpShape::multiplier(12, 12)); // lat 3
+        let m3 = b.add_operation(OpShape::multiplier(16, 16)); // lat 4
+        let a1 = b.add_operation(OpShape::adder(16)); // lat 2
+        let a2 = b.add_operation(OpShape::adder(20)); // lat 2
+        b.add_dependency(m1, a1).unwrap();
+        b.add_dependency(m2, a1).unwrap();
+        b.add_dependency(m3, a2).unwrap();
+        b.add_dependency(a1, a2).unwrap();
+        let g = b.build().unwrap();
+        let lat = OpLatencies::from_vec(vec![2, 3, 4, 2, 2]);
+        (g, lat)
+    }
+
+    #[test]
+    fn asap_respects_dependences() {
+        let (g, lat) = fig1_like();
+        let s = asap(&g, &lat);
+        assert!(s.is_valid(&g, &lat));
+        assert_eq!(s.start(OpId::new(0)), 0);
+        assert_eq!(s.start(OpId::new(1)), 0);
+        assert_eq!(s.start(OpId::new(2)), 0);
+        assert_eq!(s.start(OpId::new(3)), 3); // after m2
+        assert_eq!(s.start(OpId::new(4)), 5); // after a1 (5) and m3 (4)
+        assert_eq!(s.makespan(&lat), 7);
+    }
+
+    #[test]
+    fn critical_path_matches_asap_makespan() {
+        let (g, lat) = fig1_like();
+        assert_eq!(critical_path_length(&g, &lat), 7);
+    }
+
+    #[test]
+    fn alap_meets_deadline_and_is_valid() {
+        let (g, lat) = fig1_like();
+        let s = alap(&g, &lat, 10).unwrap();
+        assert!(s.is_valid(&g, &lat));
+        assert_eq!(s.makespan(&lat), 10);
+        // ALAP start of the final adder is deadline - latency.
+        assert_eq!(s.start(OpId::new(4)), 8);
+    }
+
+    #[test]
+    fn alap_at_critical_path_equals_asap_on_critical_ops() {
+        let (g, lat) = fig1_like();
+        let cp = critical_path_length(&g, &lat);
+        let early = asap(&g, &lat);
+        let late = alap(&g, &lat, cp).unwrap();
+        // Operations on the critical path (m2 -> a1 -> a2) have equal times.
+        for &i in &[1u32, 3, 4] {
+            assert_eq!(early.start(OpId::new(i)), late.start(OpId::new(i)));
+        }
+        // Off-critical operations have slack.
+        assert!(late.start(OpId::new(0)) > early.start(OpId::new(0)));
+    }
+
+    #[test]
+    fn alap_rejects_too_tight_deadline() {
+        let (g, lat) = fig1_like();
+        assert_eq!(
+            alap(&g, &lat, 6),
+            Err(SchedError::DeadlineTooTight {
+                deadline: 6,
+                critical_path: 7
+            })
+        );
+    }
+
+    #[test]
+    fn mobility_zero_on_critical_path() {
+        let (g, lat) = fig1_like();
+        let cp = critical_path_length(&g, &lat);
+        let m = mobility(&g, &lat, cp).unwrap();
+        assert_eq!(m[1], 0);
+        assert_eq!(m[3], 0);
+        assert_eq!(m[4], 0);
+        assert!(m[0] > 0);
+        assert_eq!(m.len(), g.len());
+    }
+
+    #[test]
+    fn mobility_grows_with_relaxed_deadline() {
+        let (g, lat) = fig1_like();
+        let cp = critical_path_length(&g, &lat);
+        let tight = mobility(&g, &lat, cp).unwrap();
+        let loose = mobility(&g, &lat, cp + 5).unwrap();
+        for i in 0..g.len() {
+            assert_eq!(loose[i], tight[i] + 5);
+        }
+    }
+
+    #[test]
+    fn single_op_graph() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::adder(8));
+        let g = b.build().unwrap();
+        let lat = OpLatencies::uniform(&g, 2);
+        assert_eq!(critical_path_length(&g, &lat), 2);
+        let s = alap(&g, &lat, 5).unwrap();
+        assert_eq!(s.start(OpId::new(0)), 3);
+    }
+
+    #[test]
+    fn alap_propagates_zero_latency_error() {
+        let (g, _) = fig1_like();
+        let lat = OpLatencies::from_vec(vec![2, 0, 4, 2, 2]);
+        assert_eq!(
+            alap(&g, &lat, 100),
+            Err(SchedError::ZeroLatency(OpId::new(1)))
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests of the scheduling substrate.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use mwl_model::{Cycles, OpId, ResourceClass, SequencingGraph, SonicCostModel};
+use mwl_sched::{
+    alap, asap, critical_path_length, minimum_cover, mobility, ListScheduler, OpLatencies,
+    PerClassBound, SchedulePriority, SchedulingSetBound, Unbounded,
+};
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn random_graph(ops: usize, seed: u64) -> SequencingGraph {
+    TgffGenerator::new(TgffConfig::with_ops(ops.max(1)), seed).generate()
+}
+
+fn native(graph: &SequencingGraph) -> OpLatencies {
+    let cost = SonicCostModel::default();
+    OpLatencies::from_fn(graph, |op| {
+        mwl_model::CostModel::native_latency(&cost, op.shape())
+    })
+}
+
+fn classes(graph: &SequencingGraph) -> Vec<ResourceClass> {
+    graph
+        .operations()
+        .iter()
+        .map(|o| ResourceClass::for_kind(o.kind()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// ASAP is a valid schedule and no valid schedule starts any operation
+    /// earlier; ALAP is valid and no later start is possible within the
+    /// deadline.
+    #[test]
+    fn asap_alap_bracket_all_schedules(ops in 1usize..16, seed in any::<u64>(), slack in 0u32..6) {
+        let graph = random_graph(ops, seed);
+        let lat = native(&graph);
+        let early = asap(&graph, &lat);
+        prop_assert!(early.is_valid(&graph, &lat));
+        let deadline = critical_path_length(&graph, &lat) + slack;
+        let late = alap(&graph, &lat, deadline).unwrap();
+        prop_assert!(late.is_valid(&graph, &lat));
+        prop_assert!(late.makespan(&lat) <= deadline);
+        for op in graph.op_ids() {
+            prop_assert!(early.start(op) <= late.start(op));
+        }
+        // Mobility equals the gap between the two.
+        let m = mobility(&graph, &lat, deadline).unwrap();
+        for op in graph.op_ids() {
+            prop_assert_eq!(m[op.index()], late.start(op) - early.start(op));
+        }
+    }
+
+    /// List scheduling with unbounded resources equals ASAP; with per-class
+    /// bounds it is valid, respects the bounds, and never beats ASAP.
+    #[test]
+    fn list_schedule_valid_and_bounded(
+        ops in 1usize..14,
+        seed in any::<u64>(),
+        mul_bound in 1usize..4,
+        add_bound in 1usize..4,
+    ) {
+        let graph = random_graph(ops, seed);
+        let lat = native(&graph);
+        let scheduler = ListScheduler::new(SchedulePriority::CriticalPath);
+
+        let unbounded = scheduler.schedule(&graph, &lat, Unbounded::new()).unwrap();
+        prop_assert_eq!(&unbounded, &asap(&graph, &lat));
+
+        let bounds = BTreeMap::from([
+            (ResourceClass::Multiplier, mul_bound),
+            (ResourceClass::Adder, add_bound),
+        ]);
+        let constrained = scheduler
+            .schedule(&graph, &lat, PerClassBound::new(classes(&graph), bounds.clone()))
+            .unwrap();
+        prop_assert!(constrained.is_valid(&graph, &lat));
+        // Bound check: count concurrent ops per class at every step.
+        let makespan = constrained.makespan(&lat);
+        for step in 0..makespan {
+            let mut counts: BTreeMap<ResourceClass, usize> = BTreeMap::new();
+            for op in constrained.active_at(step, &lat) {
+                *counts
+                    .entry(ResourceClass::for_kind(graph.operation(op).kind()))
+                    .or_insert(0) += 1;
+            }
+            for (class, count) in counts {
+                prop_assert!(count <= bounds[&class]);
+            }
+        }
+        // Resource constraints can only delay operations.
+        for op in graph.op_ids() {
+            prop_assert!(constrained.start(op) >= unbounded.start(op));
+        }
+    }
+
+    /// The Eqn (3) constraint is at least as strict as Eqn (2): any schedule
+    /// it produces also satisfies the per-class concurrency bound.
+    #[test]
+    fn eqn3_schedules_satisfy_eqn2(ops in 1usize..12, seed in any::<u64>(), bound in 1usize..4) {
+        let graph = random_graph(ops, seed);
+        let lat = native(&graph);
+        let op_classes = classes(&graph);
+        // Degenerate scheduling set: one member per class covering all its
+        // operations (|S| = |Y|), where the paper states Eqn 3 == Eqn 2.
+        let present: Vec<ResourceClass> = {
+            let mut v: Vec<ResourceClass> = op_classes.clone();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let op_members: Vec<Vec<usize>> = op_classes
+            .iter()
+            .map(|c| vec![present.iter().position(|p| p == c).unwrap()])
+            .collect();
+        let bounds: BTreeMap<ResourceClass, usize> =
+            present.iter().map(|&c| (c, bound)).collect();
+        let scheduler = ListScheduler::new(SchedulePriority::CriticalPath);
+        let eqn3 = scheduler.schedule(
+            &graph,
+            &lat,
+            SchedulingSetBound::new(op_classes.clone(), op_members, present.clone(), bounds.clone()),
+        );
+        let eqn2 = scheduler.schedule(
+            &graph,
+            &lat,
+            PerClassBound::new(op_classes.clone(), bounds.clone()),
+        );
+        // Both must agree on feasibility in the degenerate case, and the
+        // Eqn 3 schedule must satisfy the Eqn 2 bound.
+        match (eqn3, eqn2) {
+            (Ok(s3), Ok(_)) => {
+                prop_assert!(s3.is_valid(&graph, &lat));
+                let makespan = s3.makespan(&lat);
+                for step in 0..makespan {
+                    let mut counts: BTreeMap<ResourceClass, usize> = BTreeMap::new();
+                    for op in s3.active_at(step, &lat) {
+                        *counts
+                            .entry(ResourceClass::for_kind(graph.operation(op).kind()))
+                            .or_insert(0) += 1;
+                    }
+                    for (_, count) in counts {
+                        prop_assert!(count <= bound);
+                    }
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Critical path length is monotone in latencies and invariant to
+    /// uniformly scaling slack in ALAP deadlines.
+    #[test]
+    fn critical_path_monotone(ops in 1usize..14, seed in any::<u64>(), extra in 1u32..4) {
+        let graph = random_graph(ops, seed);
+        let lat = native(&graph);
+        let inflated: OpLatencies = lat.as_slice().iter().map(|&l| l + extra).collect();
+        prop_assert!(critical_path_length(&graph, &inflated) >= critical_path_length(&graph, &lat));
+    }
+
+    /// The minimum-cover solver always returns a cover of the coverable items
+    /// and never more candidates than the greedy bound `H(n) * OPT`; for the
+    /// exact regime it is no larger than the number of items.
+    #[test]
+    fn minimum_cover_is_a_cover(
+        items in 1usize..12,
+        sets in prop::collection::vec(prop::collection::vec(0usize..12, 0..6), 1..10),
+    ) {
+        let chosen = minimum_cover(items, &sets);
+        for item in 0..items {
+            let coverable = sets.iter().any(|s| s.contains(&item));
+            if coverable {
+                prop_assert!(chosen.iter().any(|&j| sets[j].contains(&item)));
+            }
+        }
+        prop_assert!(chosen.len() <= sets.len());
+        // Minimality sanity: removing any chosen set breaks the cover.
+        for &skip in &chosen {
+            let still_covered = (0..items)
+                .filter(|i| sets.iter().any(|s| s.contains(i)))
+                .all(|i| {
+                    chosen
+                        .iter()
+                        .filter(|&&j| j != skip)
+                        .any(|&j| sets[j].contains(&i))
+                });
+            prop_assert!(!still_covered || chosen.len() == 1);
+        }
+    }
+
+    /// Schedule accessors are self-consistent.
+    #[test]
+    fn schedule_accessors_consistent(ops in 1usize..12, seed in any::<u64>()) {
+        let graph = random_graph(ops, seed);
+        let lat = native(&graph);
+        let schedule = asap(&graph, &lat);
+        let makespan = schedule.makespan(&lat);
+        for op in graph.op_ids() {
+            prop_assert_eq!(schedule.end(op, &lat), schedule.start(op) + lat.get(op));
+            prop_assert!(schedule.end(op, &lat) <= makespan);
+            // Each op is active exactly during its interval.
+            for step in 0..makespan {
+                let active = schedule.active_at(step, &lat).contains(&op);
+                let inside = schedule.start(op) <= step && step < schedule.end(op, &lat);
+                prop_assert_eq!(active, inside);
+            }
+        }
+        let _: Vec<Cycles> = schedule.as_slice().to_vec();
+        let _ = OpId::new(0);
+    }
+}

@@ -1,0 +1,621 @@
+//! The wordlength compatibility graph `G(V, E)` of Section 2.1.
+//!
+//! The vertex set is partitioned into operations `O` and resource-wordlength
+//! types `R`; the edge set into
+//!
+//! * `H` — undirected *wordlength edges* `{o, r}`, meaning resource type `r`
+//!   can execute operation `o`.  Initially these are exactly the
+//!   [`covers`](mwl_model::ResourceType::covers) pairs; the allocator later
+//!   deletes edges to refine wordlength (and therefore latency) information.
+//! * `C` — directed *compatibility edges* `(o1, o2)`, meaning `o1` is
+//!   scheduled to complete before `o2` starts.  `C` is a transitive
+//!   orientation of the comparability subgraph `G'(O, C)`, so a maximum
+//!   clique of time-compatible operations is a longest chain and can be
+//!   found in linear time over a topological (start-time) order.
+//!
+//! [`WordlengthCompatibilityGraph`] owns the `H` edges, the per-resource
+//! latency/area quantities derived from a [`CostModel`], and (once a schedule
+//! is attached) the `C` edges.  It provides the queries the `DPAlloc`
+//! heuristic needs: latency upper bounds `L_o`, `O(r)`, `S(o)`, maximum
+//! chains of uncovered operations, and wordlength-refinement edge deletion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mwl_model::{Area, CostModel, Cycles, OpId, ResourceType, SequencingGraph};
+use mwl_sched::{OpLatencies, Schedule};
+
+/// Index of a resource-wordlength type within the graph's resource list.
+pub type ResourceIndex = usize;
+
+/// The wordlength compatibility graph.
+///
+/// # Examples
+///
+/// ```
+/// use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+/// use mwl_wcg::WordlengthCompatibilityGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SequencingGraphBuilder::new();
+/// let small = b.add_operation(OpShape::multiplier(8, 8));
+/// let large = b.add_operation(OpShape::multiplier(16, 16));
+/// let g = b.build()?;
+///
+/// let wcg = WordlengthCompatibilityGraph::new(&g, &SonicCostModel::default());
+/// // The small multiplication can run on the 8x8, 16x8 or 16x16 type...
+/// assert_eq!(wcg.resources_for(small).len(), 3);
+/// // ...so its latency upper bound is the latency of the 16x16 type.
+/// assert_eq!(wcg.upper_bound_latency(small), 4);
+/// assert_eq!(wcg.upper_bound_latency(large), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WordlengthCompatibilityGraph {
+    /// Candidate resource-wordlength types (the vertex subset `R`).
+    resources: Vec<ResourceType>,
+    /// Latency of each resource type under the cost model.
+    latencies: Vec<Cycles>,
+    /// Area of each resource type under the cost model.
+    areas: Vec<Area>,
+    /// `H` edges: for every operation, the set of compatible resource
+    /// indices.
+    edges: Vec<BTreeSet<ResourceIndex>>,
+    /// Schedule-derived start/end intervals used for the `C` edges
+    /// (operation `o1` precedes `o2` iff `end(o1) <= start(o2)`).
+    intervals: Option<Vec<(Cycles, Cycles)>>,
+}
+
+impl WordlengthCompatibilityGraph {
+    /// Builds the initial graph for a sequencing graph under a cost model:
+    /// the resource set is extracted from the operations and every `{o, r}`
+    /// pair with `r.covers(o)` becomes an `H` edge.  No `C` edges exist until
+    /// [`attach_schedule`](Self::attach_schedule) is called.
+    #[must_use]
+    pub fn new(graph: &SequencingGraph, cost: &dyn CostModel) -> Self {
+        let resources = graph.extract_resource_types();
+        Self::with_resources(graph, resources, cost)
+    }
+
+    /// Builds the graph with an explicitly supplied resource set.
+    #[must_use]
+    pub fn with_resources(
+        graph: &SequencingGraph,
+        resources: Vec<ResourceType>,
+        cost: &dyn CostModel,
+    ) -> Self {
+        let latencies = resources.iter().map(|r| cost.latency(r)).collect();
+        let areas = resources.iter().map(|r| cost.area(r)).collect();
+        let edges = graph
+            .operations()
+            .iter()
+            .map(|op| {
+                resources
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.covers(op.shape()))
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        WordlengthCompatibilityGraph {
+            resources,
+            latencies,
+            areas,
+            edges,
+            intervals: None,
+        }
+    }
+
+    /// Number of operations `|O|`.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The resource-wordlength types `R`.
+    #[must_use]
+    pub fn resources(&self) -> &[ResourceType] {
+        &self.resources
+    }
+
+    /// One resource type by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[must_use]
+    pub fn resource(&self, index: ResourceIndex) -> &ResourceType {
+        &self.resources[index]
+    }
+
+    /// Latency of a resource type under the construction cost model.
+    #[must_use]
+    pub fn resource_latency(&self, index: ResourceIndex) -> Cycles {
+        self.latencies[index]
+    }
+
+    /// Area of a resource type under the construction cost model.
+    #[must_use]
+    pub fn resource_area(&self, index: ResourceIndex) -> Area {
+        self.areas[index]
+    }
+
+    /// The resource indices compatible with an operation (the `H`-neighbours
+    /// of `o`, i.e. the candidates from which `S(o)` is drawn).
+    #[must_use]
+    pub fn resources_for(&self, op: OpId) -> Vec<ResourceIndex> {
+        self.edges[op.index()].iter().copied().collect()
+    }
+
+    /// Returns `true` if the `H` edge `{o, r}` is present.
+    #[must_use]
+    pub fn has_edge(&self, op: OpId, resource: ResourceIndex) -> bool {
+        self.edges[op.index()].contains(&resource)
+    }
+
+    /// The operations compatible with a resource type (`O(r)`).
+    #[must_use]
+    pub fn ops_for(&self, resource: ResourceIndex) -> Vec<OpId> {
+        (0..self.num_ops())
+            .map(|i| OpId::new(i as u32))
+            .filter(|&o| self.has_edge(o, resource))
+            .collect()
+    }
+
+    /// Total number of `H` edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Latency upper bound `L_o`: the latency of the slowest resource the
+    /// operation is still compatible with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every `H` edge of the operation has been deleted; the
+    /// allocator never removes the last edge of an operation.
+    #[must_use]
+    pub fn upper_bound_latency(&self, op: OpId) -> Cycles {
+        self.edges[op.index()]
+            .iter()
+            .map(|&r| self.latencies[r])
+            .max()
+            .expect("operation retains at least one compatible resource")
+    }
+
+    /// Latency upper bounds for all operations, in a form directly usable by
+    /// the schedulers.
+    #[must_use]
+    pub fn upper_bound_latencies(&self) -> OpLatencies {
+        (0..self.num_ops())
+            .map(|i| self.upper_bound_latency(OpId::new(i as u32)))
+            .collect()
+    }
+
+    /// Deletes a single `H` edge.  Returns `true` if the edge existed.
+    pub fn delete_edge(&mut self, op: OpId, resource: ResourceIndex) -> bool {
+        self.edges[op.index()].remove(&resource)
+    }
+
+    /// Deletes every `H` edge `{op, r}` whose resource latency equals the
+    /// operation's current upper bound `L_o` — the paper's wordlength
+    /// refinement step.  The deletion is skipped (returning 0) when it would
+    /// leave the operation with no compatible resource.
+    ///
+    /// Returns the number of edges removed.
+    pub fn refine_op(&mut self, op: OpId) -> usize {
+        let bound = self.upper_bound_latency(op);
+        let slow: Vec<ResourceIndex> = self.edges[op.index()]
+            .iter()
+            .copied()
+            .filter(|&r| self.latencies[r] == bound)
+            .collect();
+        if slow.len() == self.edges[op.index()].len() {
+            // All remaining candidates share the same (minimal) latency:
+            // nothing can be refined away without stranding the operation.
+            let distinct: BTreeSet<Cycles> = self.edges[op.index()]
+                .iter()
+                .map(|&r| self.latencies[r])
+                .collect();
+            if distinct.len() <= 1 {
+                return 0;
+            }
+        }
+        let mut removed = 0;
+        for r in slow {
+            if self.edges[op.index()].len() == 1 {
+                break;
+            }
+            if self.edges[op.index()].remove(&r) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Returns `true` if the operation still has more than one distinct
+    /// candidate latency, i.e. refinement could still lower its upper bound.
+    #[must_use]
+    pub fn refinable(&self, op: OpId) -> bool {
+        let distinct: BTreeSet<Cycles> = self.edges[op.index()]
+            .iter()
+            .map(|&r| self.latencies[r])
+            .collect();
+        distinct.len() > 1
+    }
+
+    /// Attaches schedule information, creating the `C` edges: `(o1, o2) ∈ C`
+    /// iff `o1` completes no later than `o2` starts under the given start
+    /// times and latency table.
+    pub fn attach_schedule(&mut self, schedule: &Schedule, latencies: &OpLatencies) {
+        let intervals = (0..self.num_ops())
+            .map(|i| {
+                let op = OpId::new(i as u32);
+                (schedule.start(op), schedule.end(op, latencies))
+            })
+            .collect();
+        self.intervals = Some(intervals);
+    }
+
+    /// Removes the `C` edges (used when the allocator reschedules).
+    pub fn detach_schedule(&mut self) {
+        self.intervals = None;
+    }
+
+    /// Returns `true` if a schedule has been attached.
+    #[must_use]
+    pub fn has_schedule(&self) -> bool {
+        self.intervals.is_some()
+    }
+
+    /// Returns `true` if the directed compatibility edge `(o1, o2)` exists:
+    /// `o1` completes before (or exactly when) `o2` starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule is attached.
+    #[must_use]
+    pub fn compatible(&self, o1: OpId, o2: OpId) -> bool {
+        let intervals = self
+            .intervals
+            .as_ref()
+            .expect("attach_schedule must be called before compatibility queries");
+        intervals[o1.index()].1 <= intervals[o2.index()].0
+    }
+
+    /// Returns `true` if the given operations are pairwise time-compatible,
+    /// i.e. they form a clique of the comparability graph `G'(O, C)` and can
+    /// therefore share one resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule is attached.
+    #[must_use]
+    pub fn is_chain(&self, ops: &[OpId]) -> bool {
+        let mut sorted: Vec<OpId> = ops.to_vec();
+        let intervals = self
+            .intervals
+            .as_ref()
+            .expect("attach_schedule must be called before compatibility queries");
+        sorted.sort_by_key(|o| intervals[o.index()].0);
+        sorted
+            .windows(2)
+            .all(|w| intervals[w[0].index()].1 <= intervals[w[1].index()].0)
+    }
+
+    /// Finds a maximum clique of *uncovered* operations within `O(r)`.
+    ///
+    /// Because `C` is a transitive orientation, a clique is a chain of
+    /// operations whose execution intervals do not overlap; the maximum one
+    /// is found by dynamic programming over operations sorted by start time.
+    /// Returns the operations of the chain in execution order (possibly
+    /// empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule is attached.
+    #[must_use]
+    pub fn max_chain(&self, resource: ResourceIndex, covered: &[bool]) -> Vec<OpId> {
+        let intervals = self
+            .intervals
+            .as_ref()
+            .expect("attach_schedule must be called before max_chain");
+        let mut candidates: Vec<OpId> = self
+            .ops_for(resource)
+            .into_iter()
+            .filter(|o| !covered[o.index()])
+            .collect();
+        candidates.sort_by_key(|o| (intervals[o.index()].0, intervals[o.index()].1, *o));
+        let k = candidates.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        // best[i]: length of the longest chain ending at candidate i.
+        let mut best = vec![1usize; k];
+        let mut prev: Vec<Option<usize>> = vec![None; k];
+        for i in 0..k {
+            for j in 0..i {
+                let end_j = intervals[candidates[j].index()].1;
+                let start_i = intervals[candidates[i].index()].0;
+                if end_j <= start_i && best[j] + 1 > best[i] {
+                    best[i] = best[j] + 1;
+                    prev[i] = Some(j);
+                }
+            }
+        }
+        let mut tail = (0..k).max_by_key(|&i| best[i]).expect("k > 0");
+        let mut chain = vec![candidates[tail]];
+        while let Some(p) = prev[tail] {
+            chain.push(candidates[p]);
+            tail = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The cheapest resource (by area) able to execute every operation in the
+    /// given set, if one exists.
+    #[must_use]
+    pub fn cheapest_common_resource(&self, ops: &[OpId]) -> Option<ResourceIndex> {
+        (0..self.resources.len())
+            .filter(|&r| ops.iter().all(|&o| self.has_edge(o, r)))
+            .min_by_key(|&r| (self.areas[r], r))
+    }
+
+    /// Candidate lists in the shape expected by
+    /// [`mwl_sched::scheduling_set`]: entry `i` lists the resource indices
+    /// compatible with operation `i`.
+    #[must_use]
+    pub fn op_candidate_lists(&self) -> Vec<Vec<ResourceIndex>> {
+        (0..self.num_ops())
+            .map(|i| self.resources_for(OpId::new(i as u32)))
+            .collect()
+    }
+}
+
+impl fmt::Display for WordlengthCompatibilityGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "wordlength compatibility graph: {} operations, {} resource types, {} H edges",
+            self.num_ops(),
+            self.resources.len(),
+            self.num_edges()
+        )?;
+        for (i, r) in self.resources.iter().enumerate() {
+            let ops: Vec<String> = self.ops_for(i).iter().map(ToString::to_string).collect();
+            writeln!(
+                f,
+                "  r{i}: {r} (latency {}, area {}) <- [{}]",
+                self.latencies[i],
+                self.areas[i],
+                ops.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_sched::{asap, OpLatencies};
+
+    /// Two small and one large multiplication plus an adder.
+    fn sample() -> (SequencingGraph, WordlengthCompatibilityGraph) {
+        let mut b = SequencingGraphBuilder::new();
+        let m_small = b.add_operation(OpShape::multiplier(8, 8));
+        let m_mid = b.add_operation(OpShape::multiplier(12, 10));
+        let m_big = b.add_operation(OpShape::multiplier(16, 16));
+        let a = b.add_operation(OpShape::adder(20));
+        b.add_dependency(m_small, a).unwrap();
+        b.add_dependency(m_mid, a).unwrap();
+        b.add_dependency(m_big, a).unwrap();
+        let g = b.build().unwrap();
+        let wcg = WordlengthCompatibilityGraph::new(&g, &SonicCostModel::default());
+        (g, wcg)
+    }
+
+    #[test]
+    fn construction_creates_cover_edges() {
+        let (g, wcg) = sample();
+        assert_eq!(wcg.num_ops(), g.len());
+        // Every op has at least one edge; the big multiplier covers all muls.
+        for op in g.op_ids() {
+            assert!(!wcg.resources_for(op).is_empty());
+        }
+        let big_idx = wcg
+            .resources()
+            .iter()
+            .position(|r| *r == ResourceType::multiplier(16, 16))
+            .unwrap();
+        assert_eq!(wcg.ops_for(big_idx).len(), 3);
+        // The adder type covers only the adder op.
+        let adder_idx = wcg
+            .resources()
+            .iter()
+            .position(|r| *r == ResourceType::adder(20))
+            .unwrap();
+        assert_eq!(wcg.ops_for(adder_idx), vec![OpId::new(3)]);
+    }
+
+    #[test]
+    fn resource_costs_cached() {
+        let (_, wcg) = sample();
+        let model = SonicCostModel::default();
+        for (i, r) in wcg.resources().iter().enumerate() {
+            assert_eq!(wcg.resource_latency(i), model.latency(r));
+            assert_eq!(wcg.resource_area(i), model.area(r));
+            assert_eq!(wcg.resource(i), r);
+        }
+    }
+
+    #[test]
+    fn upper_bounds_use_slowest_compatible_resource() {
+        let (_, wcg) = sample();
+        // The 8x8 multiplication may be executed on the 16x16 multiplier:
+        // upper bound = ceil(32/8) = 4 rather than its native 2.
+        assert_eq!(wcg.upper_bound_latency(OpId::new(0)), 4);
+        assert_eq!(wcg.upper_bound_latency(OpId::new(2)), 4);
+        assert_eq!(wcg.upper_bound_latency(OpId::new(3)), 2);
+        let all = wcg.upper_bound_latencies();
+        assert_eq!(all.get(OpId::new(0)), 4);
+    }
+
+    #[test]
+    fn refine_op_deletes_slowest_edges() {
+        let (_, mut wcg) = sample();
+        let op = OpId::new(0);
+        let before = wcg.resources_for(op).len();
+        assert!(wcg.refinable(op));
+        let removed = wcg.refine_op(op);
+        assert!(removed > 0);
+        assert_eq!(wcg.resources_for(op).len(), before - removed);
+        assert!(wcg.upper_bound_latency(op) < 4);
+    }
+
+    #[test]
+    fn refine_op_never_strands_an_operation() {
+        let (_, mut wcg) = sample();
+        let op = OpId::new(0);
+        // Refine until no longer possible.
+        let mut guard = 0;
+        while wcg.refinable(op) {
+            assert!(wcg.refine_op(op) > 0);
+            guard += 1;
+            assert!(guard < 100, "refinement must terminate");
+        }
+        assert!(!wcg.resources_for(op).is_empty());
+        assert_eq!(wcg.refine_op(op), 0);
+        // The remaining candidates all have the native (minimum) latency.
+        assert_eq!(wcg.upper_bound_latency(op), 2);
+    }
+
+    #[test]
+    fn delete_edge_reports_presence() {
+        let (_, mut wcg) = sample();
+        let op = OpId::new(0);
+        let r = wcg.resources_for(op)[0];
+        assert!(wcg.has_edge(op, r));
+        assert!(wcg.delete_edge(op, r));
+        assert!(!wcg.delete_edge(op, r));
+        assert!(!wcg.has_edge(op, r));
+    }
+
+    #[test]
+    fn compatibility_follows_schedule() {
+        let (g, mut wcg) = sample();
+        let lat = wcg.upper_bound_latencies();
+        let schedule = asap(&g, &lat);
+        assert!(!wcg.has_schedule());
+        wcg.attach_schedule(&schedule, &lat);
+        assert!(wcg.has_schedule());
+        // The three multiplications start together (incompatible); each is
+        // compatible with the adder that consumes them.
+        assert!(!wcg.compatible(OpId::new(0), OpId::new(1)));
+        assert!(wcg.compatible(OpId::new(0), OpId::new(3)));
+        assert!(wcg.compatible(OpId::new(2), OpId::new(3)));
+        assert!(!wcg.compatible(OpId::new(3), OpId::new(0)));
+        assert!(wcg.is_chain(&[OpId::new(0), OpId::new(3)]));
+        assert!(!wcg.is_chain(&[OpId::new(0), OpId::new(1)]));
+        wcg.detach_schedule();
+        assert!(!wcg.has_schedule());
+    }
+
+    #[test]
+    fn max_chain_finds_longest_sequential_run() {
+        // A chain of three 8x8 muls plus one parallel mul: the longest chain
+        // on the shared multiplier type has length 3.
+        let mut b = SequencingGraphBuilder::new();
+        let x = b.add_operation(OpShape::multiplier(8, 8));
+        let y = b.add_operation(OpShape::multiplier(8, 8));
+        let z = b.add_operation(OpShape::multiplier(8, 8));
+        let w = b.add_operation(OpShape::multiplier(8, 8));
+        b.add_dependency(x, y).unwrap();
+        b.add_dependency(y, z).unwrap();
+        let g = b.build().unwrap();
+        let mut wcg = WordlengthCompatibilityGraph::new(&g, &SonicCostModel::default());
+        let lat = wcg.upper_bound_latencies();
+        let schedule = asap(&g, &lat);
+        wcg.attach_schedule(&schedule, &lat);
+        let chain = wcg.max_chain(0, &vec![false; 4]);
+        assert_eq!(chain, vec![x, y, z]);
+        // Covered operations are skipped.
+        let mut covered = vec![false; 4];
+        covered[y.index()] = true;
+        let chain = wcg.max_chain(0, &covered);
+        assert_eq!(chain.len(), 2);
+        assert!(!chain.contains(&y));
+        let _ = w;
+    }
+
+    #[test]
+    fn max_chain_empty_when_all_covered() {
+        let (g, mut wcg) = sample();
+        let lat = wcg.upper_bound_latencies();
+        let schedule = asap(&g, &lat);
+        wcg.attach_schedule(&schedule, &lat);
+        let covered = vec![true; g.len()];
+        assert!(wcg.max_chain(0, &covered).is_empty());
+    }
+
+    #[test]
+    fn cheapest_common_resource() {
+        let (_, wcg) = sample();
+        // Small and mid multiplications share the 12x10 type (cheaper than
+        // 16x16); all three multiplications only share the 16x16 type.
+        let r = wcg
+            .cheapest_common_resource(&[OpId::new(0), OpId::new(1)])
+            .unwrap();
+        assert_eq!(*wcg.resource(r), ResourceType::multiplier(12, 10));
+        let r = wcg
+            .cheapest_common_resource(&[OpId::new(0), OpId::new(1), OpId::new(2)])
+            .unwrap();
+        assert_eq!(*wcg.resource(r), ResourceType::multiplier(16, 16));
+        // No resource executes both a multiplication and an addition.
+        assert!(wcg
+            .cheapest_common_resource(&[OpId::new(0), OpId::new(3)])
+            .is_none());
+    }
+
+    #[test]
+    fn candidate_lists_shape() {
+        let (g, wcg) = sample();
+        let lists = wcg.op_candidate_lists();
+        assert_eq!(lists.len(), g.len());
+        for (i, list) in lists.iter().enumerate() {
+            assert_eq!(list, &wcg.resources_for(OpId::new(i as u32)));
+        }
+    }
+
+    #[test]
+    fn display_mentions_every_resource() {
+        let (_, wcg) = sample();
+        let s = wcg.to_string();
+        for r in wcg.resources() {
+            assert!(s.contains(&r.to_string()));
+        }
+    }
+
+    #[test]
+    fn schedule_attachment_uses_supplied_latencies() {
+        let (g, mut wcg) = sample();
+        // With native latencies the multiplications end earlier, changing
+        // compatibility with the adder.
+        let model = SonicCostModel::default();
+        let native = OpLatencies::from_fn(&g, |op| model.native_latency(op.shape()));
+        let schedule = asap(&g, &native);
+        wcg.attach_schedule(&schedule, &native);
+        assert!(wcg.compatible(OpId::new(0), OpId::new(3)));
+    }
+}

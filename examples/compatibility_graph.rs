@@ -1,0 +1,101 @@
+//! The wordlength compatibility graph of the paper's Figure 2, step by step.
+//!
+//! Two multiplications of different wordlengths are scheduled sequentially;
+//! the example prints the graph's vertex sets (`O` and `R`), its wordlength
+//! edges `H`, the latency upper bounds, and then demonstrates the refinement
+//! step discussed in Section 2.2: once the edge between the small
+//! multiplication and the large multiplier type is deleted, a single
+//! multiplier resource no longer suffices even though the operations never
+//! overlap in time.
+//!
+//! Run with: `cargo run --example compatibility_graph`
+
+use mwl::prelude::*;
+use mwl::sched::{scheduling_set, ListScheduler, SchedulePriority, SchedulingSetBound};
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 2(a): two multiplications in a chain.
+    let mut builder = SequencingGraphBuilder::new();
+    let small = builder.add_named_operation(OpShape::multiplier(12, 8), "small");
+    let large = builder.add_named_operation(OpShape::multiplier(20, 18), "large");
+    builder.add_dependency(small, large)?;
+    let graph = builder.build()?;
+
+    let cost = SonicCostModel::default();
+    let mut wcg = WordlengthCompatibilityGraph::new(&graph, &cost);
+    println!("initial wordlength compatibility graph:\n{wcg}");
+
+    // Figure 2(b): a schedule using the latency upper bounds.
+    let upper = wcg.upper_bound_latencies();
+    println!(
+        "latency upper bounds: small = {} steps, large = {} steps",
+        upper.get(small),
+        upper.get(large)
+    );
+    let schedule = asap(&graph, &upper);
+    wcg.attach_schedule(&schedule, &upper);
+    println!("schedule: {schedule}");
+    println!(
+        "compatible(small -> large) = {}\n",
+        wcg.compatible(small, large)
+    );
+
+    // With full flexibility one multiplier (the 20x18 type) covers both
+    // operations, so the scheduling set has a single member and Eqn (3)
+    // admits a one-multiplier schedule.
+    let demo_bounds = BTreeMap::from([(ResourceClass::Multiplier, 1)]);
+    println!(
+        "one multiplier feasible before refinement: {}",
+        schedules_with_bounds(&graph, &wcg, &demo_bounds)
+    );
+
+    // Refinement: delete the small operation's slowest edges (the paper's
+    // example deletes {o1, '20x18 mult'}).
+    let removed = wcg.refine_op(small);
+    println!("\nrefined the small multiplication: removed {removed} wordlength edge(s)");
+    println!("{wcg}");
+    println!(
+        "one multiplier feasible after refinement: {}",
+        schedules_with_bounds(&graph, &wcg, &demo_bounds)
+    );
+    println!("two multipliers feasible after refinement: {}", {
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 2)]);
+        schedules_with_bounds(&graph, &wcg, &bounds)
+    });
+    Ok(())
+}
+
+/// Attempts an Eqn (3)-constrained list schedule with the given per-class
+/// bounds and reports whether it succeeds.
+fn schedules_with_bounds(
+    graph: &SequencingGraph,
+    wcg: &WordlengthCompatibilityGraph,
+    bounds: &BTreeMap<ResourceClass, usize>,
+) -> bool {
+    let upper = wcg.upper_bound_latencies();
+    let lists = wcg.op_candidate_lists();
+    let members = scheduling_set(&lists);
+    let member_classes: Vec<ResourceClass> =
+        members.iter().map(|&r| wcg.resource(r).class()).collect();
+    let op_members: Vec<Vec<usize>> = graph
+        .op_ids()
+        .map(|o| {
+            members
+                .iter()
+                .enumerate()
+                .filter(|(_, &r)| wcg.has_edge(o, r))
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    let op_classes: Vec<ResourceClass> = graph
+        .operations()
+        .iter()
+        .map(|o| ResourceClass::for_kind(o.kind()))
+        .collect();
+    let constraint = SchedulingSetBound::new(op_classes, op_members, member_classes, bounds.clone());
+    ListScheduler::new(SchedulePriority::CriticalPath)
+        .schedule(graph, &upper, constraint)
+        .is_ok()
+}

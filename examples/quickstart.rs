@@ -1,0 +1,52 @@
+//! Quickstart: allocate the paper's motivational example (Figure 1).
+//!
+//! The sequencing graph has four multiplications of different wordlengths
+//! feeding a small adder tree.  With a relaxed latency constraint the
+//! heuristic implements the small multiplications inside larger (slower)
+//! multiplier resources so that they can share hardware, which is exactly
+//! the behaviour Figure 1(b) of the paper illustrates.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mwl::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build the sequencing graph (data dependencies only; wordlengths are
+    // per-operation, as produced by a wordlength-optimisation front-end such
+    // as the paper's Synoptix).
+    let mut builder = SequencingGraphBuilder::new();
+    let m1 = builder.add_named_operation(OpShape::multiplier(8, 8), "m1");
+    let m2 = builder.add_named_operation(OpShape::multiplier(12, 10), "m2");
+    let m3 = builder.add_named_operation(OpShape::multiplier(16, 14), "m3");
+    let m4 = builder.add_named_operation(OpShape::multiplier(20, 18), "m4");
+    let a1 = builder.add_named_operation(OpShape::adder(24), "a1");
+    let a2 = builder.add_named_operation(OpShape::adder(25), "a2");
+    builder.add_dependency(m1, a1)?;
+    builder.add_dependency(m2, a1)?;
+    builder.add_dependency(m3, a2)?;
+    builder.add_dependency(m4, a2)?;
+    let graph = builder.build()?;
+    println!("{graph}");
+
+    let cost = SonicCostModel::default();
+    let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+    let lambda_min = critical_path_length(&graph, &native);
+    println!("minimum achievable latency: {lambda_min} control steps\n");
+
+    // Allocate at the minimum latency and with 50% slack.
+    for (label, lambda) in [("tight", lambda_min), ("relaxed", lambda_min + lambda_min / 2)] {
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph)?;
+        datapath.validate(&graph, &cost)?;
+        println!("--- {label} constraint (lambda = {lambda}) ---");
+        println!("{datapath}");
+        for op in graph.op_ids() {
+            println!(
+                "  {} implemented on {}",
+                graph.operation(op),
+                datapath.selected_resource(op)
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Heuristic datapath allocation for multiple wordlength systems.
+//!
+//! This is the facade crate of the workspace reproducing Constantinides,
+//! Cheung and Luk, *Heuristic Datapath Allocation for Multiple Wordlength
+//! Systems* (DATE 2001).  It re-exports the individual crates so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`model`] — operations, wordlengths, resource types, cost models and the
+//!   sequencing graph ([`mwl_model`]);
+//! * [`sched`] — ASAP/ALAP and resource-constrained list scheduling with the
+//!   wordlength-aware constraint of Eqn (3) ([`mwl_sched`]);
+//! * [`wcg`] — the wordlength compatibility graph ([`mwl_wcg`]);
+//! * [`alloc`] — the `DPAlloc` heuristic, `BindSelect` binding and the
+//!   [`alloc::Datapath`] result type ([`mwl_core`]);
+//! * [`lp`] — the simplex / branch-and-bound ILP substrate ([`mwl_lp`]);
+//! * [`optimal`] — the optimal ILP and exhaustive allocators ([`mwl_optimal`]);
+//! * [`baselines`] — the two-stage \[4\], wordlength-sorted \[14\] and
+//!   uniform-wordlength baselines ([`mwl_baselines`]);
+//! * [`tgff`] — the TGFF-style random graph generator ([`mwl_tgff`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use mwl::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small dataflow: two multiplications feeding an addition.
+//! let mut builder = SequencingGraphBuilder::new();
+//! let x = builder.add_operation(OpShape::multiplier(8, 8));
+//! let y = builder.add_operation(OpShape::multiplier(14, 10));
+//! let sum = builder.add_operation(OpShape::adder(24));
+//! builder.add_dependency(x, sum)?;
+//! builder.add_dependency(y, sum)?;
+//! let graph = builder.build()?;
+//!
+//! // Allocate with the SONIC cost model and a 12-step latency budget.
+//! let cost = SonicCostModel::default();
+//! let datapath = DpAllocator::new(&cost, AllocConfig::new(12)).allocate(&graph)?;
+//! assert!(datapath.latency() <= 12);
+//! datapath.validate(&graph, &cost)?;
+//! println!("{datapath}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Operations, wordlengths, resources, cost models and sequencing graphs.
+pub mod model {
+    pub use mwl_model::*;
+}
+
+/// ASAP/ALAP, list scheduling and scheduling-set computation.
+pub mod sched {
+    pub use mwl_sched::*;
+}
+
+/// The wordlength compatibility graph.
+pub mod wcg {
+    pub use mwl_wcg::*;
+}
+
+/// The `DPAlloc` heuristic and the datapath result type.
+pub mod alloc {
+    pub use mwl_core::*;
+}
+
+/// Simplex and branch-and-bound integer programming.
+pub mod lp {
+    pub use mwl_lp::*;
+}
+
+/// Optimal (ILP and exhaustive) allocation.
+pub mod optimal {
+    pub use mwl_optimal::*;
+}
+
+/// Baseline allocators from the literature.
+pub mod baselines {
+    pub use mwl_baselines::*;
+}
+
+/// TGFF-style random sequencing-graph generation.
+pub mod tgff {
+    pub use mwl_tgff::*;
+}
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use mwl_baselines::{SortedCliqueAllocator, TwoStageAllocator, UniformWordlengthAllocator};
+    pub use mwl_core::{AllocConfig, AllocError, Datapath, DpAllocator, ResourceInstance};
+    pub use mwl_model::{
+        CostModel, Cycles, OpId, OpKind, OpShape, Operation, ResourceClass, ResourceType,
+        SequencingGraph, SequencingGraphBuilder, SonicCostModel,
+    };
+    pub use mwl_optimal::{ExhaustiveAllocator, IlpAllocator};
+    pub use mwl_sched::{asap, critical_path_length, OpLatencies, Schedule};
+    pub use mwl_tgff::{TgffConfig, TgffGenerator};
+    pub use mwl_wcg::WordlengthCompatibilityGraph;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_covers_the_main_workflow() {
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(6), 1);
+        let graph = generator.generate();
+        let cost = SonicCostModel::default();
+        let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+        let lambda = critical_path_length(&graph, &native) + 2;
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap();
+        datapath.validate(&graph, &cost).unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests over random multiple-wordlength allocation problems.
+//!
+//! These use proptest to generate random sequencing graphs (via seeded TGFF
+//! configurations) and random latency slacks, and assert the paper's core
+//! invariants hold for every instance: schedules are valid, bindings satisfy
+//! Eqn (4), the heuristic always meets an achievable constraint, and the
+//! exact solvers lower-bound the heuristic.
+
+use proptest::prelude::*;
+
+use mwl::prelude::*;
+
+fn cost() -> SonicCostModel {
+    SonicCostModel::default()
+}
+
+fn lambda_min(graph: &SequencingGraph, cost: &SonicCostModel) -> Cycles {
+    let native = OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+    critical_path_length(graph, &native)
+}
+
+/// Strategy: a random graph described by (ops, seed, mul_fraction index).
+fn graph_strategy() -> impl Strategy<Value = SequencingGraph> {
+    (1usize..=14, any::<u64>(), 0u8..=2).prop_map(|(ops, seed, mix)| {
+        let mul_fraction = match mix {
+            0 => 0.25,
+            1 => 0.5,
+            _ => 0.75,
+        };
+        let config = TgffConfig::with_ops(ops).mul_fraction(mul_fraction);
+        TgffGenerator::new(config, seed).generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// The heuristic always returns a datapath that validates and meets any
+    /// achievable latency constraint.
+    #[test]
+    fn heuristic_always_valid_and_meets_constraint(
+        graph in graph_strategy(),
+        slack in 0u32..8,
+    ) {
+        let cost = cost();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .expect("achievable constraint must be satisfiable");
+        prop_assert!(datapath.latency() <= lambda);
+        prop_assert!(datapath.validate(&graph, &cost).is_ok());
+        // Every operation's selected resource covers it (Eqn 4) and its area
+        // contributes to the total.
+        for op in graph.op_ids() {
+            prop_assert!(datapath.selected_resource(op).covers(graph.operation(op).shape()));
+        }
+        prop_assert!(datapath.area() > 0);
+        prop_assert!(datapath.num_instances() <= graph.len());
+    }
+
+    /// Constraints below the critical path are always rejected.
+    #[test]
+    fn unachievable_constraints_rejected(graph in graph_strategy()) {
+        let cost = cost();
+        let minimum = lambda_min(&graph, &cost);
+        prop_assume!(minimum > 1);
+        let result = DpAllocator::new(&cost, AllocConfig::new(minimum - 1)).allocate(&graph);
+        let rejected = matches!(result, Err(AllocError::LatencyUnachievable { .. }));
+        prop_assert!(rejected);
+    }
+
+    /// ASAP start times lower-bound any valid resource-constrained schedule
+    /// produced through the allocator.
+    #[test]
+    fn schedule_never_beats_asap(graph in graph_strategy(), slack in 0u32..6) {
+        let cost = cost();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap();
+        let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+        let earliest = asap(&graph, &native);
+        for op in graph.op_ids() {
+            prop_assert!(datapath.schedule().start(op) >= earliest.start(op));
+        }
+    }
+
+    /// The two-stage baseline never produces a smaller area than the
+    /// heuristic *and* the optimum never exceeds either (checked on small
+    /// graphs where the exhaustive oracle is cheap).
+    #[test]
+    fn ordering_of_optimum_heuristic_and_baseline(
+        (ops, seed) in (1usize..=5, any::<u64>()),
+        slack in 0u32..5,
+    ) {
+        let cost = cost();
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), seed).generate();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph).unwrap();
+        let optimum = ExhaustiveAllocator::new(&cost, lambda).allocate(&graph).unwrap();
+        let two_stage = TwoStageAllocator::new(&cost, lambda).allocate(&graph).unwrap();
+        prop_assert!(optimum.area() <= heuristic.area());
+        prop_assert!(optimum.area() <= two_stage.area());
+    }
+
+    /// Wordlength selection only ever widens an operation (a resource larger
+    /// than needed), never narrows it, and bound latencies never drop below
+    /// the native latency.
+    #[test]
+    fn wordlength_selection_only_widens(graph in graph_strategy(), slack in 0u32..6) {
+        let cost = cost();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph).unwrap();
+        let bound = datapath.bound_latencies(&cost);
+        for op in graph.op_ids() {
+            let shape = graph.operation(op).shape();
+            let selected = datapath.selected_resource(op);
+            let (sa, sb) = selected.widths();
+            let (oa, ob) = shape.widths();
+            prop_assert!(sa >= oa && sb >= ob || selected.class() == ResourceClass::Adder);
+            prop_assert!(bound.get(op) >= cost.native_latency(shape));
+            prop_assert!(cost.area(&selected) >= cost.area(&ResourceType::for_shape(shape)));
+        }
+    }
+
+    /// The allocator is a pure function of its inputs.
+    #[test]
+    fn allocation_is_deterministic(graph in graph_strategy(), slack in 0u32..4) {
+        let cost = cost();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let a = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph).unwrap();
+        let b = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
