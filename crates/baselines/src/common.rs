@@ -38,8 +38,7 @@ pub(crate) fn native_schedule(
     for &c in &op_classes {
         *class_ops.entry(c).or_insert(0) += 1;
     }
-    let mut bounds: BTreeMap<ResourceClass, usize> =
-        class_ops.keys().map(|&c| (c, 1)).collect();
+    let mut bounds: BTreeMap<ResourceClass, usize> = class_ops.keys().map(|&c| (c, 1)).collect();
     let scheduler = ListScheduler::new(SchedulePriority::CriticalPath);
     let max_rounds: usize = class_ops.values().sum::<usize>() + 1;
     for _ in 0..=max_rounds {
@@ -103,10 +102,7 @@ pub(crate) fn can_join_latency_preserving(
     group: &[OpId],
     op: OpId,
 ) -> bool {
-    let mut shapes: Vec<OpShape> = group
-        .iter()
-        .map(|&o| graph.operation(o).shape())
-        .collect();
+    let mut shapes: Vec<OpShape> = group.iter().map(|&o| graph.operation(o).shape()).collect();
     shapes.push(graph.operation(op).shape());
     let Some(resource) = group_resource(&shapes) else {
         return false;
@@ -176,11 +172,21 @@ mod tests {
         let schedule = Schedule::from_vec(vec![0, 2, 6, 8]);
         // Small mul cannot join the big mul (its latency would grow 2 -> 4).
         assert!(!can_join_latency_preserving(
-            &g, &cost, &schedule, &native, &[big], small
+            &g,
+            &cost,
+            &schedule,
+            &native,
+            &[big],
+            small
         ));
         // Adders of different widths share freely (latency stays 2).
         assert!(can_join_latency_preserving(
-            &g, &cost, &schedule, &native, &[a1], a2
+            &g,
+            &cost,
+            &schedule,
+            &native,
+            &[a1],
+            a2
         ));
         // Overlapping operations cannot share.
         let overlapping = Schedule::from_vec(vec![0, 0, 0, 0]);

@@ -63,17 +63,13 @@ impl<'a> SortedCliqueAllocator<'a> {
                 if ResourceClass::for_kind(graph.operation(other).kind()) != class {
                     continue;
                 }
-                if can_join_latency_preserving(
-                    graph, self.cost, &schedule, &native, &clique, other,
-                ) {
+                if can_join_latency_preserving(graph, self.cost, &schedule, &native, &clique, other)
+                {
                     covered[other.index()] = true;
                     clique.push(other);
                 }
             }
-            let shapes: Vec<_> = clique
-                .iter()
-                .map(|&o| graph.operation(o).shape())
-                .collect();
+            let shapes: Vec<_> = clique.iter().map(|&o| graph.operation(o).shape()).collect();
             let resource = group_resource(&shapes).expect("single-class non-empty clique");
             instances.push(ResourceInstance::new(resource, clique));
         }
@@ -100,7 +96,9 @@ mod tests {
         for _ in 0..10 {
             let g = generator.generate();
             let lambda = lambda_min(&g, &cost) + 3;
-            let dp = SortedCliqueAllocator::new(&cost, lambda).allocate(&g).unwrap();
+            let dp = SortedCliqueAllocator::new(&cost, lambda)
+                .allocate(&g)
+                .unwrap();
             dp.validate(&g, &cost).unwrap();
             assert!(dp.latency() <= lambda);
         }

@@ -39,32 +39,36 @@ fn bench_constraints(c: &mut Criterion) {
                 scheduler.schedule(&graph, &upper, constraint)
             })
         });
-        group.bench_with_input(BenchmarkId::new("eqn3_scheduling_set", ops), &ops, |b, _| {
-            b.iter(|| {
-                let lists = wcg.op_candidate_lists();
-                let members = scheduling_set(&lists);
-                let member_classes: Vec<ResourceClass> =
-                    members.iter().map(|&r| wcg.resource(r).class()).collect();
-                let op_members: Vec<Vec<usize>> = graph
-                    .op_ids()
-                    .map(|o| {
-                        members
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, &r)| wcg.has_edge(o, r))
-                            .map(|(j, _)| j)
-                            .collect()
-                    })
-                    .collect();
-                let constraint = SchedulingSetBound::new(
-                    op_classes.clone(),
-                    op_members,
-                    member_classes,
-                    bounds.clone(),
-                );
-                scheduler.schedule(&graph, &upper, constraint)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eqn3_scheduling_set", ops),
+            &ops,
+            |b, _| {
+                b.iter(|| {
+                    let lists = wcg.op_candidate_lists();
+                    let members = scheduling_set(&lists);
+                    let member_classes: Vec<ResourceClass> =
+                        members.iter().map(|&r| wcg.resource(r).class()).collect();
+                    let op_members: Vec<Vec<usize>> = graph
+                        .op_ids()
+                        .map(|o| {
+                            members
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &r)| wcg.has_edge(o, r))
+                                .map(|(j, _)| j)
+                                .collect()
+                        })
+                        .collect();
+                    let constraint = SchedulingSetBound::new(
+                        op_classes.clone(),
+                        op_members,
+                        member_classes,
+                        bounds.clone(),
+                    );
+                    scheduler.schedule(&graph, &upper, constraint)
+                })
+            },
+        );
     }
     group.finish();
 }

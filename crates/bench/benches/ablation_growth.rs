@@ -48,10 +48,11 @@ fn bench_growth(c: &mut Criterion) {
             .allocate(&graph)
             .unwrap()
             .area();
-        without_total += DpAllocator::new(&cost, AllocConfig::new(lambda).with_clique_growth(false))
-            .allocate(&graph)
-            .unwrap()
-            .area();
+        without_total +=
+            DpAllocator::new(&cost, AllocConfig::new(lambda).with_clique_growth(false))
+                .allocate(&graph)
+                .unwrap()
+                .area();
     }
     println!(
         "ablation_growth: total area with growth = {with_total}, without growth = {without_total}"

@@ -20,13 +20,17 @@ fn bench_refinement(c: &mut Criterion) {
     for &ops in &[8usize, 16, 24] {
         let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 23).generate();
         let lambda = relax_constraint(lambda_min(&graph, &cost), 10);
-        group.bench_with_input(BenchmarkId::new("bound_critical_path", ops), &ops, |b, _| {
-            b.iter(|| {
-                DpAllocator::new(&cost, AllocConfig::new(lambda))
-                    .allocate(&graph)
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bound_critical_path", ops),
+            &ops,
+            |b, _| {
+                b.iter(|| {
+                    DpAllocator::new(&cost, AllocConfig::new(lambda))
+                        .allocate(&graph)
+                        .unwrap()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("first_refinable", ops), &ops, |b, _| {
             b.iter(|| {
                 DpAllocator::new(

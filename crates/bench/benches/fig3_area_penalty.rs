@@ -26,7 +26,11 @@ fn bench_fig3(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("two_stage", ops), &ops, |b, _| {
-            b.iter(|| TwoStageAllocator::new(&cost, lambda).allocate(&graph).unwrap())
+            b.iter(|| {
+                TwoStageAllocator::new(&cost, lambda)
+                    .allocate(&graph)
+                    .unwrap()
+            })
         });
     }
     group.finish();

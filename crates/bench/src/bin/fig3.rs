@@ -1,7 +1,7 @@
 //! Regenerates Figure 3 of the paper: area penalty of the two-stage
 //! approach [4] over the heuristic, vs problem size and latency slack.
 //!
-//! Usage: `cargo run -p mwl-bench --release --bin fig3 [-- --paper | --graphs N]`
+//! Usage: `cargo run -p mwl_bench --release --bin fig3 [-- --paper | --graphs N]`
 
 use mwl_bench::{run_fig3, Fig3Config};
 

@@ -1,7 +1,7 @@
 //! Regenerates Figure 4 of the paper: area premium of the heuristic over the
 //! ILP optimum [5], vs problem size (λ = λ_min).
 //!
-//! Usage: `cargo run -p mwl-bench --release --bin fig4 [-- --paper | --graphs N]`
+//! Usage: `cargo run -p mwl_bench --release --bin fig4 [-- --paper | --graphs N]`
 
 use mwl_bench::{run_fig4, Fig4Config};
 

@@ -1,7 +1,7 @@
 //! Regenerates Figure 5 of the paper: execution time of the heuristic versus
 //! the ILP as the number of operations grows (λ = λ_min).
 //!
-//! Usage: `cargo run -p mwl-bench --release --bin fig5 [-- --paper | --graphs N]`
+//! Usage: `cargo run -p mwl_bench --release --bin fig5 [-- --paper | --graphs N]`
 
 use mwl_bench::{run_fig5, Fig5Config};
 

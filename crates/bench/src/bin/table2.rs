@@ -1,7 +1,7 @@
 //! Regenerates Table 2 of the paper: execution time of the heuristic versus
 //! the ILP as the latency constraint is relaxed (9-operation graphs).
 //!
-//! Usage: `cargo run -p mwl-bench --release --bin table2 [-- --paper | --graphs N]`
+//! Usage: `cargo run -p mwl_bench --release --bin table2 [-- --paper | --graphs N]`
 
 use mwl_bench::{run_table2, Table2Config};
 

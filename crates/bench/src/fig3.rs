@@ -84,7 +84,8 @@ impl Fig3Results {
         sizes.sort_unstable();
         sizes.dedup();
 
-        let mut out = String::from("Figure 3: mean area penalty (%) of two-stage [4] over the heuristic\n");
+        let mut out =
+            String::from("Figure 3: mean area penalty (%) of two-stage [4] over the heuristic\n");
         out.push_str("|O|  ");
         for r in &relaxations {
             out.push_str(&format!("{:>9}", format!("+{r}%")));
@@ -138,8 +139,7 @@ pub fn run_fig3(config: &Fig3Config) -> Fig3Results {
                 let two_stage = TwoStageAllocator::new(&cost, lambda).allocate(&graph);
                 if let (Ok(h), Ok(t)) = (heuristic, two_stage) {
                     if h.area() > 0 {
-                        let penalty =
-                            (t.area() as f64 - h.area() as f64) / h.area() as f64 * 100.0;
+                        let penalty = (t.area() as f64 - h.area() as f64) / h.area() as f64 * 100.0;
                         total_penalty += penalty;
                         counted += 1;
                     }

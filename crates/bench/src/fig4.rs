@@ -85,8 +85,9 @@ impl Fig4Results {
     /// Renders the series as CSV.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("ops,mean_area_premium_percent,max_area_premium_percent,solved,timed_out\n");
+        let mut out = String::from(
+            "ops,mean_area_premium_percent,max_area_premium_percent,solved,timed_out\n",
+        );
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{:.4},{:.4},{},{}\n",

@@ -99,8 +99,10 @@ impl Fig5Results {
                 "{},{:.3},{},{},{}\n",
                 r.ops,
                 r.heuristic_time.as_secs_f64() * 1e3,
-                r.ilp_time
-                    .map_or_else(|| "-".to_string(), |t| format!("{:.3}", t.as_secs_f64() * 1e3)),
+                r.ilp_time.map_or_else(
+                    || "-".to_string(),
+                    |t| format!("{:.3}", t.as_secs_f64() * 1e3)
+                ),
                 r.ilp_timeouts,
                 r.graphs
             ));

@@ -3,7 +3,7 @@
 //!
 //! Each experiment is a plain library function returning a typed result
 //! table, so the same code backs the command-line binaries
-//! (`cargo run -p mwl-bench --release --bin fig3` …), the Criterion benches
+//! (`cargo run -p mwl_bench --release --bin fig3` …), the Criterion benches
 //! and the integration tests:
 //!
 //! | Paper item | Function | Binary |

@@ -77,9 +77,8 @@ impl Table2Results {
     /// Renders the table as fixed-width text in the paper's layout.
     #[must_use]
     pub fn render_text(&self) -> String {
-        let mut out = String::from(
-            "Table 2: execution time vs latency constraint (9-operation graphs)\n",
-        );
+        let mut out =
+            String::from("Table 2: execution time vs latency constraint (9-operation graphs)\n");
         out.push_str("lambda/lambda_min   heuristic        ILP\n");
         for r in &self.rows {
             let ratio = 1.0 + f64::from(r.relaxation_percent) / 100.0;
@@ -99,9 +98,8 @@ impl Table2Results {
     /// Renders the table as CSV (times in milliseconds).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "relaxation_percent,heuristic_ms,ilp_ms,ilp_budget_exhausted,graphs\n",
-        );
+        let mut out =
+            String::from("relaxation_percent,heuristic_ms,ilp_ms,ilp_budget_exhausted,graphs\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{:.3},{:.3},{},{}\n",

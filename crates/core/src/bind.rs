@@ -79,8 +79,7 @@ pub fn bind_select(
                 Some(_) => {
                     key.0 > best_key.0 + f64::EPSILON
                         || ((key.0 - best_key.0).abs() <= f64::EPSILON
-                            && (key.1 > best_key.1
-                                || (key.1 == best_key.1 && key.2 > best_key.2)))
+                            && (key.1 > best_key.1 || (key.1 == best_key.1 && key.2 > best_key.2)))
                 }
             };
             if better {
@@ -115,9 +114,7 @@ pub fn bind_select(
                     .chain(cliques[i].0.iter())
                     .copied()
                     .collect();
-                let resource_covers_union = union
-                    .iter()
-                    .all(|&o| wcg.has_edge(o, new_clique.1));
+                let resource_covers_union = union.iter().all(|&o| wcg.has_edge(o, new_clique.1));
                 if resource_covers_union && wcg.is_chain(&union) {
                     new_clique.0 = union;
                     cliques.remove(i);

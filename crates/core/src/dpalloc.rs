@@ -1,4 +1,12 @@
 //! Algorithm *DPAlloc*: the top-level iterative-refinement heuristic.
+//!
+//! The reproduction of the paper's Section 2.2 pseudo-code: starting from
+//! the full wordlength compatibility graph, repeatedly (1) list-schedule
+//! under the Eqn (3) scheduling-set constraint, (2) bind with `BindSelect`,
+//! and (3) refine the compatibility graph by deleting wordlength edges of
+//! the operation with the largest latency slack, until refinement can no
+//! longer improve the bound area without violating the latency constraint
+//! `λ`.
 
 use std::collections::BTreeMap;
 
@@ -6,8 +14,8 @@ use serde::{Deserialize, Serialize};
 
 use mwl_model::{CostModel, Cycles, ResourceClass, SequencingGraph};
 use mwl_sched::{
-    critical_path_length, scheduling_set, ListScheduler, OpLatencies, SchedError,
-    SchedulePriority, SchedulingSetBound,
+    critical_path_length, scheduling_set, ListScheduler, OpLatencies, SchedError, SchedulePriority,
+    SchedulingSetBound,
 };
 use mwl_wcg::WordlengthCompatibilityGraph;
 
@@ -284,8 +292,8 @@ impl<'a> DpAllocator<'a> {
             };
 
             wcg.attach_schedule(&schedule, &upper);
-            let instances = bind_select(&wcg, self.config.bind_options)
-                .map_err(InnerFailure::Fatal)?;
+            let instances =
+                bind_select(&wcg, self.config.bind_options).map_err(InnerFailure::Fatal)?;
             let datapath = Datapath::assemble(schedule.clone(), instances, self.cost);
 
             if datapath.latency() <= self.config.latency_constraint {
@@ -305,9 +313,7 @@ impl<'a> DpAllocator<'a> {
                     &binding,
                     self.config.latency_constraint,
                 ),
-                RefinementPolicy::FirstRefinable => {
-                    graph.op_ids().find(|&o| wcg.refinable(o))
-                }
+                RefinementPolicy::FirstRefinable => graph.op_ids().find(|&o| wcg.refinable(o)),
             };
             match chosen {
                 Some(op) => {
@@ -444,7 +450,9 @@ mod tests {
         let outcome = DpAllocator::new(&c, AllocConfig::new(lmin))
             .allocate_with_stats(&g)
             .unwrap();
-        assert!(outcome.resource_bounds.contains_key(&ResourceClass::Multiplier));
+        assert!(outcome
+            .resource_bounds
+            .contains_key(&ResourceClass::Multiplier));
         outcome.datapath.validate(&g, &c).unwrap();
         // A tight constraint requires at least one refinement or escalation.
         assert!(outcome.refinements + outcome.bound_escalations > 0);
@@ -486,7 +494,9 @@ mod tests {
         b.add_operation(OpShape::multiplier(25, 25));
         let g = b.build().unwrap();
         let c = cost();
-        let dp = DpAllocator::new(&c, AllocConfig::new(7)).allocate(&g).unwrap();
+        let dp = DpAllocator::new(&c, AllocConfig::new(7))
+            .allocate(&g)
+            .unwrap();
         assert_eq!(dp.num_instances(), 1);
         assert_eq!(dp.area(), 625);
         assert_eq!(dp.latency(), 7);
@@ -519,12 +529,9 @@ mod tests {
                 RefinementPolicy::BoundCriticalPath,
                 RefinementPolicy::FirstRefinable,
             ] {
-                let dp = DpAllocator::new(
-                    &c,
-                    AllocConfig::new(lmin + 2).with_refinement(policy),
-                )
-                .allocate(&g)
-                .unwrap();
+                let dp = DpAllocator::new(&c, AllocConfig::new(lmin + 2).with_refinement(policy))
+                    .allocate(&g)
+                    .unwrap();
                 dp.validate(&g, &c).unwrap();
                 assert!(dp.latency() <= lmin + 2);
             }

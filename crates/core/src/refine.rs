@@ -164,20 +164,18 @@ pub fn select_refinement_op(
     // Choose the candidate losing the smallest proportion of edges in
     // {{o1, r} ∈ H : ∃{o, r} ∈ H}; tie-break toward operations currently
     // bound to a resource faster than their upper bound, then by id.
-    candidates
-        .into_iter()
-        .min_by(|&a, &b| {
-            let pa = deletion_proportion(wcg, a);
-            let pb = deletion_proportion(wcg, b);
-            pa.partial_cmp(&pb)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| {
-                    let fa = bound_latencies.get(a) < upper_bounds.get(a);
-                    let fb = bound_latencies.get(b) < upper_bounds.get(b);
-                    fb.cmp(&fa) // prefer "already bound faster" (true first)
-                })
-                .then(a.cmp(&b))
-        })
+    candidates.into_iter().min_by(|&a, &b| {
+        let pa = deletion_proportion(wcg, a);
+        let pb = deletion_proportion(wcg, b);
+        pa.partial_cmp(&pb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                let fa = bound_latencies.get(a) < upper_bounds.get(a);
+                let fb = bound_latencies.get(b) < upper_bounds.get(b);
+                fb.cmp(&fa) // prefer "already bound faster" (true first)
+            })
+            .then(a.cmp(&b))
+    })
 }
 
 /// Proportion of wordlength edges incident to resources compatible with `op`

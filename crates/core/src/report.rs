@@ -86,7 +86,12 @@ impl DatapathReport {
     /// Renders the report as text, including an ASCII Gantt chart with one
     /// row per resource instance and one column per control step.
     #[must_use]
-    pub fn render(&self, datapath: &Datapath, graph: &SequencingGraph, cost: &dyn CostModel) -> String {
+    pub fn render(
+        &self,
+        datapath: &Datapath,
+        graph: &SequencingGraph,
+        cost: &dyn CostModel,
+    ) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -134,13 +139,11 @@ impl DatapathReport {
     /// The busiest instance, if any.
     #[must_use]
     pub fn busiest_instance(&self) -> Option<&InstanceUtilisation> {
-        self.instances
-            .iter()
-            .max_by(|a, b| {
-                a.utilisation
-                    .partial_cmp(&b.utilisation)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.instances.iter().max_by(|a, b| {
+            a.utilisation
+                .partial_cmp(&b.utilisation)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 }
 

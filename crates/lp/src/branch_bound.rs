@@ -1,4 +1,10 @@
 //! Branch-and-bound search for integer programs.
+//!
+//! Best-first search over LP relaxations with most-fractional branching,
+//! node/time limits and incumbent tracking — the machinery behind the
+//! paper's optimal ILP baseline and the runtime comparison of Figure 5 /
+//! Table 2 (where ILP solve time explodes with the latency constraint while
+//! the heuristic stays near-constant).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -189,8 +195,8 @@ pub(crate) fn solve_mip(
                 // Branch: x <= floor(value) and x >= ceil(value).
                 let lower_default = problem.vars[var].lower;
                 let upper_default = problem.vars[var].upper;
-                let (cur_lower, cur_upper) = node.overrides[var]
-                    .unwrap_or((lower_default, upper_default));
+                let (cur_lower, cur_upper) =
+                    node.overrides[var].unwrap_or((lower_default, upper_default));
 
                 let floor = value.floor();
                 let ceil = value.ceil();
@@ -295,7 +301,10 @@ mod tests {
         let x = lp.add_var(VarKind::Integer, 1.0, 0.0, Some(1.0));
         lp.add_ge(&[(x, 1.0)], 0.4);
         lp.add_le(&[(x, 1.0)], 0.6);
-        assert_eq!(lp.solve(BranchBoundOptions::default()), Err(LpError::Infeasible));
+        assert_eq!(
+            lp.solve(BranchBoundOptions::default()),
+            Err(LpError::Infeasible)
+        );
     }
 
     #[test]
@@ -320,7 +329,9 @@ mod tests {
     #[test]
     fn time_limit_zero_reports_limit() {
         let mut lp = LpProblem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..20).map(|i| lp.add_binary(1.0 + i as f64 * 0.37)).collect();
+        let vars: Vec<_> = (0..20)
+            .map(|i| lp.add_binary(1.0 + i as f64 * 0.37))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         lp.add_le(&terms, 19.0);
         let result = lp.solve(BranchBoundOptions::with_time_limit(Duration::from_secs(0)));
@@ -336,7 +347,9 @@ mod tests {
     #[test]
     fn node_limit_respected() {
         let mut lp = LpProblem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..12).map(|i| lp.add_binary(1.0 + (i % 5) as f64)).collect();
+        let vars: Vec<_> = (0..12)
+            .map(|i| lp.add_binary(1.0 + (i % 5) as f64))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 3.0)).collect();
         lp.add_le(&terms, 10.0);
         let opts = BranchBoundOptions {

@@ -1,4 +1,8 @@
 //! Problem-building API for linear and integer programs.
+//!
+//! The modelling layer under [`crate::simplex`] and [`crate::branch_bound`];
+//! `mwl_optimal`'s ILP formulation (the paper's reference \[5\] baseline,
+//! solved there with `lp_solve`) is expressed through this API.
 
 use serde::{Deserialize, Serialize};
 

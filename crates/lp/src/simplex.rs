@@ -187,9 +187,7 @@ pub(crate) fn solve_simplex(
         .map(|(i, _)| problem.minimize_objective()[i] * (values[i] - values[i]))
         .sum::<f64>();
     let _ = offset;
-    let fixed_part: f64 = (0..n)
-        .map(|i| objective[i] * (values[i]))
-        .sum::<f64>();
+    let fixed_part: f64 = (0..n).map(|i| objective[i] * (values[i])).sum::<f64>();
     // `obj_value` is the optimal value of the shifted objective; recomputing
     // from the extracted values is equivalent and avoids sign bookkeeping.
     let _ = obj_value;
@@ -252,8 +250,7 @@ fn run_phase(
             if a[i][entering] > EPS {
                 let ratio = a[i][total] / a[i][entering];
                 if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leaving.map_or(true, |l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + EPS && leaving.map_or(true, |l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leaving = Some(i);

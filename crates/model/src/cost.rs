@@ -209,7 +209,9 @@ mod tests {
         assert_eq!(m.area(&ResourceType::adder(12)), 12);
         assert_eq!(m.area(&ResourceType::multiplier(12, 10)), 120);
         // Bigger resources are never cheaper.
-        assert!(m.area(&ResourceType::multiplier(16, 16)) > m.area(&ResourceType::multiplier(8, 8)));
+        assert!(
+            m.area(&ResourceType::multiplier(16, 16)) > m.area(&ResourceType::multiplier(8, 8))
+        );
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! The sequencing graph `P(O, S)`: operations and data-dependence edges.
+//!
+//! The input of the paper's combined allocation problem (Section 2): a DAG
+//! whose nodes are wordlength-annotated operations, as produced by a
+//! wordlength-optimising front-end such as the Synoptix flow the paper
+//! builds on.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -115,10 +120,7 @@ impl SequencingGraph {
     pub fn topological_order(&self) -> Vec<OpId> {
         let n = self.len();
         let mut indegree: Vec<usize> = (0..n).map(|i| self.predecessors[i].len()).collect();
-        let mut queue: Vec<OpId> = self
-            .op_ids()
-            .filter(|o| indegree[o.index()] == 0)
-            .collect();
+        let mut queue: Vec<OpId> = self.op_ids().filter(|o| indegree[o.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {

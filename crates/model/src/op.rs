@@ -1,4 +1,10 @@
 //! Operations of a multiple-wordlength sequencing graph.
+//!
+//! The paper's central premise (Section 1) is that after wordlength
+//! optimisation every operation carries its *own* operand widths — an
+//! [`OpShape`] — so operations of the same kind are generally not
+//! interchangeable, and resource sharing must reason about coverage
+//! between shapes rather than mere operation counts.
 
 use std::fmt;
 

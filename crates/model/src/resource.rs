@@ -1,4 +1,9 @@
 //! Resource-wordlength types and resource-set extraction.
+//!
+//! Section 2.1's resource model: a [`ResourceType`] is a *(class,
+//! wordlengths)* pair such as "16×12-bit multiplier", and it `covers` every
+//! operation of its class whose operand widths fit — the relation that
+//! seeds the wordlength compatibility graph's `H` edges.
 
 use std::collections::BTreeSet;
 use std::fmt;

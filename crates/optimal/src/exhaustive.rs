@@ -114,7 +114,13 @@ impl<'a> ExhaustiveAllocator<'a> {
                 "no feasible assignment found despite achievable latency".into(),
             ));
         };
-        build_datapath(graph, &state.resources, &state.res_latency, &best, self.cost)
+        build_datapath(
+            graph,
+            &state.resources,
+            &state.res_latency,
+            &best,
+            self.cost,
+        )
     }
 }
 
@@ -259,7 +265,9 @@ mod tests {
             let g = generator.generate();
             let native = OpLatencies::from_fn(&g, |op| cost.native_latency(op.shape()));
             let lambda = critical_path_length(&g, &native) + 2;
-            let brute = ExhaustiveAllocator::new(&cost, lambda).allocate(&g).unwrap();
+            let brute = ExhaustiveAllocator::new(&cost, lambda)
+                .allocate(&g)
+                .unwrap();
             let ilp = IlpAllocator::new(&cost, lambda).allocate(&g).unwrap();
             assert!(ilp.stats.proven_optimal);
             assert_eq!(

@@ -1,4 +1,11 @@
 //! Time-indexed ILP formulation of the combined problem.
+//!
+//! The optimal baseline of the paper's evaluation (reference \[5\]):
+//! binary variables `x[o][r][t]` select a start step and resource type for
+//! every operation, instance-count variables `n_r` are driven by peak
+//! concurrent usage, and the objective minimises total area.  Variable
+//! count grows with the latency constraint — the scaling weakness Figures
+//! 4–5 and Table 2 quantify against the heuristic.
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -219,9 +226,7 @@ impl<'a> IlpAllocator<'a> {
             for step in 0..lambda {
                 let mut terms: Vec<(VarId, f64)> = x
                     .iter()
-                    .filter(|(&(_, r, t), _)| {
-                        r == ri && t <= step && step < t + res_latency[ri]
-                    })
+                    .filter(|(&(_, r, t), _)| r == ri && t <= step && step < t + res_latency[ri])
                     .map(|(_, &v)| (v, 1.0))
                     .collect();
                 if terms.is_empty() {
@@ -315,10 +320,7 @@ fn decode(
         for op in ops {
             let s = schedule.start(op);
             let e = s + res_latency[ri];
-            match instance_free_at
-                .iter()
-                .position(|&free| free <= s)
-            {
+            match instance_free_at.iter().position(|&free| free <= s) {
                 Some(slot) => {
                     instance_ops[slot].push(op);
                     instance_free_at[slot] = e;

@@ -195,10 +195,7 @@ impl SchedulingSetBound {
     }
 
     fn member_load_at(&self, member: usize, step: Cycles) -> f64 {
-        self.load[member]
-            .get(step as usize)
-            .copied()
-            .unwrap_or(0.0)
+        self.load[member].get(step as usize).copied().unwrap_or(0.0)
     }
 }
 

@@ -198,7 +198,14 @@ fn exact_cover(items: &[usize], candidates: &[Vec<usize>]) -> Vec<usize> {
 
     let mut chosen = Vec::new();
     recurse(
-        &order, &masks, full, 0, 0, &mut chosen, &mut best, &mut best_len,
+        &order,
+        &masks,
+        full,
+        0,
+        0,
+        &mut chosen,
+        &mut best,
+        &mut best_len,
     );
     best.sort_unstable();
     best

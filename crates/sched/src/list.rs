@@ -1,4 +1,11 @@
 //! Resource-constrained list scheduling.
+//!
+//! This is the scheduling engine the paper's `DPAlloc` heuristic (Section
+//! 2.2) invokes on every refinement iteration: operations are visited in
+//! priority order (critical-path based by default) and placed at the
+//! earliest control step at which the active [`ResourceConstraint`] — the
+//! per-class bound of Eqn (2) or the scheduling-set constraint of Eqn (3) —
+//! still admits them.
 
 use mwl_model::{Cycles, OpId, SequencingGraph};
 use serde::{Deserialize, Serialize};

@@ -1,4 +1,10 @@
 //! Schedules and per-operation latency tables.
+//!
+//! A [`Schedule`] assigns each operation a start control step; an
+//! [`OpLatencies`] table carries per-operation cycle counts.  Because
+//! wordlength selection changes latencies (a small multiplication run on a
+//! wide multiplier takes the *resource's* latency), the paper's algorithms
+//! always pair a schedule with the latency table it was computed under.
 
 use std::fmt;
 

@@ -1,4 +1,10 @@
 //! ASAP / ALAP scheduling, critical path and mobility.
+//!
+//! These unconstrained schedules bracket every feasible schedule and drive
+//! the paper's machinery: the critical path over native latencies is the
+//! minimum achievable constraint `λ_min`, and the ASAP/ALAP window (the
+//! *mobility* of an operation) is computed with the latency *upper bounds*
+//! `L_o` maintained by the compatibility graph (Section 2.2).
 
 use mwl_model::{Cycles, OpId, SequencingGraph};
 

@@ -94,7 +94,8 @@ fn schedules_with_bounds(
         .iter()
         .map(|o| ResourceClass::for_kind(o.kind()))
         .collect();
-    let constraint = SchedulingSetBound::new(op_classes, op_members, member_classes, bounds.clone());
+    let constraint =
+        SchedulingSetBound::new(op_classes, op_members, member_classes, bounds.clone());
     ListScheduler::new(SchedulePriority::CriticalPath)
         .schedule(graph, &upper, constraint)
         .is_ok()

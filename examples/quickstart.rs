@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("minimum achievable latency: {lambda_min} control steps\n");
 
     // Allocate at the minimum latency and with 50% slack.
-    for (label, lambda) in [("tight", lambda_min), ("relaxed", lambda_min + lambda_min / 2)] {
+    for (label, lambda) in [
+        ("tight", lambda_min),
+        ("relaxed", lambda_min + lambda_min / 2),
+    ] {
         let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph)?;
         datapath.validate(&graph, &cost)?;
         println!("--- {label} constraint (lambda = {lambda}) ---");

@@ -48,41 +48,287 @@
 #![warn(missing_docs)]
 
 /// Operations, wordlengths, resources, cost models and sequencing graphs.
+///
+/// # Examples
+///
+/// Build the sequencing graph of the paper's Figure 1 — four multiplications
+/// of individually optimised wordlengths feeding a small adder tree:
+///
+/// ```
+/// use mwl::model::{OpShape, SequencingGraphBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut builder = SequencingGraphBuilder::new();
+/// let m1 = builder.add_named_operation(OpShape::multiplier(8, 8), "m1");
+/// let m2 = builder.add_named_operation(OpShape::multiplier(12, 10), "m2");
+/// let a1 = builder.add_named_operation(OpShape::adder(24), "a1");
+/// builder.add_dependency(m1, a1)?;
+/// builder.add_dependency(m2, a1)?;
+/// let graph = builder.build()?;
+///
+/// assert_eq!(graph.len(), 3);
+/// // Topological order respects the data dependencies.
+/// let order = graph.topological_order();
+/// assert_eq!(order.last(), Some(&a1));
+/// // Multiplier shapes are operand-order normalised: 10x12 == 12x10.
+/// assert_eq!(OpShape::multiplier(10, 12), OpShape::multiplier(12, 10));
+/// # Ok(())
+/// # }
+/// ```
 pub mod model {
     pub use mwl_model::*;
 }
 
 /// ASAP/ALAP, list scheduling and scheduling-set computation.
+///
+/// Implements Section 2.2 of the paper, including the wordlength-aware
+/// scheduling-set constraint of Eqn (3) (see `mwl_sched::constraint`).
+///
+/// # Examples
+///
+/// Native latencies and the critical path give the minimum achievable
+/// latency constraint `λ_min`:
+///
+/// ```
+/// use mwl::model::{CostModel, OpShape, SequencingGraphBuilder, SonicCostModel};
+/// use mwl::sched::{asap, critical_path_length, OpLatencies};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut builder = SequencingGraphBuilder::new();
+/// let m = builder.add_operation(OpShape::multiplier(16, 14));
+/// let a = builder.add_operation(OpShape::adder(24));
+/// builder.add_dependency(m, a)?;
+/// let graph = builder.build()?;
+///
+/// let cost = SonicCostModel::default();
+/// let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+/// let schedule = asap(&graph, &native);
+/// // The multiplication starts immediately, the addition after it retires.
+/// assert_eq!(schedule.start(m), 0);
+/// assert_eq!(schedule.start(a), native.get(m));
+/// assert_eq!(
+///     critical_path_length(&graph, &native),
+///     native.get(m) + native.get(a),
+/// );
+/// # Ok(())
+/// # }
+/// ```
 pub mod sched {
     pub use mwl_sched::*;
 }
 
-/// The wordlength compatibility graph.
+/// The wordlength compatibility graph `G(V, E)` of Section 2.1.
+///
+/// # Examples
+///
+/// Initially every resource type that covers an operation is connected to
+/// it; refinement (Section 2.2) deletes edges to tighten latency bounds:
+///
+/// ```
+/// use mwl::model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+/// use mwl::wcg::WordlengthCompatibilityGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut builder = SequencingGraphBuilder::new();
+/// let small = builder.add_operation(OpShape::multiplier(12, 8));
+/// let large = builder.add_operation(OpShape::multiplier(20, 18));
+/// builder.add_dependency(small, large)?;
+/// let graph = builder.build()?;
+///
+/// use mwl::model::CostModel;
+///
+/// let cost = SonicCostModel::default();
+/// let wcg = WordlengthCompatibilityGraph::new(&graph, &cost);
+/// // The large multiplier type covers both operations, so the small
+/// // multiplication has at least two candidate resource types...
+/// assert!(wcg.resources_for(small).len() >= 2);
+/// // ...its latency upper bound is at least its native latency (running on
+/// // a wider candidate is slower)...
+/// assert!(
+///     wcg.upper_bound_latency(small)
+///         >= cost.native_latency(graph.operation(small).shape())
+/// );
+/// // ...and at least the large multiplication's bound, since every resource
+/// // covering the large shape also covers the small one.
+/// assert!(wcg.upper_bound_latency(small) >= wcg.upper_bound_latency(large));
+/// # Ok(())
+/// # }
+/// ```
 pub mod wcg {
     pub use mwl_wcg::*;
 }
 
 /// The `DPAlloc` heuristic and the datapath result type.
+///
+/// # Examples
+///
+/// The quickstart workload (`examples/quickstart.rs`): allocating Figure 1's
+/// graph with a relaxed latency constraint lets the heuristic implement the
+/// small `8×8` multiplication inside a larger, slower multiplier so the two
+/// can share hardware — trading latency for area exactly as Figure 1(b)
+/// illustrates:
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut builder = SequencingGraphBuilder::new();
+/// let m1 = builder.add_named_operation(OpShape::multiplier(8, 8), "m1");
+/// let m2 = builder.add_named_operation(OpShape::multiplier(12, 10), "m2");
+/// let m3 = builder.add_named_operation(OpShape::multiplier(16, 14), "m3");
+/// let m4 = builder.add_named_operation(OpShape::multiplier(20, 18), "m4");
+/// let a1 = builder.add_named_operation(OpShape::adder(24), "a1");
+/// let a2 = builder.add_named_operation(OpShape::adder(25), "a2");
+/// builder.add_dependency(m1, a1)?;
+/// builder.add_dependency(m2, a1)?;
+/// builder.add_dependency(m3, a2)?;
+/// builder.add_dependency(m4, a2)?;
+/// let graph = builder.build()?;
+///
+/// let cost = SonicCostModel::default();
+/// let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+/// let lambda_min = critical_path_length(&graph, &native);
+///
+/// let tight = DpAllocator::new(&cost, AllocConfig::new(lambda_min)).allocate(&graph)?;
+/// let relaxed = DpAllocator::new(&cost, AllocConfig::new(lambda_min + 3)).allocate(&graph)?;
+/// tight.validate(&graph, &cost)?;
+/// relaxed.validate(&graph, &cost)?;
+///
+/// // Slack lets operations share: fewer instances, less area.
+/// assert!(relaxed.num_instances() < tight.num_instances());
+/// assert!(relaxed.area() < tight.area());
+/// assert!(relaxed.latency() <= lambda_min + 3);
+/// # Ok(())
+/// # }
+/// ```
 pub mod alloc {
     pub use mwl_core::*;
 }
 
 /// Simplex and branch-and-bound integer programming.
+///
+/// # Examples
+///
+/// A 0/1 knapsack: maximise `3x + 2y` subject to `2x + 2y <= 3`:
+///
+/// ```
+/// use mwl::lp::{BranchBoundOptions, LpProblem, Sense};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut lp = LpProblem::new(Sense::Maximize);
+/// let x = lp.add_binary(3.0);
+/// let y = lp.add_binary(2.0);
+/// lp.add_le(&[(x, 2.0), (y, 2.0)], 3.0);
+/// let solution = lp.solve(BranchBoundOptions::default())?;
+/// assert!((solution.objective - 3.0).abs() < 1e-6);
+/// assert!((solution.values[x.index()] - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
 pub mod lp {
     pub use mwl_lp::*;
 }
 
 /// Optimal (ILP and exhaustive) allocation.
+///
+/// # Examples
+///
+/// On small graphs the exact solvers lower-bound the heuristic, which is how
+/// the paper measures its 0-16% mean area premium (Figure 4):
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut builder = SequencingGraphBuilder::new();
+/// let m1 = builder.add_operation(OpShape::multiplier(8, 6));
+/// let m2 = builder.add_operation(OpShape::multiplier(12, 10));
+/// let a = builder.add_operation(OpShape::adder(22));
+/// builder.add_dependency(m1, a)?;
+/// builder.add_dependency(m2, a)?;
+/// let graph = builder.build()?;
+///
+/// let cost = SonicCostModel::default();
+/// let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+/// let lambda = critical_path_length(&graph, &native) + 2;
+///
+/// let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph)?;
+/// let optimum = ExhaustiveAllocator::new(&cost, lambda).allocate(&graph)?;
+/// assert!(optimum.area() <= heuristic.area());
+/// # Ok(())
+/// # }
+/// ```
 pub mod optimal {
     pub use mwl_optimal::*;
 }
 
 /// Baseline allocators from the literature.
+///
+/// # Examples
+///
+/// The FIR-filter workload (`examples/fir_filter.rs`): compare the heuristic
+/// against the two-stage baseline \[4\] and the uniform-wordlength
+/// (DSP-processor style) design on a 4-tap filter:
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Per-tap wordlengths as a wordlength-optimisation tool would assign.
+/// let mut builder = SequencingGraphBuilder::new();
+/// let taps = [(4, 10), (9, 12), (9, 12), (4, 10)];
+/// let products: Vec<_> = taps
+///     .iter()
+///     .map(|&(c, d)| builder.add_operation(OpShape::multiplier(c, d)))
+///     .collect();
+/// let s1 = builder.add_operation(OpShape::adder(16));
+/// let s2 = builder.add_operation(OpShape::adder(16));
+/// let s3 = builder.add_operation(OpShape::adder(16));
+/// builder.add_dependency(products[0], s1)?;
+/// builder.add_dependency(products[1], s1)?;
+/// builder.add_dependency(products[2], s2)?;
+/// builder.add_dependency(products[3], s2)?;
+/// builder.add_dependency(s1, s3)?;
+/// builder.add_dependency(s2, s3)?;
+/// let graph = builder.build()?;
+///
+/// let cost = SonicCostModel::default();
+/// let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+/// let lambda = critical_path_length(&graph, &native) + 4;
+///
+/// let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph)?;
+/// let two_stage = TwoStageAllocator::new(&cost, lambda).allocate(&graph)?;
+/// let uniform = UniformWordlengthAllocator::new(&cost, lambda).allocate(&graph)?;
+/// heuristic.validate(&graph, &cost)?;
+/// two_stage.validate(&graph, &cost)?;
+/// uniform.validate(&graph, &cost)?;
+/// assert!(heuristic.area() > 0);
+/// # Ok(())
+/// # }
+/// ```
 pub mod baselines {
     pub use mwl_baselines::*;
 }
 
 /// TGFF-style random sequencing-graph generation.
+///
+/// # Examples
+///
+/// Generation is seeded, so every experiment is reproducible:
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// let mut a = TgffGenerator::new(TgffConfig::with_ops(12), 7);
+/// let mut b = TgffGenerator::new(TgffConfig::with_ops(12), 7);
+/// let (ga, gb) = (a.generate(), b.generate());
+/// assert_eq!(ga.len(), 12);
+/// assert_eq!(ga.len(), gb.len());
+/// assert_eq!(
+///     ga.operations().iter().map(|o| o.shape()).collect::<Vec<_>>(),
+///     gb.operations().iter().map(|o| o.shape()).collect::<Vec<_>>(),
+/// );
+/// ```
 pub mod tgff {
     pub use mwl_tgff::*;
 }

@@ -28,7 +28,9 @@ fn every_allocator_produces_valid_datapaths_within_the_constraint() {
         heuristic.validate(&graph, &cost).unwrap();
         assert!(heuristic.latency() <= lambda);
 
-        let two_stage = TwoStageAllocator::new(&cost, lambda).allocate(&graph).unwrap();
+        let two_stage = TwoStageAllocator::new(&cost, lambda)
+            .allocate(&graph)
+            .unwrap();
         two_stage.validate(&graph, &cost).unwrap();
         assert!(two_stage.latency() <= lambda);
 
@@ -57,7 +59,9 @@ fn optimum_lower_bounds_every_other_allocator() {
         let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda))
             .allocate(&graph)
             .unwrap();
-        let two_stage = TwoStageAllocator::new(&cost, lambda).allocate(&graph).unwrap();
+        let two_stage = TwoStageAllocator::new(&cost, lambda)
+            .allocate(&graph)
+            .unwrap();
         let sorted = SortedCliqueAllocator::new(&cost, lambda)
             .allocate(&graph)
             .unwrap();
@@ -147,7 +151,9 @@ fn infeasible_constraints_are_rejected_consistently() {
     assert!(DpAllocator::new(&cost, AllocConfig::new(too_tight))
         .allocate(&graph)
         .is_err());
-    assert!(TwoStageAllocator::new(&cost, too_tight).allocate(&graph).is_err());
+    assert!(TwoStageAllocator::new(&cost, too_tight)
+        .allocate(&graph)
+        .is_err());
     assert!(SortedCliqueAllocator::new(&cost, too_tight)
         .allocate(&graph)
         .is_err());

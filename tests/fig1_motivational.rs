@@ -116,7 +116,9 @@ fn two_stage_baseline_pays_an_area_penalty_with_slack() {
     let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda))
         .allocate(&graph)
         .unwrap();
-    let two_stage = TwoStageAllocator::new(&cost, lambda).allocate(&graph).unwrap();
+    let two_stage = TwoStageAllocator::new(&cost, lambda)
+        .allocate(&graph)
+        .unwrap();
     two_stage.validate(&graph, &cost).unwrap();
     assert!(
         two_stage.area() > heuristic.area(),

@@ -1,0 +1,273 @@
+//! Offline minimal stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion) API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` crate cannot be fetched.  The bench targets under
+//! `crates/bench/benches/` use benchmark groups with
+//! `sample_size`/`measurement_time`/`warm_up_time` and
+//! [`BenchmarkGroup::bench_with_input`]; this crate implements that surface
+//! with a plain wall-clock harness:
+//!
+//! * each benchmark is warmed up for the configured warm-up time;
+//! * the iteration count per sample is calibrated so that all samples
+//!   together fit the measurement time;
+//! * the mean, minimum and maximum per-iteration times over the samples are
+//!   printed in a `criterion`-like one-line format.
+//!
+//! There is no statistical analysis, outlier rejection, or HTML report.  The
+//! numbers are honest wall-clock means, good enough to compare allocator
+//! implementations and spot large regressions.  Swapping in the real
+//! criterion later only requires changing the `path` entry in the root
+//! `Cargo.toml` to a registry entry.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion users
+/// expect.
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function by [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(1),
+            default_warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with [`Display`].
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time run before sampling each benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark over `input`, timing what the closure passes to
+    /// [`Bencher::iter`].
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            report: None,
+        };
+        f(&mut bencher, input);
+        match bencher.report {
+            Some(report) => println!("{}/{}: {}", self.name, id.id, report),
+            None => println!(
+                "{}/{}: no measurement (Bencher::iter never called)",
+                self.name, id.id
+            ),
+        }
+        self
+    }
+
+    /// Ends the group.  (The real criterion renders summary plots here; the
+    /// stand-in has already printed every line.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    report: Option<Report>,
+}
+
+#[derive(Debug)]
+struct Report {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+impl Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "time: [{} {} {}] ({} samples x {} iters)",
+            fmt_duration(self.min),
+            fmt_duration(self.mean),
+            fmt_duration(self.max),
+            self.samples,
+            self.iters_per_sample,
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+impl Bencher {
+    /// Times `routine`, storing a report the group prints afterwards.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, measuring a rough
+        // per-iteration time to calibrate the sample size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Calibrate iterations per sample so all samples fit the budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+
+        let min = *samples.iter().min().expect("sample_size is positive");
+        let max = *samples.iter().max().expect("sample_size is positive");
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        self.report = Some(Report {
+            mean,
+            min,
+            max,
+            iters_per_sample,
+            samples: samples.len(),
+        });
+    }
+}
+
+/// Collects benchmark functions into one runner function, mirroring the real
+/// criterion macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main`, running every listed group, mirroring the real
+/// criterion macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo's bench harness protocol passes --bench (and test
+            // filters); the stand-in runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        for &n in &[4u64, 8] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(smoke, tiny_bench);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        smoke();
+    }
+}

@@ -1,0 +1,568 @@
+//! Offline deterministic stand-in for the subset of the
+//! [`proptest`](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `proptest` crate cannot be fetched.  The property tests in this workspace
+//! use a small, well-defined slice of its API — the [`proptest!`] macro,
+//! range/tuple/`prop_map`/[`prop_oneof!`]/[`collection::vec`] strategies,
+//! [`any`], and the `prop_assert*`/[`prop_assume!`] macros — and this crate
+//! implements exactly that slice.
+//!
+//! # Differences from the real proptest
+//!
+//! * **No shrinking.**  A failing case reports the case index; cases are
+//!   fully deterministic (seeded from the test name and case index), so a
+//!   failure always reproduces under `cargo test`.
+//! * **Deterministic by default.**  The real proptest randomises seeds per
+//!   run; here every run explores the same cases, which makes CI stable.
+//! * The number of cases per property honours [`ProptestConfig::cases`];
+//!   as with the real proptest, the `PROPTEST_CASES` environment variable
+//!   changes the *default* case count but an explicit `cases` value wins.
+//!
+//! Swapping in the real crate later only requires changing the `path` entry
+//! in the root `Cargo.toml` to a registry entry — the test sources already
+//! use the real API's names and syntax.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG used to generate test cases (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for one test case, keyed by the property's name
+    /// hash and the case index so that distinct properties explore distinct
+    /// streams.
+    pub fn for_case(name_hash: u64, case: u64) -> Self {
+        TestRng {
+            state: name_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a hash of a test name, used to seed its case stream.
+pub fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h | 1
+}
+
+/// Per-property configuration; mirrors the field names of the real
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate for each property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    /// Like the real proptest, the `PROPTEST_CASES` environment variable
+    /// sets the *default* case count; an explicit `cases` value in a
+    /// `ProptestConfig { cases: n, ..Default::default() }` update wins
+    /// over it.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// Number of cases to run (at least one).
+    pub fn resolved_cases(&self) -> u64 {
+        u64::from(self.cases).max(1)
+    }
+}
+
+/// A generator of values of one type.
+///
+/// The real proptest couples generation with shrinking through `ValueTree`;
+/// this stand-in only generates.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! requires at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Strategy producing a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                (self.start as u128 + u128::from(rng.next_u64()) % span) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                (lo as u128 + u128::from(rng.next_u64()) % span) as $ty
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_for_signed_ranges {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + (u128::from(rng.next_u64()) % (span as u128)) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                (lo as i128 + (u128::from(rng.next_u64()) % (span as u128)) as i128) as $ty
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_signed_ranges!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_ranges {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $ty / (1u64 << 53) as $ty;
+                let v = self.start + unit * (self.end - self.start);
+                // Float rounding (especially through the f32 conversion of the
+                // 53-bit numerator) can land exactly on `end`; the exclusive
+                // bound must hold, so fold that measure-zero sliver onto
+                // `start`.
+                if v < self.end { v } else { self.start }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $ty / ((1u64 << 53) - 1) as $ty;
+                // Clamp: lo + unit*(hi-lo) can round past hi.
+                (lo + unit * (hi - lo)).min(hi)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_float_ranges!(f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuples! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "generate anything" strategy, as used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's full [`Arbitrary`] domain; see [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A collection length specification: a fixed size or a size range.
+    ///
+    /// Mirrors `proptest::collection::SizeRange` closely enough that the
+    /// usual `vec(element, 1..10)` call sites compile unchanged (the literal
+    /// bounds infer as `usize` through the `From` conversions).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with a [`SizeRange`]-driven length, from [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// Module-style access to strategy constructors (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property; a failure fails the whole test.
+///
+/// Unlike the real proptest there is no shrinking: the failing case index is
+/// printed by the runner and the stream is deterministic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+///
+/// Only usable inside a [`proptest!`] body (it expands to an early return
+/// from the case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over many generated cases.
+///
+/// Supports the real proptest's `#![proptest_config(...)]` inner attribute
+/// for setting the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { { $config } $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { { $crate::ProptestConfig::default() } $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands each property item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ({ $config:expr }) => {};
+    ({ $config:expr }
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __cases = __config.resolved_cases();
+            let __name_hash = $crate::hash_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut __ran = 0u64;
+            for __case in 0..__cases {
+                let mut __rng = $crate::TestRng::for_case(__name_hash, __case);
+                let __outcome = (|| -> ::std::ops::ControlFlow<()> {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                    ::std::ops::ControlFlow::Continue(())
+                })();
+                if let ::std::ops::ControlFlow::Continue(()) = __outcome {
+                    __ran += 1;
+                }
+            }
+            assert!(
+                __ran > 0,
+                "proptest {}: every one of the {} cases was rejected by prop_assume!",
+                stringify!($name),
+                __cases,
+            );
+        }
+        $crate::__proptest_items! { { $config } $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_case(1, 0);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(3u32..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let (a, b) = Strategy::generate(&(0usize..4, 1u8..=3), &mut rng);
+            assert!(a < 4 && (1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_vec_compose() {
+        let strategy = prop::collection::vec(
+            prop_oneof![(1u32..5).prop_map(|x| x * 2), Just(100u32),],
+            1..6,
+        );
+        let mut rng = crate::TestRng::for_case(2, 7);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strategy, &mut rng);
+            assert!(!v.is_empty() && v.len() < 6);
+            assert!(v.iter().all(|&x| x == 100 || (x % 2 == 0 && x < 10)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro itself: bindings, patterns, assume and asserts.
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), flip in any::<bool>()) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(flip || !flip, true);
+            prop_assert_ne!(a, 10);
+        }
+    }
+}

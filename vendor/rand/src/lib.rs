@@ -1,0 +1,165 @@
+//! Offline deterministic stand-in for the subset of the
+//! [`rand`](https://docs.rs/rand) API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` crate cannot be fetched.  `mwl_tgff` only needs a seedable RNG with
+//! `gen_range` over integer ranges and `gen_bool`; this crate provides exactly
+//! that surface ([`Rng`], [`SeedableRng`], [`rngs::StdRng`]) backed by
+//! splitmix64 followed by xorshift64*, which is plenty for workload
+//! generation.
+//!
+//! Unlike the real `rand`, the stream here is fully deterministic across
+//! platforms and releases — a feature for reproducible benchmarks.  Swapping
+//! in the real crate later only requires changing the `path` entry in the
+//! root `Cargo.toml` to a registry entry.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over an [`RngCore`].
+///
+/// Blanket-implemented for every [`RngCore`], mirroring how the real `rand`
+/// crate's `Rng` extends `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching the real `rand` behaviour.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} not in [0, 1]");
+        // 53 high bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Constructing an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($ty:ty),+) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128 + draw) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as u128 + draw) as $ty
+            }
+        }
+    )+};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: splitmix64 seeding feeding an
+    /// xorshift64* stream.  Deterministic across platforms.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One splitmix64 round decorrelates small consecutive seeds.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let state = (z ^ (z >> 31)) | 1; // xorshift state must be non-zero
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..=1000), b.gen_range(0u32..=1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}

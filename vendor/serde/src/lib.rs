@@ -1,0 +1,35 @@
+//! Offline no-op stand-in for the [`serde`](https://serde.rs) derive macros.
+//!
+//! The workspace is built in an environment without network access to
+//! crates.io, so the real `serde` cannot be fetched.  The `mwl_*` crates only
+//! use serde for `#[derive(Serialize, Deserialize)]` annotations on plain
+//! data types — nothing in the workspace serialises anything yet — so this
+//! crate supplies derive macros with the same names that expand to nothing.
+//!
+//! Swapping in the real `serde` later is a one-line change in the root
+//! `Cargo.toml` (`[workspace.dependencies]`): replace the `path` entry with a
+//! registry entry and enable the `derive` feature.  No source file needs to
+//! change, because every annotated type is already `serde`-derivable plain
+//! data.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+///
+/// Expands to nothing; it exists so that `#[derive(Serialize)]` annotations
+/// compile without the real `serde` crate.  The `serde` helper attribute is
+/// accepted (and ignored) for forward compatibility.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+///
+/// Expands to nothing; it exists so that `#[derive(Deserialize)]` annotations
+/// compile without the real `serde` crate.  The `serde` helper attribute is
+/// accepted (and ignored) for forward compatibility.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
