@@ -1,6 +1,6 @@
 //! The uniform-wordlength (DSP-processor model) baseline.
 
-use mwl_core::{AllocError, Datapath, ResourceInstance};
+use mwl_core::{most_contended_class, AllocError, Datapath, ResourceInstance};
 use mwl_model::{CostModel, Cycles, OpId, OpShape, ResourceClass, ResourceType, SequencingGraph};
 use mwl_sched::{
     critical_path_length, ListScheduler, OpLatencies, PerClassBound, SchedError, SchedulePriority,
@@ -42,20 +42,11 @@ impl<'a> UniformWordlengthAllocator<'a> {
         let mut uniform: BTreeMap<ResourceClass, ResourceType> = BTreeMap::new();
         for op in graph.operations() {
             let class = ResourceClass::for_kind(op.kind());
-            let (a, b) = op.shape().widths();
+            let candidate = ResourceType::for_shape(op.shape());
             uniform
                 .entry(class)
-                .and_modify(|r| {
-                    let (ra, rb) = r.widths();
-                    *r = match class {
-                        ResourceClass::Adder => ResourceType::adder(ra.max(a)),
-                        ResourceClass::Multiplier => ResourceType::multiplier(ra.max(a), rb.max(b)),
-                    };
-                })
-                .or_insert_with(|| match class {
-                    ResourceClass::Adder => ResourceType::adder(a),
-                    ResourceClass::Multiplier => ResourceType::multiplier(a, b),
-                });
+                .and_modify(|r| *r = r.component_max(&candidate).expect("same class"))
+                .or_insert(candidate);
         }
 
         // Every operation takes its class's uniform latency.
@@ -94,11 +85,13 @@ impl<'a> UniformWordlengthAllocator<'a> {
                     break;
                 }
                 Ok(_) | Err(SchedError::InfeasibleResourceBound { .. }) => {
-                    let next = bounds
-                        .iter()
-                        .filter(|(c, &b)| b < class_ops[c])
-                        .map(|(&c, _)| c)
-                        .next();
+                    // Escalate the bottleneck: the most contended class (the
+                    // largest workload per allowed unit) still below its
+                    // op-count cap, mirroring the heuristic's escalation
+                    // rule rather than the first class in iteration order.
+                    let next = most_contended_class(graph, &latencies, &bounds, |c| {
+                        bounds.get(&c).copied().unwrap_or(0) < class_ops[&c]
+                    });
                     match next {
                         Some(c) => *bounds.get_mut(&c).expect("present") += 1,
                         None => break,
@@ -214,6 +207,78 @@ mod tests {
             heuristic_total <= uniform_total,
             "heuristic total area {heuristic_total} exceeds uniform total {uniform_total}"
         );
+    }
+
+    #[test]
+    fn escalation_targets_the_bottleneck_class() {
+        // Two parallel 16x16 multiplications (uniform latency 4) feeding one
+        // addition each (uniform latency 2).  At λ = 8 the multipliers are
+        // the bottleneck (serialising them costs 10 cycles) while a single
+        // adder suffices (the additions serialise at steps 4..6 and 6..8).
+        // Escalating the first class in iteration order — the old behaviour —
+        // widens the adder bound first and ends up with two adder instances.
+        let mut b = SequencingGraphBuilder::new();
+        let m1 = b.add_operation(OpShape::multiplier(16, 16));
+        let m2 = b.add_operation(OpShape::multiplier(16, 16));
+        let a1 = b.add_operation(OpShape::adder(16));
+        let a2 = b.add_operation(OpShape::adder(16));
+        b.add_dependency(m1, a1).unwrap();
+        b.add_dependency(m2, a2).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let dp = UniformWordlengthAllocator::new(&cost, 8)
+            .allocate(&g)
+            .unwrap();
+        dp.validate(&g, &cost).unwrap();
+        let count = |class| {
+            dp.instances()
+                .iter()
+                .filter(|i| i.resource().class() == class)
+                .count()
+        };
+        assert_eq!(count(ResourceClass::Multiplier), 2);
+        assert_eq!(count(ResourceClass::Adder), 1);
+        assert!(dp.latency() <= 8);
+    }
+
+    #[test]
+    fn heuristic_never_worse_than_uniform_per_graph() {
+        // Regression on the ROADMAP counterexample family: with a loose
+        // latency budget the uniform design serialises everything onto one
+        // big shared unit per class, which used to undercut the heuristic on
+        // individual graphs.  The post-bind instance-merging pass gives the
+        // heuristic the same move, so per-graph dominance holds again.
+        let cost = SonicCostModel::default();
+        for (seed, slack) in [(606u64, 4u32), (606, 10), (1313, 4), (1313, 10)] {
+            let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), seed);
+            for _ in 0..8 {
+                let g = generator.generate();
+                let uniform_lat = OpLatencies::from_fn(&g, |op| {
+                    let shapes: Vec<_> = g
+                        .operations()
+                        .iter()
+                        .filter(|o| o.kind().is_additive() == op.kind().is_additive())
+                        .map(|o| o.shape())
+                        .collect();
+                    cost.latency(&UniformWordlengthAllocator::uniform_shape_for(&shapes).unwrap())
+                });
+                let lambda = critical_path_length(&g, &uniform_lat) + slack;
+                let uniform = UniformWordlengthAllocator::new(&cost, lambda)
+                    .allocate(&g)
+                    .unwrap();
+                let heuristic = DpAllocator::new(&cost, AllocConfig::new(lambda))
+                    .allocate(&g)
+                    .unwrap();
+                uniform.validate(&g, &cost).unwrap();
+                heuristic.validate(&g, &cost).unwrap();
+                assert!(
+                    heuristic.area() <= uniform.area(),
+                    "seed {seed} slack {slack}: heuristic area {} exceeds uniform area {}",
+                    heuristic.area(),
+                    uniform.area()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Ablation: `DPAlloc` with and without the post-bind instance-merging pass.
+//!
+//! Merging coalesces same-class instances onto widened shared units whenever
+//! that strictly reduces area within the latency budget; disabling it
+//! reproduces the paper's split-only refinement loop.  Besides runtime, a
+//! one-off printout reports the mean area saved by the pass and the per-graph
+//! gap to the uniform-wordlength baseline that the pass closes (the ROADMAP
+//! counterexample family: loose-budget TGFF graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_bench::{lambda_min, relax_constraint};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::SonicCostModel;
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_merge(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("ablation_merge");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &ops in &[8usize, 16, 24] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 11).generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 20);
+        group.bench_with_input(BenchmarkId::new("with_merging", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("without_merging", ops), &ops, |b, _| {
+            b.iter(|| {
+                DpAllocator::new(&cost, AllocConfig::new(lambda).with_instance_merging(false))
+                    .allocate(&graph)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // One-off area comparison on the loose-budget counterexample family:
+    // mean area saved by the pass and the per-graph gap to the uniform
+    // baseline with and without it.
+    use mwl_baselines::UniformWordlengthAllocator;
+    let mut saved_total = 0u64;
+    let mut merges_total = 0usize;
+    let mut gap_without = 0i64;
+    let mut gap_with = 0i64;
+    let mut graphs = 0u64;
+    let mut uniform_graphs = 0u64;
+    let mut generator = TgffGenerator::new(TgffConfig::with_ops(12), 606);
+    for _ in 0..20 {
+        let graph = generator.generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 60);
+        let with = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate_with_stats(&graph)
+            .unwrap();
+        let without =
+            DpAllocator::new(&cost, AllocConfig::new(lambda).with_instance_merging(false))
+                .allocate(&graph)
+                .unwrap();
+        saved_total += without.area() - with.datapath.area();
+        merges_total += with.merges;
+        if let Ok(uniform) = UniformWordlengthAllocator::new(&cost, lambda).allocate(&graph) {
+            gap_without += without.area() as i64 - uniform.area() as i64;
+            gap_with += with.datapath.area() as i64 - uniform.area() as i64;
+            uniform_graphs += 1;
+        }
+        graphs += 1;
+    }
+    println!(
+        "ablation_merge: {graphs} graphs, {merges_total} merges, \
+         mean area saved by the pass = {:.1}; \
+         over the {uniform_graphs} uniform-feasible graphs, \
+         mean heuristic-minus-uniform gap without pass = {:.1}, with pass = {:.1}",
+        saved_total as f64 / graphs as f64,
+        gap_without as f64 / uniform_graphs.max(1) as f64,
+        gap_with as f64 / uniform_graphs.max(1) as f64,
+    );
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -22,6 +22,7 @@ use mwl_wcg::WordlengthCompatibilityGraph;
 use crate::bind::{bind_select, BindSelectOptions};
 use crate::datapath::Datapath;
 use crate::error::AllocError;
+use crate::merge::merge_instances;
 use crate::refine::select_refinement_op;
 
 /// How the allocator chooses the operation whose wordlength information is
@@ -52,6 +53,11 @@ pub struct AllocConfig {
     pub bind_options: BindSelectOptions,
     /// Refinement candidate selection policy.
     pub refinement: RefinementPolicy,
+    /// Run the post-bind instance-merging pass (see [`crate::merge`]) on the
+    /// feasible datapath, coalescing same-class instances onto widened shared
+    /// units whenever that strictly reduces area within `λ`.  Defaults to
+    /// `true`; disable for ablation against the paper's split-only loop.
+    pub instance_merging: bool,
     /// Safety budget on the number of schedule/bind/refine iterations per
     /// resource-bound configuration.
     pub max_iterations: usize,
@@ -68,6 +74,7 @@ impl AllocConfig {
             priority: SchedulePriority::CriticalPath,
             bind_options: BindSelectOptions::default(),
             refinement: RefinementPolicy::default(),
+            instance_merging: true,
             max_iterations: 10_000,
         }
     }
@@ -99,6 +106,13 @@ impl AllocConfig {
         self.refinement = policy;
         self
     }
+
+    /// Enables or disables the post-bind instance-merging pass.
+    #[must_use]
+    pub fn with_instance_merging(mut self, enabled: bool) -> Self {
+        self.instance_merging = enabled;
+        self
+    }
 }
 
 /// Statistics gathered while allocating, returned by
@@ -112,6 +126,9 @@ pub struct AllocOutcome {
     /// Number of times the per-class resource bounds had to be escalated
     /// (always 0 when bounds were supplied by the user).
     pub bound_escalations: usize,
+    /// Number of instance merges accepted by the post-bind merging pass
+    /// (always 0 when [`AllocConfig::instance_merging`] is disabled).
+    pub merges: usize,
     /// The per-class resource bounds in effect for the returned solution.
     pub resource_bounds: BTreeMap<ResourceClass, usize>,
 }
@@ -194,12 +211,24 @@ impl<'a> DpAllocator<'a> {
         for _ in 0..=max_escalations {
             match self.try_with_bounds(graph, &bounds, &mut total_refinements) {
                 Ok(datapath) => {
+                    let (datapath, merges) = if self.config.instance_merging {
+                        let (merged, stats) = merge_instances(
+                            &datapath,
+                            graph,
+                            self.cost,
+                            self.config.latency_constraint,
+                        );
+                        (merged, stats.merges)
+                    } else {
+                        (datapath, 0)
+                    };
                     return Ok(AllocOutcome {
                         datapath,
                         refinements: total_refinements,
                         bound_escalations: escalations,
+                        merges,
                         resource_bounds: bounds,
-                    })
+                    });
                 }
                 Err(InnerFailure::Fatal(e)) => return Err(e),
                 Err(InnerFailure::NeedMoreResources(class)) => {
@@ -207,13 +236,14 @@ impl<'a> DpAllocator<'a> {
                         return Err(AllocError::InfeasibleResourceBounds { class });
                     }
                     let cap = class_ops.get(&class).copied().unwrap_or(1);
-                    let entry = bounds.entry(class).or_insert(1);
-                    if *entry >= cap {
-                        // Escalate some other class that is still below cap.
-                        let alternative = bounds
-                            .iter()
-                            .find(|(c, &b)| b < class_ops.get(c).copied().unwrap_or(1))
-                            .map(|(&c, _)| c);
+                    let current = *bounds.entry(class).or_insert(1);
+                    if current >= cap {
+                        // Escalate the most contended other class that is
+                        // still below its cap, not the first in map order.
+                        let alternative = most_contended_class(graph, &native, &bounds, |c| {
+                            bounds.get(&c).copied().unwrap_or(1)
+                                < class_ops.get(&c).copied().unwrap_or(1)
+                        });
                         match alternative {
                             Some(c) => {
                                 *bounds.get_mut(&c).expect("class present") += 1;
@@ -223,15 +253,17 @@ impl<'a> DpAllocator<'a> {
                             }
                         }
                     } else {
-                        *entry += 1;
+                        *bounds.get_mut(&class).expect("class present") += 1;
                     }
                     escalations += 1;
                 }
             }
         }
-        Err(AllocError::IterationBudgetExceeded {
-            budget: self.config.max_iterations,
-        })
+        // Unreachable for well-formed inputs: the loop runs one more round
+        // than there are possible escalations, so some arm above must return
+        // first.  Report the *escalation* budget honestly rather than
+        // misattributing the failure to the refinement iteration budget.
+        Err(AllocError::EscalationBudgetExceeded { escalations })
     }
 
     /// One full run of the paper's `while` loop for a fixed resource-bound
@@ -326,7 +358,8 @@ impl<'a> DpAllocator<'a> {
                     // resources are needed.  Escalate the class whose
                     // operations are the most serialised under the current
                     // bounds.
-                    let class = most_contended_class(graph, &bound_latencies, bounds);
+                    let class = most_contended_class(graph, &bound_latencies, bounds, |_| true)
+                        .unwrap_or(ResourceClass::Adder);
                     return Err(InnerFailure::NeedMoreResources(class));
                 }
             }
@@ -337,26 +370,34 @@ impl<'a> DpAllocator<'a> {
     }
 }
 
-/// The class with the largest total workload per allowed resource — the one
-/// whose bound most limits the achievable latency.
-fn most_contended_class(
+/// The eligible class with the largest total workload per allowed resource —
+/// the one whose bound most limits the achievable latency, and therefore the
+/// best candidate for a bound escalation.
+///
+/// `latencies` is the per-operation workload (typically the bound or native
+/// latency table) and `bounds` the per-class unit counts currently allowed.
+/// Classes for which `eligible` returns `false` (e.g. classes already at
+/// their escalation cap) are skipped; returns `None` when no class is
+/// eligible.
+pub fn most_contended_class(
     graph: &SequencingGraph,
     latencies: &OpLatencies,
     bounds: &BTreeMap<ResourceClass, usize>,
-) -> ResourceClass {
+    eligible: impl Fn(ResourceClass) -> bool,
+) -> Option<ResourceClass> {
     let mut work: BTreeMap<ResourceClass, u64> = BTreeMap::new();
     for op in graph.op_ids() {
         let class = ResourceClass::for_kind(graph.operation(op).kind());
         *work.entry(class).or_insert(0) += u64::from(latencies.get(op));
     }
     work.into_iter()
+        .filter(|&(c, _)| eligible(c))
         .max_by(|a, b| {
             let pa = a.1 as f64 / *bounds.get(&a.0).unwrap_or(&1).max(&1) as f64;
             let pb = b.1 as f64 / *bounds.get(&b.0).unwrap_or(&1).max(&1) as f64;
             pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
         })
         .map(|(c, _)| c)
-        .unwrap_or(ResourceClass::Adder)
 }
 
 #[cfg(test)]
@@ -562,11 +603,41 @@ mod tests {
         let config = AllocConfig::new(9)
             .with_priority(SchedulePriority::InputOrder)
             .with_clique_growth(false)
-            .with_refinement(RefinementPolicy::FirstRefinable);
+            .with_refinement(RefinementPolicy::FirstRefinable)
+            .with_instance_merging(false);
         let alloc = DpAllocator::new(&c, config);
         assert_eq!(alloc.config().latency_constraint, 9);
         assert_eq!(alloc.config().priority, SchedulePriority::InputOrder);
         assert!(!alloc.config().bind_options.grow_cliques);
         assert_eq!(alloc.config().refinement, RefinementPolicy::FirstRefinable);
+        assert!(!alloc.config().instance_merging);
+        assert!(AllocConfig::new(9).instance_merging, "merging defaults on");
+    }
+
+    #[test]
+    fn instance_merging_never_worse_and_reports_merges() {
+        let c = cost();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(12), 606);
+        let mut merged_somewhere = false;
+        for i in 0..10 {
+            let g = generator.generate();
+            let lam = lambda_min(&g) + 4 + (i % 3) * 6;
+            let on = DpAllocator::new(&c, AllocConfig::new(lam))
+                .allocate_with_stats(&g)
+                .unwrap();
+            let off = DpAllocator::new(&c, AllocConfig::new(lam).with_instance_merging(false))
+                .allocate_with_stats(&g)
+                .unwrap();
+            on.datapath.validate(&g, &c).unwrap();
+            off.datapath.validate(&g, &c).unwrap();
+            assert!(on.datapath.area() <= off.datapath.area());
+            assert!(on.datapath.latency() <= lam);
+            assert_eq!(off.merges, 0);
+            merged_somewhere |= on.merges > 0;
+        }
+        assert!(
+            merged_somewhere,
+            "the pass should fire on at least one loose-budget graph"
+        );
     }
 }

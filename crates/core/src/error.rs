@@ -36,6 +36,15 @@ pub enum AllocError {
         /// The configured maximum number of refinement iterations.
         budget: usize,
     },
+    /// The allocator exhausted its resource-bound escalation budget without
+    /// finding feasible bounds (indicates an internal logic error; the
+    /// escalation loop terminates via
+    /// [`InfeasibleResourceBounds`](Self::InfeasibleResourceBounds) for
+    /// well-formed inputs).
+    EscalationBudgetExceeded {
+        /// Number of bound escalations actually performed.
+        escalations: usize,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -59,6 +68,10 @@ impl fmt::Display for AllocError {
             AllocError::IterationBudgetExceeded { budget } => {
                 write!(f, "allocation exceeded the iteration budget of {budget}")
             }
+            AllocError::EscalationBudgetExceeded { escalations } => write!(
+                f,
+                "allocation exhausted its escalation budget after {escalations} resource-bound escalations"
+            ),
         }
     }
 }
@@ -204,6 +217,9 @@ mod tests {
         assert!(e.to_string().contains("o7"));
         let e = AllocError::IterationBudgetExceeded { budget: 10 };
         assert!(e.to_string().contains("10"));
+        let e = AllocError::EscalationBudgetExceeded { escalations: 17 };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("escalation"));
     }
 
     #[test]

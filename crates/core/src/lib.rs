@@ -30,6 +30,13 @@
 //!    loses the smallest proportion of wordlength edges has its slowest
 //!    candidate resources removed, and the loop repeats.
 //!
+//! On top of the paper's loop, a **post-bind instance-merging pass**
+//! ([`merge`]) coalesces same-class instances onto widened shared units
+//! whenever that strictly reduces area while still meeting `λ` — closing the
+//! per-graph gap to the uniform (DSP-style) baseline that the split-only
+//! refinement loop leaves open under loose latency budgets.  It is on by
+//! default and controlled by [`AllocConfig::with_instance_merging`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -62,12 +69,14 @@ mod bind;
 mod datapath;
 mod dpalloc;
 mod error;
+pub mod merge;
 mod refine;
 mod report;
 
 pub use bind::{bind_select, BindSelectOptions};
 pub use datapath::{Datapath, ResourceInstance};
-pub use dpalloc::{AllocConfig, AllocOutcome, DpAllocator, RefinementPolicy};
+pub use dpalloc::{most_contended_class, AllocConfig, AllocOutcome, DpAllocator, RefinementPolicy};
 pub use error::{AllocError, ValidateError};
+pub use merge::{merge_instances, MergeStats};
 pub use refine::{bound_critical_path, select_refinement_op};
 pub use report::{render_report, DatapathReport, InstanceUtilisation};

@@ -1,0 +1,446 @@
+//! Post-bind instance merging: coalescing wordlength-specialised instances
+//! onto widened shared units.
+//!
+//! The `DPAlloc` refinement loop only ever *splits* work across
+//! wordlength-specialised instances, so with a loose latency budget the
+//! uniform (DSP-style) baseline can undercut it on individual graphs by
+//! serialising everything onto one big shared resource.  This module closes
+//! that gap with a greedy post-pass over a feasible [`Datapath`]: repeatedly
+//! merge same-class [`ResourceInstance`]s into a single instance of the
+//! component-wise-maximum [`ResourceType`]
+//! ([`ResourceType::component_max`]), re-serialise the combined clique with a
+//! binding-aware list schedule, and accept the merge only when
+//!
+//! * the total area **strictly drops**, and
+//! * the re-scheduled latency still meets the constraint `λ`, and
+//! * every instance's operations still form a chain of the compatibility
+//!   graph under the new schedule (checked with the existing
+//!   [`WordlengthCompatibilityGraph::is_chain`] test).
+//!
+//! Candidates considered per round are every same-class instance *pair* plus
+//! one *class-collapse* candidate per resource class (all instances of the
+//! class onto one unit — exactly the uniform baseline's move, which pairwise
+//! merging alone can fail to reach when no intermediate pair is strictly
+//! area-improving).  The pass is deterministic and monotone: area never
+//! increases, the latency constraint is never violated, and the returned
+//! datapath always validates.
+
+use mwl_model::{Area, CostModel, Cycles, OpId, ResourceType, SequencingGraph};
+use mwl_sched::{ListScheduler, OpLatencies, PerInstanceExclusive, Schedule, SchedulePriority};
+use mwl_wcg::WordlengthCompatibilityGraph;
+
+use crate::datapath::{Datapath, ResourceInstance};
+
+/// Statistics reported by [`merge_instances`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Number of accepted merge steps (a class collapse of `k` instances
+    /// counts as `k - 1` merges).
+    pub merges: usize,
+    /// Total datapath area before the pass.
+    pub area_before: Area,
+    /// Total datapath area after the pass (`area_after <= area_before`).
+    pub area_after: Area,
+}
+
+impl MergeStats {
+    /// Area saved by the pass (`area_before - area_after`).
+    #[must_use]
+    pub fn area_saved(&self) -> Area {
+        self.area_before - self.area_after
+    }
+}
+
+/// One candidate merge: the instance indices to coalesce and the widened
+/// resource type implementing their union.
+struct Candidate {
+    members: Vec<usize>,
+    merged: ResourceType,
+    saving: Area,
+}
+
+/// Greedily merges same-class resource instances of a feasible datapath while
+/// the total area strictly drops and the latency constraint stays met.
+///
+/// Returns the (possibly unchanged) datapath together with [`MergeStats`].
+/// The result is guaranteed to satisfy `latency() <= latency_constraint`
+/// whenever the input does, and `area() <= datapath.area()` always.
+#[must_use]
+pub fn merge_instances(
+    datapath: &Datapath,
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    latency_constraint: Cycles,
+) -> (Datapath, MergeStats) {
+    let mut current = datapath.clone();
+    let mut stats = MergeStats {
+        merges: 0,
+        area_before: datapath.area(),
+        area_after: datapath.area(),
+    };
+    if current.latency() > latency_constraint {
+        // Nothing to do for an infeasible input; merging only re-serialises.
+        return (current, stats);
+    }
+
+    while let Some((next, merged_count)) = best_merge(&current, graph, cost, latency_constraint) {
+        stats.merges += merged_count;
+        current = next;
+    }
+    stats.area_after = current.area();
+    (current, stats)
+}
+
+/// Evaluates candidate merges of `current` in decreasing order of area saving
+/// (ties broken deterministically by enumeration order) and returns the first
+/// feasible one applied as a fresh datapath, or `None` when no candidate is
+/// both feasible and strictly area-improving.
+fn best_merge(
+    current: &Datapath,
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    latency_constraint: Cycles,
+) -> Option<(Datapath, usize)> {
+    let mut candidates = candidates(current.instances(), cost);
+    // A stable sort keeps enumeration order among equal savings, so the
+    // first feasible candidate below is exactly the maximum-saving feasible
+    // one — without paying a full reschedule for every candidate.
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.saving));
+    candidates.into_iter().find_map(|candidate| {
+        apply(current, &candidate, graph, cost, latency_constraint)
+            .map(|dp| (dp, candidate.members.len() - 1))
+    })
+}
+
+/// Enumerates merge candidates in deterministic order: all same-class pairs,
+/// then one class-collapse per class with more than two instances.  Only
+/// candidates with a strictly positive area saving are produced.
+fn candidates(instances: &[ResourceInstance], cost: &dyn CostModel) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for i in 0..instances.len() {
+        for j in (i + 1)..instances.len() {
+            let ri = instances[i].resource();
+            let rj = instances[j].resource();
+            let Some(merged) = ri.component_max(&rj) else {
+                continue;
+            };
+            let before = cost.area(&ri) + cost.area(&rj);
+            let after = cost.area(&merged);
+            if after < before {
+                out.push(Candidate {
+                    members: vec![i, j],
+                    merged,
+                    saving: before - after,
+                });
+            }
+        }
+    }
+    // Class collapse: all instances of one class onto their component-wise
+    // maximum (the uniform baseline's design point for that class).
+    for class_rep in 0..instances.len() {
+        let class = instances[class_rep].resource().class();
+        let members: Vec<usize> = (0..instances.len())
+            .filter(|&k| instances[k].resource().class() == class)
+            .collect();
+        if members[0] != class_rep || members.len() <= 2 {
+            // Only emit once per class; pairs are already enumerated above.
+            continue;
+        }
+        let merged = members
+            .iter()
+            .map(|&k| instances[k].resource())
+            .reduce(|a, b| a.component_max(&b).expect("same class"))
+            .expect("members is non-empty");
+        let before: Area = members
+            .iter()
+            .map(|&k| cost.area(&instances[k].resource()))
+            .sum();
+        let after = cost.area(&merged);
+        if after < before {
+            out.push(Candidate {
+                members,
+                merged,
+                saving: before - after,
+            });
+        }
+    }
+    out
+}
+
+/// Attempts to apply a candidate merge: builds the merged instance list,
+/// re-serialises with a binding-aware list schedule, and accepts only when the
+/// new latency meets the constraint and every clique passes the chain test.
+fn apply(
+    current: &Datapath,
+    candidate: &Candidate,
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    latency_constraint: Cycles,
+) -> Option<Datapath> {
+    let mut merged_ops: Vec<OpId> = Vec::new();
+    let mut instances: Vec<ResourceInstance> = Vec::new();
+    for (k, inst) in current.instances().iter().enumerate() {
+        if candidate.members.contains(&k) {
+            merged_ops.extend_from_slice(inst.ops());
+        } else {
+            instances.push(inst.clone());
+        }
+    }
+    instances.push(ResourceInstance::new(candidate.merged, merged_ops));
+
+    let schedule = reschedule(graph, &instances, cost)?;
+    let dp = Datapath::assemble(schedule, instances, cost);
+    if dp.latency() > latency_constraint {
+        return None;
+    }
+
+    // Re-check every instance's clique with the compatibility graph's chain
+    // test under the new schedule (Eqn 4 feasibility of the re-serialised
+    // binding).  The list schedule guarantees this by construction; the test
+    // keeps the acceptance criterion independent of the scheduler.
+    let mut wcg = WordlengthCompatibilityGraph::with_resources(
+        graph,
+        dp.instances().iter().map(|i| i.resource()).collect(),
+        cost,
+    );
+    wcg.attach_schedule(dp.schedule(), &dp.bound_latencies(cost));
+    if dp.instances().iter().any(|inst| !wcg.is_chain(inst.ops())) {
+        return None;
+    }
+    Some(dp)
+}
+
+/// Binding-aware rescheduling: critical-path list scheduling under the
+/// [`PerInstanceExclusive`] constraint, so every operation runs at its
+/// instance's latency and no two operations sharing an instance overlap.
+/// This re-serialises each merged clique back-to-back.
+///
+/// Returns `None` if some operation is not covered by any instance (a
+/// malformed input datapath) or the scheduler rejects the binding.
+fn reschedule(
+    graph: &SequencingGraph,
+    instances: &[ResourceInstance],
+    cost: &dyn CostModel,
+) -> Option<Schedule> {
+    let n = graph.len();
+    let mut binding = vec![usize::MAX; n];
+    for (k, inst) in instances.iter().enumerate() {
+        for &op in inst.ops() {
+            binding[op.index()] = k;
+        }
+    }
+    if binding.contains(&usize::MAX) {
+        return None;
+    }
+    let latencies = OpLatencies::from_fn(graph, |op| {
+        cost.latency(&instances[binding[op.id().index()]].resource())
+    });
+    let constraint = PerInstanceExclusive::new(binding, instances.len());
+    ListScheduler::new(SchedulePriority::CriticalPath)
+        .schedule(graph, &latencies, constraint)
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpalloc::{AllocConfig, DpAllocator};
+    use mwl_model::{OpShape, ResourceClass, SequencingGraphBuilder, SonicCostModel};
+    use mwl_sched::{critical_path_length, OpLatencies};
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    fn cost() -> SonicCostModel {
+        SonicCostModel::default()
+    }
+
+    fn lambda_min(graph: &SequencingGraph, c: &SonicCostModel) -> Cycles {
+        let native = OpLatencies::from_fn(graph, |op| c.native_latency(op.shape()));
+        critical_path_length(graph, &native)
+    }
+
+    /// Two independent multiplications of close widths: with a loose budget,
+    /// one widened shared multiplier is cheaper than two specialised ones.
+    fn parallel_muls() -> SequencingGraph {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(10, 10));
+        b.add_operation(OpShape::multiplier(12, 12));
+        b.build().unwrap()
+    }
+
+    /// A hand-assembled split datapath for [`parallel_muls`]: each
+    /// multiplication on its own specialised instance, both starting at step
+    /// 0 (the shape the split-only refinement loop produces under a tight
+    /// budget).
+    fn split_datapath(g: &SequencingGraph, c: &SonicCostModel) -> Datapath {
+        let dp = Datapath::assemble(
+            Schedule::from_vec(vec![0, 0]),
+            vec![
+                ResourceInstance::new(ResourceType::multiplier(10, 10), vec![OpId::new(0)]),
+                ResourceInstance::new(ResourceType::multiplier(12, 12), vec![OpId::new(1)]),
+            ],
+            c,
+        );
+        dp.validate(g, c).unwrap();
+        dp
+    }
+
+    fn unmerged(graph: &SequencingGraph, c: &SonicCostModel, lambda: Cycles) -> Datapath {
+        DpAllocator::new(c, AllocConfig::new(lambda).with_instance_merging(false))
+            .allocate(graph)
+            .unwrap()
+    }
+
+    #[test]
+    fn merges_parallel_multipliers_under_loose_budget() {
+        let g = parallel_muls();
+        let c = cost();
+        // Split: 100 + 144 = 244 area at latency 3.  A budget of 6 admits one
+        // serialised 12x12 multiplier (144 area, latency 6).
+        let dp = split_datapath(&g, &c);
+        let (merged, stats) = merge_instances(&dp, &g, &c, 6);
+        merged.validate(&g, &c).unwrap();
+        assert!(merged.latency() <= 6);
+        assert_eq!(stats.merges, 1);
+        assert_eq!(stats.area_before, dp.area());
+        assert_eq!(stats.area_after, merged.area());
+        assert_eq!(stats.area_saved(), 100);
+        assert_eq!(merged.num_instances(), 1);
+        assert_eq!(
+            merged.instances()[0].resource(),
+            ResourceType::multiplier(12, 12)
+        );
+    }
+
+    #[test]
+    fn tight_budget_blocks_the_merge() {
+        let g = parallel_muls();
+        let c = cost();
+        // At the split datapath's own latency (3) the serialised merge (6)
+        // violates the constraint, so the pass must leave it untouched.
+        let dp = split_datapath(&g, &c);
+        let (merged, stats) = merge_instances(&dp, &g, &c, dp.latency());
+        merged.validate(&g, &c).unwrap();
+        assert_eq!(stats.merges, 0);
+        assert_eq!(merged.area(), dp.area());
+        assert!(merged.latency() <= dp.latency());
+    }
+
+    #[test]
+    fn cross_class_instances_never_merge() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(8, 8));
+        b.add_operation(OpShape::adder(16));
+        let g = b.build().unwrap();
+        let c = cost();
+        let dp = Datapath::assemble(
+            Schedule::from_vec(vec![0, 0]),
+            vec![
+                ResourceInstance::new(ResourceType::multiplier(8, 8), vec![OpId::new(0)]),
+                ResourceInstance::new(ResourceType::adder(16), vec![OpId::new(1)]),
+            ],
+            &c,
+        );
+        dp.validate(&g, &c).unwrap();
+        let (merged, stats) = merge_instances(&dp, &g, &c, 20);
+        merged.validate(&g, &c).unwrap();
+        assert_eq!(stats.merges, 0);
+        assert_eq!(merged.num_instances(), dp.num_instances());
+    }
+
+    #[test]
+    fn merge_is_monotone_on_random_graphs() {
+        let c = cost();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(12), 2077);
+        for i in 0..12 {
+            let g = generator.generate();
+            let lambda = lambda_min(&g, &c) + (i % 5) * 4;
+            let dp = unmerged(&g, &c, lambda);
+            let (merged, stats) = merge_instances(&dp, &g, &c, lambda);
+            merged.validate(&g, &c).unwrap();
+            assert!(merged.area() <= dp.area());
+            assert!(merged.latency() <= lambda);
+            assert_eq!(stats.area_saved(), dp.area() - merged.area());
+        }
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let c = cost();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 5);
+        let g = generator.generate();
+        let lambda = lambda_min(&g, &c) + 8;
+        let dp = unmerged(&g, &c, lambda);
+        let (a, sa) = merge_instances(&dp, &g, &c, lambda);
+        let (b, sb) = merge_instances(&dp, &g, &c, lambda);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn class_collapse_reaches_the_uniform_design_point() {
+        // Three parallel same-shape multiplications on three instances, as
+        // the split-only loop leaves them under λ_min: with a loose budget
+        // the whole class collapses onto one shared unit (the uniform
+        // baseline's design point).
+        let mut b = SequencingGraphBuilder::new();
+        for _ in 0..3 {
+            b.add_operation(OpShape::multiplier(10, 10));
+        }
+        let g = b.build().unwrap();
+        let c = cost();
+        let dp = Datapath::assemble(
+            Schedule::from_vec(vec![0, 0, 0]),
+            (0..3)
+                .map(|i| {
+                    ResourceInstance::new(ResourceType::multiplier(10, 10), vec![OpId::new(i)])
+                })
+                .collect(),
+            &c,
+        );
+        dp.validate(&g, &c).unwrap();
+        let (merged, stats) = merge_instances(&dp, &g, &c, 30);
+        merged.validate(&g, &c).unwrap();
+        assert_eq!(merged.num_instances(), 1);
+        assert_eq!(stats.merges, 2);
+        assert_eq!(merged.area(), 100);
+        assert!(merged.latency() <= 30);
+    }
+
+    #[test]
+    fn infeasible_input_is_returned_unchanged() {
+        let g = parallel_muls();
+        let c = cost();
+        let dp = split_datapath(&g, &c);
+        // A constraint below the datapath's own latency: pass is a no-op.
+        let (same, stats) = merge_instances(&dp, &g, &c, dp.latency() - 1);
+        assert_eq!(same, dp);
+        assert_eq!(stats.merges, 0);
+    }
+
+    #[test]
+    fn sharing_classes_report_chain_cliques() {
+        let c = cost();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(14), 909);
+        for _ in 0..6 {
+            let g = generator.generate();
+            let lambda = lambda_min(&g, &c) + 10;
+            let dp = unmerged(&g, &c, lambda);
+            let (merged, _) = merge_instances(&dp, &g, &c, lambda);
+            merged.validate(&g, &c).unwrap();
+            // Every clique stays a chain under the merged schedule.
+            let bound = merged.bound_latencies(&c);
+            for inst in merged.instances() {
+                let ops = inst.ops();
+                for i in 0..ops.len() {
+                    for j in (i + 1)..ops.len() {
+                        assert!(!merged.schedule().overlaps(ops[i], ops[j], &bound));
+                    }
+                }
+                assert_eq!(
+                    inst.resource().class(),
+                    ResourceClass::for_kind(g.operation(ops[0]).kind())
+                );
+            }
+        }
+    }
+}

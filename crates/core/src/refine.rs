@@ -180,6 +180,12 @@ pub fn select_refinement_op(
 
 /// Proportion of wordlength edges incident to resources compatible with `op`
 /// that would be lost by refining `op`'s upper bound.
+///
+/// Both numerator and denominator count *edges* of the pool
+/// `{{o1, r} ∈ H : ∃{o, r} ∈ H}`: the denominator sums the edge counts of
+/// every resource compatible with `op`, the numerator sums the edge counts of
+/// the resources that refinement would delete (those at the operation's
+/// current latency upper bound).
 fn deletion_proportion(wcg: &WordlengthCompatibilityGraph, op: OpId) -> f64 {
     let bound = wcg.upper_bound_latency(op);
     let resources = wcg.resources_for(op);
@@ -187,7 +193,8 @@ fn deletion_proportion(wcg: &WordlengthCompatibilityGraph, op: OpId) -> f64 {
     let deleted: usize = resources
         .iter()
         .filter(|&&r| wcg.resource_latency(r) == bound)
-        .count();
+        .map(|&r| wcg.ops_for(r).len())
+        .sum();
     if pool == 0 {
         f64::INFINITY
     } else {
@@ -304,6 +311,59 @@ mod tests {
         assert!(wcg.refine_op(chosen) > 0);
         assert!(wcg.upper_bound_latency(chosen) < before.max(2));
         let _ = g;
+    }
+
+    /// Regression for the edge-count bug in the deletion-proportion rule:
+    /// the numerator must sum the *edges* of the resources that refinement
+    /// deletes, not merely count those resources.  This instance is built so
+    /// the two readings disagree on which operation to refine.
+    #[test]
+    fn deletion_proportion_counts_edges_not_resources() {
+        use mwl_model::{LinearCostModel, ResourceType};
+
+        // o0 (mul 8x8) -> o1 (add 8), plus four independent 12x12
+        // multiplications padding the big multiplier's edge count.
+        let mut b = SequencingGraphBuilder::new();
+        let o0 = b.add_operation(OpShape::multiplier(8, 8));
+        let o1 = b.add_operation(OpShape::adder(8));
+        for _ in 0..4 {
+            b.add_operation(OpShape::multiplier(12, 12));
+        }
+        b.add_dependency(o0, o1).unwrap();
+        let g = b.build().unwrap();
+
+        // Explicit resource set under the linear cost model (latency
+        // ceil(total/8) + 1): m0/m1 cover o0, a0/a1/a2 cover o1, and only m1
+        // covers the fillers.
+        let cost = LinearCostModel::default();
+        let resources = vec![
+            ResourceType::multiplier(8, 8),   // m0: latency 3, edges {o0}
+            ResourceType::multiplier(16, 16), // m1: latency 5, edges {o0, fillers}
+            ResourceType::adder(8),           // a0: latency 2, edges {o1}
+            ResourceType::adder(9),           // a1: latency 3, edges {o1}
+            ResourceType::adder(10),          // a2: latency 3, edges {o1}
+        ];
+        let wcg = WordlengthCompatibilityGraph::with_resources(&g, resources, &cost);
+
+        // o0 and o1 are serialised back-to-back by the dependency and form
+        // the bound critical path (length 5); the fillers end at 4.
+        let schedule = Schedule::from_vec(vec![0, 3, 0, 0, 0, 0]);
+        let bound = OpLatencies::from_vec(vec![3, 2, 4, 4, 4, 4]);
+        let binding = vec![0, 1, 2, 3, 4, 5];
+        let upper = wcg.upper_bound_latencies();
+        assert_eq!(upper.as_slice(), &[5, 3, 5, 5, 5, 5]);
+
+        // Proportions under the two readings, with pool(o) the summed edge
+        // counts of o's compatible resources:
+        //   o0: pool = |O(m0)| + |O(m1)| = 1 + 5 = 6; at-bound resources
+        //       {m1}: 1 resource carrying 5 edges -> edges 5/6, resources 1/6.
+        //   o1: pool = |O(a0)| + |O(a1)| + |O(a2)| = 3; at-bound {a1, a2}:
+        //       2 resources carrying 2 edges -> 2/3 under both readings.
+        // Counting resources prefers o0 (1/6 < 2/3); the paper's edge-count
+        // rule must pick o1 (2/3 < 5/6).
+        let chosen =
+            select_refinement_op(&g, &wcg, &schedule, &upper, &bound, &binding, 6).unwrap();
+        assert_eq!(chosen, o1);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct DatapathReport {
     pub instances: Vec<InstanceUtilisation>,
     /// Total area per resource class.
     pub area_by_class: Vec<(ResourceClass, Area)>,
+    /// Number of instances per resource class — the figure the post-bind
+    /// merging pass drives down (one instance per class is the uniform
+    /// baseline's design point).
+    pub instances_by_class: Vec<(ResourceClass, usize)>,
     /// Overall latency of the datapath.
     pub latency: Cycles,
     /// Total area of the datapath.
@@ -51,6 +55,7 @@ impl DatapathReport {
         let bound = datapath.bound_latencies(cost);
         let mut instances = Vec::new();
         let mut area_by_class: Vec<(ResourceClass, Area)> = Vec::new();
+        let mut instances_by_class: Vec<(ResourceClass, usize)> = Vec::new();
         for (idx, inst) in datapath.instances().iter().enumerate() {
             let busy: Cycles = inst.ops().iter().map(|&o| bound.get(o)).sum();
             let area = cost.area(&inst.resource());
@@ -66,8 +71,13 @@ impl DatapathReport {
                 Some((_, total)) => *total += area,
                 None => area_by_class.push((class, area)),
             }
+            match instances_by_class.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, count)) => *count += 1,
+                None => instances_by_class.push((class, 1)),
+            }
         }
         area_by_class.sort_by_key(|&(c, _)| c);
+        instances_by_class.sort_by_key(|&(c, _)| c);
         let mean_utilisation = if instances.is_empty() {
             0.0
         } else {
@@ -77,6 +87,7 @@ impl DatapathReport {
         DatapathReport {
             instances,
             area_by_class,
+            instances_by_class,
             latency: datapath.latency(),
             area: datapath.area(),
             mean_utilisation,
@@ -101,7 +112,12 @@ impl DatapathReport {
             self.mean_utilisation * 100.0
         );
         for (class, area) in &self.area_by_class {
-            let _ = writeln!(out, "  {class} area: {area} units");
+            let instances = self
+                .instances_by_class
+                .iter()
+                .find(|(c, _)| c == class)
+                .map_or(0, |&(_, n)| n);
+            let _ = writeln!(out, "  {class} area: {area} units ({instances} instances)");
         }
         let bound = datapath.bound_latencies(cost);
         let _ = writeln!(out, "  gantt (one row per instance, '.' = idle):");
@@ -185,6 +201,20 @@ mod tests {
         assert_eq!(class_total, dp.area());
         let instance_total: Area = report.instances.iter().map(|i| i.area).sum();
         assert_eq!(instance_total, dp.area());
+        let instance_count: usize = report.instances_by_class.iter().map(|&(_, n)| n).sum();
+        assert_eq!(instance_count, dp.num_instances());
+        assert_eq!(
+            report
+                .area_by_class
+                .iter()
+                .map(|&(c, _)| c)
+                .collect::<Vec<_>>(),
+            report
+                .instances_by_class
+                .iter()
+                .map(|&(c, _)| c)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

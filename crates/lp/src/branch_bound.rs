@@ -111,10 +111,7 @@ pub(crate) fn solve_mip(
 
     // Root relaxation.
     let root_overrides: Vec<Option<(f64, Option<f64>)>> = vec![None; n];
-    let root = match problem.solve_relaxation_with_bounds(&root_overrides) {
-        Ok(s) => s,
-        Err(e) => return Err(e),
-    };
+    let root = problem.solve_relaxation_with_bounds(&root_overrides)?;
     // Internal minimisation bound of the root node.
     let to_min = |external: f64| match problem.sense() {
         crate::model::Sense::Minimize => external,
@@ -186,7 +183,7 @@ pub(crate) fn solve_mip(
                 let obj = bound;
                 let better = incumbent
                     .as_ref()
-                    .map_or(true, |(best, _)| obj < *best - 1e-9);
+                    .is_none_or(|(best, _)| obj < *best - 1e-9);
                 if better {
                     incumbent = Some((obj, values));
                 }
@@ -208,7 +205,7 @@ pub(crate) fn solve_mip(
                     heap.push(Node { overrides, bound });
                 }
                 // Up branch.
-                let up_ok = cur_upper.map_or(true, |u| ceil <= u + 1e-9);
+                let up_ok = cur_upper.is_none_or(|u| ceil <= u + 1e-9);
                 if up_ok {
                     let mut overrides = node.overrides.clone();
                     overrides[var] = Some((ceil.max(cur_lower), cur_upper));

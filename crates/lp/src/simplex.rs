@@ -12,11 +12,15 @@ use crate::model::{ConstraintOp, LpProblem, LpSolution};
 
 const EPS: f64 = 1e-9;
 
+/// Per-variable bound replacement: `Some((lower, upper))` overrides the
+/// variable's bounds, `None` keeps the problem's own.
+pub(crate) type BoundOverride = Option<(f64, Option<f64>)>;
+
 /// Solves the LP relaxation of `problem`, optionally overriding variable
 /// bounds (per-variable `(lower, upper)` replacements).
 pub(crate) fn solve_simplex(
     problem: &LpProblem,
-    bound_overrides: Option<&[Option<(f64, Option<f64>)>]>,
+    bound_overrides: Option<&[BoundOverride]>,
 ) -> Result<LpSolution, LpError> {
     let n = problem.vars.len();
     let objective = problem.minimize_objective();
@@ -179,14 +183,8 @@ pub(crate) fn solve_simplex(
             values[basis[i]] += a[i][total];
         }
     }
-    // Objective of the original problem = shifted objective + c·lower.
-    let offset: f64 = problem
-        .vars
-        .iter()
-        .enumerate()
-        .map(|(i, _)| problem.minimize_objective()[i] * (values[i] - values[i]))
-        .sum::<f64>();
-    let _ = offset;
+    // Objective of the original problem, recomputed from the extracted
+    // (un-shifted) variable values.
     let fixed_part: f64 = (0..n).map(|i| objective[i] * (values[i])).sum::<f64>();
     // `obj_value` is the optimal value of the shifted objective; recomputing
     // from the extracted values is equivalent and avoids sign bookkeeping.
@@ -218,7 +216,7 @@ fn run_phase(
         z[j] = v;
     }
 
-    let allowed = |j: usize| barred_from.map_or(true, |b| j < b);
+    let allowed = |j: usize| barred_from.is_none_or(|b| j < b);
 
     let mut iterations = 0usize;
     let mut bland = false;
@@ -250,7 +248,7 @@ fn run_phase(
             if a[i][entering] > EPS {
                 let ratio = a[i][total] / a[i][entering];
                 if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS && leaving.map_or(true, |l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + EPS && leaving.is_none_or(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leaving = Some(i);
@@ -265,16 +263,17 @@ fn run_phase(
 }
 
 fn pivot(a: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
-    let m = a.len();
     let p = a[row][col];
-    for j in 0..=total {
-        a[row][j] /= p;
+    for v in a[row].iter_mut().take(total + 1) {
+        *v /= p;
     }
-    for i in 0..m {
-        if i != row && a[i][col].abs() > EPS {
-            let factor = a[i][col];
-            for j in 0..=total {
-                a[i][j] -= factor * a[row][j];
+    let (before, rest) = a.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("pivot row in range");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        if r[col].abs() > EPS {
+            let factor = r[col];
+            for (v, &pv) in r.iter_mut().zip(pivot_row.iter()).take(total + 1) {
+                *v -= factor * pv;
             }
         }
     }

@@ -81,7 +81,7 @@ proptest! {
         for &v in &vars {
             let x = integer.values[v.index()];
             prop_assert!((x - x.round()).abs() < 1e-6);
-            prop_assert!(x >= -1e-9 && x <= 3.0 + 1e-9);
+            prop_assert!((-1e-9..=3.0 + 1e-9).contains(&x));
         }
     }
 
@@ -120,14 +120,12 @@ proptest! {
             .fold(f64::INFINITY, f64::min);
 
         let mut lp = LpProblem::new(Sense::Minimize);
-        let mut vars = vec![vec![]; size];
-        for (i, row) in costs.iter().enumerate() {
-            for &c in row {
-                vars[i].push(lp.add_binary(c));
-            }
-        }
-        for i in 0..size {
-            let row: Vec<_> = (0..size).map(|j| (vars[i][j], 1.0)).collect();
+        let vars: Vec<Vec<_>> = costs
+            .iter()
+            .map(|row| row.iter().map(|&c| lp.add_binary(c)).collect())
+            .collect();
+        for (i, var_row) in vars.iter().enumerate() {
+            let row: Vec<_> = var_row.iter().map(|&v| (v, 1.0)).collect();
             lp.add_eq(&row, 1.0);
             let col: Vec<_> = (0..size).map(|j| (vars[j][i], 1.0)).collect();
             lp.add_eq(&col, 1.0);

@@ -155,6 +155,36 @@ impl ResourceType {
     pub fn dominates(&self, other: &ResourceType) -> bool {
         self.class == other.class && self.width_a >= other.width_a && self.width_b >= other.width_b
     }
+
+    /// The component-wise maximum of two resource types of the same class:
+    /// the smallest resource type that dominates both, i.e. can execute every
+    /// operation either input can execute.
+    ///
+    /// Returns `None` when the classes differ (an adder and a multiplier have
+    /// no common widening).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwl_model::ResourceType;
+    /// let a = ResourceType::multiplier(16, 8);
+    /// let b = ResourceType::multiplier(12, 10);
+    /// let m = a.component_max(&b).unwrap();
+    /// assert_eq!(m, ResourceType::multiplier(16, 10));
+    /// assert!(m.dominates(&a) && m.dominates(&b));
+    /// assert!(a.component_max(&ResourceType::adder(8)).is_none());
+    /// ```
+    #[must_use]
+    pub fn component_max(&self, other: &ResourceType) -> Option<ResourceType> {
+        if self.class != other.class {
+            return None;
+        }
+        Some(ResourceType {
+            class: self.class,
+            width_a: self.width_a.max(other.width_a),
+            width_b: self.width_b.max(other.width_b),
+        })
+    }
 }
 
 impl fmt::Display for ResourceType {
@@ -290,6 +320,29 @@ mod tests {
         assert!(!small.dominates(&big));
         assert!(big.dominates(&big));
         assert!(!big.dominates(&ResourceType::adder(4)));
+    }
+
+    #[test]
+    fn component_max_is_least_common_dominator() {
+        let a = ResourceType::multiplier(16, 8);
+        let b = ResourceType::multiplier(12, 10);
+        let m = a.component_max(&b).unwrap();
+        assert_eq!(m, ResourceType::multiplier(16, 10));
+        assert!(m.dominates(&a));
+        assert!(m.dominates(&b));
+        assert_eq!(b.component_max(&a), Some(m));
+        // The max of a dominating pair is the dominant type itself.
+        let small = ResourceType::multiplier(8, 8);
+        let big = ResourceType::multiplier(16, 16);
+        assert_eq!(small.component_max(&big), Some(big));
+        // Adders widen to the larger width; cross-class maxima do not exist.
+        assert_eq!(
+            ResourceType::adder(8).component_max(&ResourceType::adder(14)),
+            Some(ResourceType::adder(14))
+        );
+        assert!(ResourceType::adder(8)
+            .component_max(&ResourceType::multiplier(8, 8))
+            .is_none());
     }
 
     #[test]

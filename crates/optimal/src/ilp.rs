@@ -292,8 +292,8 @@ fn decode(
             chosen_resource[o] = Some(ri);
         }
     }
-    for o in 0..n {
-        if start[o].is_none() {
+    for (o, s) in start.iter().enumerate() {
+        if s.is_none() {
             return Err(OptError::InvalidSolution(format!(
                 "operation o{o} left unassigned"
             )));
@@ -305,9 +305,9 @@ fn decode(
     // interval partitioning (greedy over start times — optimal for interval
     // graphs).
     let mut by_type: BTreeMap<usize, Vec<OpId>> = BTreeMap::new();
-    for o in 0..n {
+    for (o, ri) in chosen_resource.iter().enumerate() {
         by_type
-            .entry(chosen_resource[o].expect("checked above"))
+            .entry(ri.expect("checked above"))
             .or_default()
             .push(OpId::new(o as u32));
     }

@@ -123,7 +123,49 @@ impl ResourceConstraint for PerClassBound {
 
     fn admissible_at_all(&self, op: OpId, _latency: Cycles) -> bool {
         let class = self.op_classes[op.index()];
-        self.bounds.get(&class).map_or(true, |&b| b > 0)
+        self.bounds.get(&class).is_none_or(|&b| b > 0)
+    }
+}
+
+/// Exclusive access to a fixed set of resource instances: every operation is
+/// pre-bound to one instance, and no two operations bound to the same
+/// instance may overlap in time.
+///
+/// This is the constraint used when *re*-scheduling an already-bound
+/// datapath — e.g. the post-bind instance-merging pass, which serialises the
+/// cliques of coalesced instances back-to-back — where the binding is data,
+/// not a per-class head count.
+#[derive(Debug, Clone)]
+pub struct PerInstanceExclusive {
+    /// Instance index of every operation, indexed by [`OpId`].
+    op_instances: Vec<usize>,
+    /// Committed busy intervals per instance: `(start, end)`.
+    committed: Vec<Vec<(Cycles, Cycles)>>,
+}
+
+impl PerInstanceExclusive {
+    /// Creates the policy from the per-operation instance assignment.
+    /// `num_instances` must exceed every entry of `op_instances`.
+    #[must_use]
+    pub fn new(op_instances: Vec<usize>, num_instances: usize) -> Self {
+        debug_assert!(op_instances.iter().all(|&i| i < num_instances));
+        PerInstanceExclusive {
+            op_instances,
+            committed: vec![Vec::new(); num_instances],
+        }
+    }
+}
+
+impl ResourceConstraint for PerInstanceExclusive {
+    fn admits(&self, op: OpId, step: Cycles, latency: Cycles) -> bool {
+        let end = step + latency;
+        self.committed[self.op_instances[op.index()]]
+            .iter()
+            .all(|&(s, e)| end <= s || e <= step)
+    }
+
+    fn commit(&mut self, op: OpId, step: Cycles, latency: Cycles) {
+        self.committed[self.op_instances[op.index()]].push((step, step + latency));
     }
 }
 

@@ -136,16 +136,22 @@ fn exact_cover(items: &[usize], candidates: &[Vec<usize>]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..masks.len()).collect();
     order.sort_by_key(|&j| std::cmp::Reverse(masks[j].count_ones()));
 
-    fn recurse(
-        order: &[usize],
-        masks: &[u64],
+    /// Immutable search context shared by every branch-and-bound node.
+    struct Search<'a> {
+        order: &'a [usize],
+        masks: &'a [u64],
         full: u64,
+    }
+
+    fn recurse(
+        s: &Search<'_>,
         pos: usize,
         covered: u64,
         chosen: &mut Vec<usize>,
         best: &mut Vec<usize>,
         best_len: &mut usize,
     ) {
+        let Search { order, masks, full } = *s;
         if covered == full {
             if chosen.len() < *best_len {
                 *best_len = chosen.len();
@@ -176,37 +182,23 @@ fn exact_cover(items: &[usize], candidates: &[Vec<usize>]) -> Vec<usize> {
         }
         // Branch: pick an uncovered item and try every candidate covering it.
         let uncovered_bit = (full & !covered).trailing_zeros();
-        for idx in pos..order.len() {
-            let j = order[idx];
+        for &j in &order[pos..] {
             if masks[j] & (1u64 << uncovered_bit) == 0 {
                 continue;
             }
             chosen.push(j);
-            recurse(
-                order,
-                masks,
-                full,
-                pos,
-                covered | masks[j],
-                chosen,
-                best,
-                best_len,
-            );
+            recurse(s, pos, covered | masks[j], chosen, best, best_len);
             chosen.pop();
         }
     }
 
-    let mut chosen = Vec::new();
-    recurse(
-        &order,
-        &masks,
+    let search = Search {
+        order: &order,
+        masks: &masks,
         full,
-        0,
-        0,
-        &mut chosen,
-        &mut best,
-        &mut best_len,
-    );
+    };
+    let mut chosen = Vec::new();
+    recurse(&search, 0, 0, &mut chosen, &mut best, &mut best_len);
     best.sort_unstable();
     best
 }

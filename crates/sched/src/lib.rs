@@ -54,7 +54,9 @@ mod list;
 mod schedule;
 mod timing;
 
-pub use constraint::{PerClassBound, ResourceConstraint, SchedulingSetBound, Unbounded};
+pub use constraint::{
+    PerClassBound, PerInstanceExclusive, ResourceConstraint, SchedulingSetBound, Unbounded,
+};
 pub use cover::{minimum_cover, scheduling_set};
 pub use error::SchedError;
 pub use list::{ListScheduler, SchedulePriority};

@@ -548,7 +548,7 @@ mod tests {
         let lat = wcg.upper_bound_latencies();
         let schedule = asap(&g, &lat);
         wcg.attach_schedule(&schedule, &lat);
-        let chain = wcg.max_chain(0, &vec![false; 4]);
+        let chain = wcg.max_chain(0, &[false; 4]);
         assert_eq!(chain, vec![x, y, z]);
         // Covered operations are skipped.
         let mut covered = vec![false; 4];

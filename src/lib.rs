@@ -160,6 +160,36 @@ pub mod wcg {
 
 /// The `DPAlloc` heuristic and the datapath result type.
 ///
+/// Besides the paper's schedule/bind/refine loop, the allocator runs a
+/// post-bind *instance-merging* pass (`mwl::alloc::merge`, on by default):
+/// same-class instances are coalesced onto the component-wise-maximum
+/// resource type whenever re-serialising their operations strictly reduces
+/// area within the latency budget.  Disable it with
+/// [`AllocConfig::with_instance_merging`](crate::alloc::AllocConfig::with_instance_merging)
+/// to reproduce the paper's split-only behaviour:
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut generator = TgffGenerator::new(TgffConfig::with_ops(12), 606);
+/// let graph = generator.generate();
+/// let cost = SonicCostModel::default();
+/// let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+/// let lambda = critical_path_length(&graph, &native) + 10;
+///
+/// let merged = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph)?;
+/// let split = DpAllocator::new(
+///     &cost,
+///     AllocConfig::new(lambda).with_instance_merging(false),
+/// )
+/// .allocate(&graph)?;
+/// assert!(merged.area() <= split.area());
+/// assert!(merged.latency() <= lambda);
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Examples
 ///
 /// The quickstart workload (`examples/quickstart.rs`): allocating Figure 1's
@@ -336,7 +366,10 @@ pub mod tgff {
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use mwl_baselines::{SortedCliqueAllocator, TwoStageAllocator, UniformWordlengthAllocator};
-    pub use mwl_core::{AllocConfig, AllocError, Datapath, DpAllocator, ResourceInstance};
+    pub use mwl_core::{
+        merge_instances, AllocConfig, AllocError, Datapath, DpAllocator, MergeStats,
+        ResourceInstance,
+    };
     pub use mwl_model::{
         CostModel, Cycles, OpId, OpKind, OpShape, Operation, ResourceClass, ResourceType,
         SequencingGraph, SequencingGraphBuilder, SonicCostModel,

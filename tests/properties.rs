@@ -135,4 +135,35 @@ proptest! {
         let b = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph).unwrap();
         prop_assert_eq!(a, b);
     }
+
+    /// The post-bind instance-merging pass is monotone: it never increases
+    /// area, never violates the latency constraint, and the merged datapath
+    /// still satisfies every problem invariant.
+    #[test]
+    fn instance_merging_is_monotone_and_valid(
+        graph in graph_strategy(),
+        slack in 0u32..12,
+    ) {
+        let cost = cost();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let split = DpAllocator::new(
+            &cost,
+            AllocConfig::new(lambda).with_instance_merging(false),
+        )
+        .allocate(&graph)
+        .unwrap();
+        let (merged, stats) = merge_instances(&split, &graph, &cost, lambda);
+        prop_assert!(merged.validate(&graph, &cost).is_ok());
+        prop_assert!(merged.area() <= split.area());
+        prop_assert!(merged.latency() <= lambda);
+        prop_assert_eq!(stats.area_before, split.area());
+        prop_assert_eq!(stats.area_after, merged.area());
+        prop_assert_eq!(stats.area_saved(), split.area() - merged.area());
+        // The allocator with merging enabled reports the same result.
+        let outcome = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate_with_stats(&graph)
+            .unwrap();
+        prop_assert_eq!(outcome.datapath.area(), merged.area());
+        prop_assert_eq!(outcome.merges, stats.merges);
+    }
 }
