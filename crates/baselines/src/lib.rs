@@ -19,6 +19,10 @@
 //! All baselines return an ordinary [`mwl_core::Datapath`], validated by the
 //! same machinery as the heuristic, so areas and latencies are directly
 //! comparable.
+//!
+//! *Pipeline position:* comparison points for the evaluation (Figure 3 and
+//! the uniform-baseline regression tests); used by `mwl_bench` and the
+//! examples.  See `docs/ARCHITECTURE.md` for the full map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,67 @@
+//! Batch-allocation throughput sweep over the TGFF + scenario families.
+//!
+//! Runs the deterministic scenario job set (layered TGFF, wide, deep,
+//! diamond, tight-λ, loose-λ, mixed-wordlength families) through the
+//! parallel batch driver at several worker counts, verifies the reports are
+//! bit-identical, and writes `results/BENCH_batch.json`.
+//!
+//! Usage: `cargo run -p mwl_bench --release --bin batch_sweep [-- --smoke | --graphs N | --workers A,B,C]`
+
+use mwl_bench::{run_batch_sweep, BatchSweepConfig};
+
+fn main() {
+    let config = configure();
+    eprintln!(
+        "running batch sweep ({} graphs x 7 families at {:?} workers)...",
+        config.graphs_per_family, config.worker_counts
+    );
+    let results = run_batch_sweep(&config);
+    println!("{}", results.render_text());
+    let json = results.to_json();
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_batch.json", &json))
+    {
+        eprintln!("ERROR: could not write results/BENCH_batch.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote results/BENCH_batch.json");
+    if !results.all_identical() {
+        eprintln!("ERROR: parallel reports diverged from the sequential reference");
+        std::process::exit(1);
+    }
+}
+
+fn configure() -> BatchSweepConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = if args.iter().any(|a| a == "--smoke") {
+        BatchSweepConfig::smoke()
+    } else {
+        BatchSweepConfig::quick()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--graphs") {
+        match args.get(pos + 1).map(|s| s.parse()) {
+            Some(Ok(n)) => config = config.with_graphs(n),
+            _ => usage_error("--graphs expects a positive integer"),
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--workers") {
+        let workers = args.get(pos + 1).map(|list| {
+            list.split(',')
+                .map(|w| w.trim().parse::<usize>())
+                .collect::<Result<Vec<usize>, _>>()
+        });
+        match workers {
+            Some(Ok(w)) if !w.is_empty() => config = config.with_worker_counts(w),
+            _ => usage_error("--workers expects a comma-separated list of positive integers"),
+        }
+    }
+    config
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("ERROR: {message}");
+    eprintln!(
+        "usage: batch_sweep [--smoke] [--graphs N] [--workers A,B,C]  (e.g. --workers 1,2,8)"
+    );
+    std::process::exit(2);
+}

@@ -12,24 +12,34 @@
 //! | Figure 4 — area premium of the heuristic over the ILP optimum \[5\], vs `|O|` | [`run_fig4`] | `fig4` |
 //! | Figure 5 — execution time vs `|O|` for heuristic and ILP | [`run_fig5`] | `fig5` |
 //! | Table 2 — execution time vs `λ/λ_min` for 9-operation graphs | [`run_table2`] | `table2` |
+//! | Batch throughput over the TGFF + scenario families (beyond the paper) | [`run_batch_sweep`] | `batch_sweep` |
 //!
 //! The paper runs 200 random graphs per data point on a Pentium III 450;
 //! [`SweepConfig::paper`] reproduces those counts, while
 //! [`SweepConfig::quick`] uses smaller counts so the whole suite runs in
 //! minutes on a development machine.  Absolute times differ from the paper;
 //! the *shape* (who wins, polynomial vs exponential scaling) is what the
-//! harness reproduces — see `EXPERIMENTS.md`.
+//! harness reproduces — see `docs/ARCHITECTURE.md`, "Notes on modelling
+//! choices".
+//!
+//! *Pipeline position:* the leaf of the workspace, consuming every other
+//! crate.  See `docs/ARCHITECTURE.md` for the full map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod fig3;
 mod fig4;
 mod fig5;
 mod sweep;
 mod table2;
 
+pub use batch::{
+    run_batch_sweep, scenario_families, scenario_jobs, BatchSweepConfig, BatchSweepResults,
+    FamilyResult, ScenarioFamily, ThroughputRow,
+};
 pub use fig3::{run_fig3, Fig3Cell, Fig3Config, Fig3Results};
 pub use fig4::{run_fig4, Fig4Config, Fig4Results, Fig4Row};
 pub use fig5::{run_fig5, Fig5Config, Fig5Results, Fig5Row};

@@ -1,0 +1,317 @@
+//! A shared, read-only cost cache for batch allocation.
+//!
+//! [`CostModel`] implementations are required to be deterministic, so their
+//! answers can be computed once and shared.  [`CachedCostModel`] wraps any
+//! `Sync` cost model and serves `area`/`latency` queries from a pre-computed
+//! table, falling back to the wrapped model on a miss.  Because the table is
+//! built *before* allocation starts and never mutated afterwards, the cache
+//! is freely shareable across threads without locks — this is the shared
+//! resource-cost cache used by the `mwl_driver` batch engine, where every
+//! worker thread allocates against the same `&CachedCostModel`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mwl_core::{AllocConfig, CachedCostModel, DpAllocator};
+//! use mwl_model::{CostModel, OpShape, ResourceType, SequencingGraphBuilder, SonicCostModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SequencingGraphBuilder::new();
+//! let x = b.add_operation(OpShape::multiplier(8, 8));
+//! let y = b.add_operation(OpShape::multiplier(14, 10));
+//! let s = b.add_operation(OpShape::adder(24));
+//! b.add_dependency(x, s)?;
+//! b.add_dependency(y, s)?;
+//! let graph = b.build()?;
+//!
+//! let inner = SonicCostModel::default();
+//! let mut cache = CachedCostModel::new(&inner);
+//! cache.warm_graph(&graph);
+//!
+//! // The cache answers exactly like the wrapped model...
+//! assert_eq!(
+//!     cache.area(&ResourceType::multiplier(14, 10)),
+//!     inner.area(&ResourceType::multiplier(14, 10)),
+//! );
+//! // ...and drives the allocator unchanged.
+//! let datapath = DpAllocator::new(&cache, AllocConfig::new(12)).allocate(&graph)?;
+//! datapath.validate(&graph, &inner)?;
+//! assert!(cache.hits() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mwl_model::{Area, CostModel, Cycles, ResourceClass, ResourceType, SequencingGraph};
+
+/// A pre-computed area/latency entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CostEntry {
+    area: Area,
+    latency: Cycles,
+}
+
+/// A read-only memoisation layer over another [`CostModel`].
+///
+/// Construct with [`new`](CachedCostModel::new), populate with
+/// [`warm_graph`](CachedCostModel::warm_graph) /
+/// [`warm_types`](CachedCostModel::warm_types), then share immutably —
+/// the cache is `Sync` whenever the wrapped model is, and lookups never
+/// take a lock.  Queries for types that were not warmed fall through to the
+/// wrapped model (and are counted as [`misses`](CachedCostModel::misses),
+/// not cached, so the shared table stays immutable).
+#[derive(Debug)]
+pub struct CachedCostModel<'a> {
+    inner: &'a (dyn CostModel + Sync),
+    table: BTreeMap<ResourceType, CostEntry>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> CachedCostModel<'a> {
+    /// Creates an empty cache over the given model.
+    #[must_use]
+    pub fn new(inner: &'a (dyn CostModel + Sync)) -> Self {
+        CachedCostModel {
+            inner,
+            table: BTreeMap::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Pre-computes costs for the given resource types.
+    pub fn warm_types(&mut self, types: impl IntoIterator<Item = ResourceType>) {
+        for r in types {
+            let entry = CostEntry {
+                area: self.inner.area(&r),
+                latency: self.inner.latency(&r),
+            };
+            self.table.insert(r, entry);
+        }
+    }
+
+    /// Pre-computes costs for every resource type the allocator can touch
+    /// while solving the given graph.
+    ///
+    /// This covers the graph's own candidate types
+    /// ([`SequencingGraph::extract_resource_types`]) *and* the closure of
+    /// those types under component-wise maximum, which the post-bind merging
+    /// pass ([`crate::merge`]) can synthesise.  The closure is computed as
+    /// the per-class grid of observed operand widths, which contains every
+    /// reachable component-wise join.
+    pub fn warm_graph(&mut self, graph: &SequencingGraph) {
+        let base = graph.extract_resource_types();
+        let mut adder_widths: BTreeSet<u32> = BTreeSet::new();
+        let mut mul_a: BTreeSet<u32> = BTreeSet::new();
+        let mut mul_b: BTreeSet<u32> = BTreeSet::new();
+        for r in &base {
+            let (a, b) = r.widths();
+            match r.class() {
+                ResourceClass::Adder => {
+                    adder_widths.insert(a);
+                }
+                ResourceClass::Multiplier => {
+                    mul_a.insert(a);
+                    mul_b.insert(b);
+                }
+            }
+        }
+        self.warm_types(base);
+        self.warm_types(adder_widths.iter().map(|&w| ResourceType::adder(w)));
+        let grid: Vec<ResourceType> = mul_a
+            .iter()
+            .flat_map(|&a| mul_b.iter().map(move |&b| ResourceType::multiplier(a, b)))
+            .collect();
+        self.warm_types(grid);
+    }
+
+    /// Number of pre-computed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the cache holds no entries yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Whether a cost for the given type is pre-computed.
+    #[must_use]
+    pub fn contains(&self, resource: &ResourceType) -> bool {
+        self.table.contains_key(resource)
+    }
+
+    /// Number of queries served from the table so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of queries that fell through to the wrapped model so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl CostModel for CachedCostModel<'_> {
+    fn area(&self, resource: &ResourceType) -> Area {
+        match self.table.get(resource) {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                e.area
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.inner.area(resource)
+            }
+        }
+    }
+
+    fn latency(&self, resource: &ResourceType) -> Cycles {
+        match self.table.get(resource) {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                e.latency
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.inner.latency(resource)
+            }
+        }
+    }
+
+    // Forwarded verbatim rather than memoised: a wrapped model may override
+    // the trait's default (latency of the smallest cover), and the cache must
+    // answer exactly like the model it wraps.
+    fn native_latency(&self, shape: mwl_model::OpShape) -> Cycles {
+        self.inner.native_latency(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllocConfig, AllocOutcome, Datapath, DpAllocator};
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    fn sample() -> SequencingGraph {
+        let mut b = SequencingGraphBuilder::new();
+        let m1 = b.add_operation(OpShape::multiplier(8, 8));
+        let m2 = b.add_operation(OpShape::multiplier(16, 12));
+        let a = b.add_operation(OpShape::adder(24));
+        b.add_dependency(m1, a).unwrap();
+        b.add_dependency(m2, a).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cache_agrees_with_inner_model() {
+        let inner = SonicCostModel::default();
+        let g = sample();
+        let mut cache = CachedCostModel::new(&inner);
+        assert!(cache.is_empty());
+        cache.warm_graph(&g);
+        assert!(!cache.is_empty());
+        for r in g.extract_resource_types() {
+            assert!(cache.contains(&r));
+            assert_eq!(cache.area(&r), inner.area(&r));
+            assert_eq!(cache.latency(&r), inner.latency(&r));
+        }
+        assert!(cache.hits() >= 2 * g.extract_resource_types().len() as u64);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn miss_falls_through_without_poisoning() {
+        let inner = SonicCostModel::default();
+        let cache = CachedCostModel::new(&inner);
+        let odd = ResourceType::multiplier(31, 29);
+        assert_eq!(cache.area(&odd), inner.area(&odd));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        assert!(!cache.contains(&odd));
+    }
+
+    #[test]
+    fn warm_graph_covers_merge_joins() {
+        // The merging pass can ask for component-wise maxima of the graph's
+        // types; the width grid must contain them.
+        let inner = SonicCostModel::default();
+        let g = sample();
+        let mut cache = CachedCostModel::new(&inner);
+        cache.warm_graph(&g);
+        let a = ResourceType::multiplier(8, 8);
+        let b = ResourceType::multiplier(16, 12);
+        let join = a.component_max(&b).unwrap();
+        assert!(cache.contains(&join));
+    }
+
+    #[test]
+    fn allocation_through_cache_is_identical() {
+        let inner = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 77);
+        for i in 0..6 {
+            let g = generator.generate();
+            let native = mwl_sched::OpLatencies::from_fn(&g, |op| inner.native_latency(op.shape()));
+            let lambda = mwl_sched::critical_path_length(&g, &native) + 2 + (i % 3);
+            let mut cache = CachedCostModel::new(&inner);
+            cache.warm_graph(&g);
+            let direct = DpAllocator::new(&inner, AllocConfig::new(lambda))
+                .allocate_with_stats(&g)
+                .unwrap();
+            let cached = DpAllocator::new(&cache, AllocConfig::new(lambda))
+                .allocate_with_stats(&g)
+                .unwrap();
+            assert_eq!(direct, cached);
+            cached.datapath.validate(&g, &inner).unwrap();
+            assert_eq!(cache.misses(), 0, "warm_graph must cover the allocator");
+        }
+    }
+
+    #[test]
+    fn native_latency_override_is_forwarded() {
+        // A model whose fastest implementation is NOT the smallest cover:
+        // the cache must report the override, not the trait default.
+        #[derive(Debug)]
+        struct PipelinedModel;
+        impl CostModel for PipelinedModel {
+            fn area(&self, resource: &ResourceType) -> mwl_model::Area {
+                u64::from(resource.total_width())
+            }
+            fn latency(&self, _resource: &ResourceType) -> mwl_model::Cycles {
+                4
+            }
+            fn native_latency(&self, _shape: OpShape) -> mwl_model::Cycles {
+                1 // pipelined: issue every cycle regardless of width
+            }
+        }
+        let inner = PipelinedModel;
+        let mut cache = CachedCostModel::new(&inner);
+        cache.warm_graph(&sample());
+        let shape = OpShape::multiplier(8, 8);
+        assert_eq!(cache.native_latency(shape), inner.native_latency(shape));
+        assert_eq!(cache.native_latency(shape), 1);
+    }
+
+    #[test]
+    fn batch_building_blocks_are_send_and_sync() {
+        // The Send + Sync audit behind the parallel batch driver: everything
+        // a worker thread borrows or returns must cross threads safely.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AllocConfig>();
+        assert_send_sync::<ResourceType>();
+        assert_send_sync::<ResourceClass>();
+        assert_send_sync::<SonicCostModel>();
+        assert_send_sync::<CachedCostModel<'_>>();
+        assert_send_sync::<SequencingGraph>();
+        assert_send_sync::<Datapath>();
+        assert_send_sync::<AllocOutcome>();
+    }
+}

@@ -37,6 +37,11 @@
 //! refinement loop leaves open under loose latency budgets.  It is on by
 //! default and controlled by [`AllocConfig::with_instance_merging`].
 //!
+//! *Pipeline position:* the centre of the workspace — consumes `mwl_model`,
+//! `mwl_sched` and `mwl_wcg`; consumed by the baselines, the optimal
+//! allocators and the batch driver.  See `docs/ARCHITECTURE.md` for the
+//! full paper-to-module map and a data-flow diagram of one allocation.
+//!
 //! # Quick start
 //!
 //! ```
@@ -66,6 +71,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bind;
+mod cost_cache;
 mod datapath;
 mod dpalloc;
 mod error;
@@ -74,6 +80,7 @@ mod refine;
 mod report;
 
 pub use bind::{bind_select, BindSelectOptions};
+pub use cost_cache::CachedCostModel;
 pub use datapath::{Datapath, ResourceInstance};
 pub use dpalloc::{most_contended_class, AllocConfig, AllocOutcome, DpAllocator, RefinementPolicy};
 pub use error::{AllocError, ValidateError};

@@ -1,0 +1,198 @@
+//! The scoped-thread worker pool executing a batch of allocation jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use mwl_core::{CachedCostModel, DpAllocator};
+use mwl_model::CostModel;
+
+use crate::job::{BatchJob, BatchOptions};
+use crate::report::{BatchReport, JobOutcome, JobStats};
+
+/// Runs every job in the batch and returns the per-job outcomes in
+/// submission order.
+///
+/// Work distribution is dynamic (an atomic cursor over the job list), but
+/// each outcome is written to the slot of its submission index, so the
+/// returned [`BatchReport`] is **bit-identical for every worker count** —
+/// parallelism changes wall-clock time only, never results.  Job failures
+/// ([`mwl_core::AllocError`]) are captured per job and never abort the rest
+/// of the batch.
+///
+/// When [`BatchOptions::shared_cost_cache`] is set (the default), the
+/// resource costs of every job graph are pre-computed once into a read-only
+/// [`CachedCostModel`] that all workers share without locking.
+pub fn run_batch<C: CostModel + Sync>(
+    jobs: &[BatchJob],
+    cost: &C,
+    options: &BatchOptions,
+) -> BatchReport {
+    if jobs.is_empty() {
+        return BatchReport {
+            outcomes: Vec::new(),
+        };
+    }
+
+    let mut cache = None;
+    if options.shared_cost_cache {
+        let mut warmed = CachedCostModel::new(cost);
+        for job in jobs {
+            warmed.warm_graph(&job.graph);
+        }
+        cache = Some(warmed);
+    }
+    let model: &(dyn CostModel + Sync) = match &cache {
+        Some(c) => c,
+        None => cost,
+    };
+
+    let workers = options.workers.max(1).min(jobs.len());
+    let cursor = AtomicUsize::new(0);
+
+    // Each worker drains the shared cursor into a private result list; the
+    // lists are concatenated and restored to submission order afterwards, so
+    // no locks are needed and completion order never leaks into the report.
+    let mut collected: Vec<(usize, JobOutcome)> = Vec::with_capacity(jobs.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else { break };
+                        local.push((index, run_job(index, job, model)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            collected.extend(handle.join().expect("batch worker panicked"));
+        }
+    });
+
+    collected.sort_unstable_by_key(|(index, _)| *index);
+    let outcomes = collected.into_iter().map(|(_, outcome)| outcome).collect();
+    BatchReport { outcomes }
+}
+
+/// Solves one job.
+fn run_job(index: usize, job: &BatchJob, cost: &(dyn CostModel + Sync)) -> JobOutcome {
+    let lambda = job.latency.resolve(&job.graph, cost);
+    let mut config = job.config.clone();
+    config.latency_constraint = lambda;
+    let result = DpAllocator::new(cost, config)
+        .allocate_with_stats(&job.graph)
+        .map(|outcome| JobStats {
+            lambda,
+            area: outcome.datapath.area(),
+            latency: outcome.datapath.latency(),
+            instances: outcome.datapath.num_instances(),
+            refinements: outcome.refinements,
+            bound_escalations: outcome.bound_escalations,
+            merges: outcome.merges,
+        });
+    JobOutcome {
+        index,
+        label: job.label.clone(),
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::LatencySpec;
+    use mwl_core::AllocError;
+    use mwl_model::SonicCostModel;
+    use mwl_tgff::{GraphShape, TgffConfig, TgffGenerator};
+
+    fn job_set() -> Vec<BatchJob> {
+        let mut jobs = Vec::new();
+        for (i, shape) in [
+            GraphShape::Layered,
+            GraphShape::Wide,
+            GraphShape::Deep,
+            GraphShape::Diamond,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut generator =
+                TgffGenerator::new(TgffConfig::with_ops(8 + i).shape(shape), 100 + i as u64);
+            jobs.push(BatchJob::new(
+                format!("{shape:?}/{i}"),
+                generator.generate(),
+                LatencySpec::RelaxSteps((i % 3) as u32),
+            ));
+        }
+        jobs
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_report() {
+        let cost = SonicCostModel::default();
+        let report = run_batch(&[], &cost, &BatchOptions::default());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.summary().jobs, 0);
+    }
+
+    #[test]
+    fn batch_solves_every_job_in_order() {
+        let cost = SonicCostModel::default();
+        let jobs = job_set();
+        let report = run_batch(&jobs, &cost, &BatchOptions::default());
+        assert_eq!(report.outcomes.len(), jobs.len());
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(o.label, jobs[i].label);
+            let stats = o.result.as_ref().expect("relative budgets are feasible");
+            assert!(stats.latency <= stats.lambda);
+            assert!(stats.area > 0);
+        }
+        assert_eq!(report.summary().failed, 0);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_the_report() {
+        let cost = SonicCostModel::default();
+        let jobs = job_set();
+        let reference = run_batch(&jobs, &cost, &BatchOptions::sequential());
+        for workers in [2, 3, 8, 64] {
+            let parallel = run_batch(&jobs, &cost, &BatchOptions::with_workers(workers));
+            assert_eq!(reference, parallel, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn cache_on_and_off_agree() {
+        let cost = SonicCostModel::default();
+        let jobs = job_set();
+        let cached = run_batch(&jobs, &cost, &BatchOptions::default());
+        let uncached = run_batch(
+            &jobs,
+            &cost,
+            &BatchOptions::default().with_shared_cost_cache(false),
+        );
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn infeasible_job_fails_without_poisoning_the_batch() {
+        let cost = SonicCostModel::default();
+        let mut jobs = job_set();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(6), 55);
+        jobs.insert(
+            1,
+            BatchJob::new("doomed", generator.generate(), LatencySpec::Absolute(0)),
+        );
+        let report = run_batch(&jobs, &cost, &BatchOptions::with_workers(3));
+        assert_eq!(report.summary().failed, 1);
+        assert_eq!(report.summary().succeeded, jobs.len() - 1);
+        assert!(matches!(
+            report.outcomes[1].result,
+            Err(AllocError::LatencyUnachievable { .. })
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! Batch job descriptions: a graph, a latency budget and allocator options.
+
+use serde::{Deserialize, Serialize};
+
+use mwl_core::AllocConfig;
+use mwl_model::{CostModel, Cycles, SequencingGraph};
+use mwl_sched::{critical_path_length, OpLatencies};
+
+/// A latency budget `λ`, either absolute or relative to the graph's minimum
+/// achievable latency `λ_min` (its critical path with every operation at its
+/// native wordlength).
+///
+/// Relative specs are resolved per graph when the batch runs, so one spec
+/// can be applied uniformly across a whole scenario family of differently
+/// sized graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencySpec {
+    /// A fixed number of control steps.  May be infeasible for a given
+    /// graph, in which case the job fails with
+    /// [`AllocError::LatencyUnachievable`](mwl_core::AllocError::LatencyUnachievable)
+    /// and the failure is recorded in the batch report.
+    Absolute(Cycles),
+    /// `λ_min + slack` control steps: always feasible.
+    RelaxSteps(Cycles),
+    /// `⌈λ_min · (1 + percent/100)⌉` control steps: always feasible.  This is
+    /// the relaxation axis of the paper's Figure 3.
+    RelaxPercent(u32),
+}
+
+impl LatencySpec {
+    /// Resolves the spec against a concrete graph and cost model.
+    #[must_use]
+    pub fn resolve(&self, graph: &SequencingGraph, cost: &dyn CostModel) -> Cycles {
+        match *self {
+            LatencySpec::Absolute(lambda) => lambda,
+            LatencySpec::RelaxSteps(slack) => lambda_min(graph, cost) + slack,
+            LatencySpec::RelaxPercent(percent) => {
+                let minimum = lambda_min(graph, cost);
+                let scaled =
+                    (f64::from(minimum) * (1.0 + f64::from(percent) / 100.0)).ceil() as Cycles;
+                scaled.max(minimum)
+            }
+        }
+    }
+}
+
+fn lambda_min(graph: &SequencingGraph, cost: &dyn CostModel) -> Cycles {
+    let native = OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+    critical_path_length(graph, &native)
+}
+
+/// One allocation problem in a batch: a sequencing graph, a λ budget and the
+/// allocator configuration to solve it with.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Human-readable label carried through to the [`crate::BatchReport`]
+    /// (e.g. `"diamond/16/seed42"`).
+    pub label: String,
+    /// The sequencing graph to allocate.
+    pub graph: SequencingGraph,
+    /// The latency budget, resolved per graph at run time.
+    pub latency: LatencySpec,
+    /// Allocator options.  The `latency_constraint` field is overwritten
+    /// with the resolved [`latency`](Self::latency) when the job runs.
+    pub config: AllocConfig,
+}
+
+impl BatchJob {
+    /// Creates a job with the default allocator configuration.
+    #[must_use]
+    pub fn new(label: impl Into<String>, graph: SequencingGraph, latency: LatencySpec) -> Self {
+        BatchJob {
+            label: label.into(),
+            graph,
+            latency,
+            config: AllocConfig::new(0),
+        }
+    }
+
+    /// Replaces the allocator configuration (its latency constraint is still
+    /// overwritten by [`latency`](Self::latency) at run time).
+    #[must_use]
+    pub fn with_config(mut self, config: AllocConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// How a batch is executed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchOptions {
+    /// Number of worker threads.  Clamped to `1..=jobs.len()` when the batch
+    /// runs; the *results* are guaranteed identical for every value.
+    pub workers: usize,
+    /// Pre-compute a shared read-only resource-cost cache over all job
+    /// graphs before spawning workers (see [`mwl_core::CachedCostModel`]).
+    /// On by default.
+    pub shared_cost_cache: bool,
+}
+
+impl BatchOptions {
+    /// Options with an explicit worker count.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        BatchOptions {
+            workers: workers.max(1),
+            ..BatchOptions::default()
+        }
+    }
+
+    /// Options with a single worker (the sequential reference execution).
+    #[must_use]
+    pub fn sequential() -> Self {
+        BatchOptions::with_workers(1)
+    }
+
+    /// Enables or disables the shared cost cache.
+    #[must_use]
+    pub fn with_shared_cost_cache(mut self, enabled: bool) -> Self {
+        self.shared_cost_cache = enabled;
+        self
+    }
+}
+
+impl Default for BatchOptions {
+    /// One worker per available hardware thread, shared cost cache on.
+    fn default() -> Self {
+        BatchOptions {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            shared_cost_cache: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+
+    fn chain() -> SequencingGraph {
+        let mut b = SequencingGraphBuilder::new();
+        let m = b.add_operation(OpShape::multiplier(16, 16));
+        let a = b.add_operation(OpShape::adder(32));
+        b.add_dependency(m, a).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn latency_specs_resolve() {
+        let g = chain();
+        let cost = SonicCostModel::default();
+        // λ_min = ceil(32/8) + 2 = 6.
+        assert_eq!(LatencySpec::Absolute(9).resolve(&g, &cost), 9);
+        assert_eq!(LatencySpec::RelaxSteps(0).resolve(&g, &cost), 6);
+        assert_eq!(LatencySpec::RelaxSteps(4).resolve(&g, &cost), 10);
+        assert_eq!(LatencySpec::RelaxPercent(0).resolve(&g, &cost), 6);
+        assert_eq!(LatencySpec::RelaxPercent(30).resolve(&g, &cost), 8); // ceil(7.8)
+    }
+
+    #[test]
+    fn options_clamp_and_default() {
+        assert_eq!(BatchOptions::with_workers(0).workers, 1);
+        assert_eq!(BatchOptions::sequential().workers, 1);
+        assert!(BatchOptions::default().workers >= 1);
+        assert!(BatchOptions::default().shared_cost_cache);
+        assert!(
+            !BatchOptions::sequential()
+                .with_shared_cost_cache(false)
+                .shared_cost_cache
+        );
+    }
+
+    #[test]
+    fn job_builder() {
+        let job = BatchJob::new("j0", chain(), LatencySpec::RelaxSteps(2))
+            .with_config(AllocConfig::new(0).with_instance_merging(false));
+        assert_eq!(job.label, "j0");
+        assert!(!job.config.instance_merging);
+    }
+}

@@ -1,0 +1,277 @@
+//! Batch results: per-job outcomes and the aggregate report.
+
+use std::fmt;
+
+use mwl_core::AllocError;
+use mwl_model::{Area, Cycles};
+
+/// Statistics of one successfully allocated job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStats {
+    /// Resolved latency budget `λ` the job ran with.
+    pub lambda: Cycles,
+    /// Total datapath area.
+    pub area: Area,
+    /// Achieved overall latency (`<= lambda`).
+    pub latency: Cycles,
+    /// Number of resource instances in the datapath.
+    pub instances: usize,
+    /// Wordlength-refinement iterations performed.
+    pub refinements: usize,
+    /// Resource-bound escalations performed.
+    pub bound_escalations: usize,
+    /// Instance merges accepted by the post-bind merging pass.
+    pub merges: usize,
+}
+
+/// The result of one job: its label plus either stats or the allocation
+/// error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Position of the job in the submitted batch.
+    pub index: usize,
+    /// The job's label.
+    pub label: String,
+    /// Allocation stats, or the error that failed the job.
+    pub result: Result<JobStats, AllocError>,
+}
+
+/// Aggregate counters over a whole batch.
+///
+/// Derived deterministically from the per-job outcomes, so two
+/// [`BatchReport`]s are equal exactly when all their outcomes are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Number of jobs in the batch.
+    pub jobs: usize,
+    /// Jobs that produced a datapath.
+    pub succeeded: usize,
+    /// Jobs that failed with an [`AllocError`].
+    pub failed: usize,
+    /// Sum of datapath areas over the successful jobs.
+    pub total_area: Area,
+    /// Sum of achieved latencies over the successful jobs.
+    pub total_latency: u64,
+    /// Sum of resource instances over the successful jobs.
+    pub total_instances: usize,
+    /// Sum of refinement iterations over the successful jobs.
+    pub total_refinements: usize,
+    /// Sum of bound escalations over the successful jobs.
+    pub total_escalations: usize,
+    /// Sum of accepted instance merges over the successful jobs.
+    pub total_merges: usize,
+}
+
+/// The deterministic result of a batch run.
+///
+/// Outcomes are ordered by submission index, never by completion order, so a
+/// report is bit-identical across worker counts (regression-tested in
+/// `tests/determinism.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// One outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl BatchReport {
+    /// Aggregates the per-job outcomes.
+    #[must_use]
+    pub fn summary(&self) -> BatchSummary {
+        let mut s = BatchSummary {
+            jobs: self.outcomes.len(),
+            ..BatchSummary::default()
+        };
+        for outcome in &self.outcomes {
+            match &outcome.result {
+                Ok(stats) => {
+                    s.succeeded += 1;
+                    s.total_area += stats.area;
+                    s.total_latency += u64::from(stats.latency);
+                    s.total_instances += stats.instances;
+                    s.total_refinements += stats.refinements;
+                    s.total_escalations += stats.bound_escalations;
+                    s.total_merges += stats.merges;
+                }
+                Err(_) => s.failed += 1,
+            }
+        }
+        s
+    }
+
+    /// The outcomes of failed jobs.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&JobOutcome> {
+        self.outcomes.iter().filter(|o| o.result.is_err()).collect()
+    }
+
+    /// Renders the report as a compact JSON document (no external
+    /// serialisation dependency; see the crate docs of the vendored `serde`
+    /// stand-in for why).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let s = self.summary();
+        let mut out = String::from("{\n  \"summary\": {");
+        out.push_str(&format!(
+            "\"jobs\": {}, \"succeeded\": {}, \"failed\": {}, \"total_area\": {}, \
+             \"total_latency\": {}, \"total_instances\": {}, \"total_refinements\": {}, \
+             \"total_escalations\": {}, \"total_merges\": {}",
+            s.jobs,
+            s.succeeded,
+            s.failed,
+            s.total_area,
+            s.total_latency,
+            s.total_instances,
+            s.total_refinements,
+            s.total_escalations,
+            s.total_merges
+        ));
+        out.push_str("},\n  \"outcomes\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"index\": {}, \"label\": {}",
+                o.index,
+                json_string(&o.label)
+            ));
+            match &o.result {
+                Ok(st) => out.push_str(&format!(
+                    ", \"ok\": true, \"lambda\": {}, \"area\": {}, \"latency\": {}, \
+                     \"instances\": {}, \"refinements\": {}, \"escalations\": {}, \
+                     \"merges\": {}",
+                    st.lambda,
+                    st.area,
+                    st.latency,
+                    st.instances,
+                    st.refinements,
+                    st.bound_escalations,
+                    st.merges
+                )),
+                Err(e) => out.push_str(&format!(
+                    ", \"ok\": false, \"error\": {}",
+                    json_string(&e.to_string())
+                )),
+            }
+            out.push('}');
+            if i + 1 < self.outcomes.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.summary();
+        writeln!(
+            f,
+            "batch: {} jobs, {} ok, {} failed, total area {}, {} merges",
+            s.jobs, s.succeeded, s.failed, s.total_area, s.total_merges
+        )?;
+        for o in &self.outcomes {
+            match &o.result {
+                Ok(st) => writeln!(
+                    f,
+                    "  [{:>3}] {:<28} area {:>8}  latency {:>4}/{:<4} instances {:>3}",
+                    o.index, o.label, st.area, st.latency, st.lambda, st.instances
+                )?,
+                Err(e) => writeln!(f, "  [{:>3}] {:<28} FAILED: {e}", o.index, o.label)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BatchReport {
+        BatchReport {
+            outcomes: vec![
+                JobOutcome {
+                    index: 0,
+                    label: "a".into(),
+                    result: Ok(JobStats {
+                        lambda: 10,
+                        area: 100,
+                        latency: 9,
+                        instances: 3,
+                        refinements: 2,
+                        bound_escalations: 1,
+                        merges: 1,
+                    }),
+                },
+                JobOutcome {
+                    index: 1,
+                    label: "b\"quoted\"".into(),
+                    result: Err(AllocError::LatencyUnachievable {
+                        constraint: 1,
+                        minimum: 5,
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let r = sample_report();
+        let s = r.summary();
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.succeeded, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.total_area, 100);
+        assert_eq!(s.total_merges, 1);
+        assert_eq!(r.failures().len(), 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = sample_report().to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"jobs\": 2"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"ok\": false"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn display_lists_every_job() {
+        let text = sample_report().to_string();
+        assert!(text.contains("2 jobs"));
+        assert!(text.contains("FAILED"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("x"), "\"x\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

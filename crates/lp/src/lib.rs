@@ -17,6 +17,10 @@
 //! case is precisely the behaviour the paper's Figure 5 and Table 2
 //! demonstrate.
 //!
+//! *Pipeline position:* the substrate under `mwl_optimal`'s ILP allocator;
+//! nothing else depends on it.  See `docs/ARCHITECTURE.md` for the full
+//! map.
+//!
 //! # Example
 //!
 //! ```

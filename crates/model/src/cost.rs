@@ -7,7 +7,8 @@
 //! presented in \[5\]") is not reproduced in the paper; [`SonicCostModel`]
 //! substitutes an area model that scales linearly with adder width and
 //! bilinearly with multiplier operand widths, which preserves the trade-off
-//! the heuristic exploits (see `DESIGN.md`, section 3).
+//! the heuristic exploits (see `docs/ARCHITECTURE.md`, "Notes on modelling
+//! choices").
 
 use std::fmt::Debug;
 

@@ -21,6 +21,9 @@
 //! * A [`SequencingGraph`] is the data-dependence DAG `P(O, S)` the allocator
 //!   consumes.
 //!
+//! *Pipeline position:* the substrate under every other crate — Section 2 of
+//! the paper.  See `docs/ARCHITECTURE.md` for the full paper-to-module map.
+//!
 //! # Example
 //!
 //! ```

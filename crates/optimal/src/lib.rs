@@ -19,6 +19,10 @@
 //! Both allocators return an ordinary [`mwl_core::Datapath`], so results are
 //! directly comparable with the heuristic and validated with the same
 //! machinery.
+//!
+//! *Pipeline position:* the exact oracle of the evaluation (Figures 4–5,
+//! Table 2); used by `mwl_bench` only.  See `docs/ARCHITECTURE.md` for the
+//! full map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -20,6 +20,10 @@
 //! The central output type is [`Schedule`], a start control step per
 //! operation, with validation against precedence and latency constraints.
 //!
+//! *Pipeline position:* the "scheduling with incomplete wordlength
+//! information" stage inside the `DPAlloc` loop (`mwl_core`) — Section 2.2
+//! of the paper.  See `docs/ARCHITECTURE.md` for the full map.
+//!
 //! # Example
 //!
 //! ```

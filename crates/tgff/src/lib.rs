@@ -8,6 +8,15 @@
 //! wordlengths, all driven by a seeded PRNG so every experiment in the
 //! workspace is reproducible.
 //!
+//! Beyond the paper's layered graphs, [`GraphShape`] adds wide, deep and
+//! diamond macro-structures and [`WidthProfile`] adds bimodal "mixed"
+//! wordlength spreads — the scenario families exercised by the batch driver
+//! (`mwl_driver`) and the `batch_sweep` harness.
+//!
+//! *Pipeline position:* workload generation for `mwl_bench`, the batch
+//! scenario families and the property tests.  See `docs/ARCHITECTURE.md`
+//! for the full map.
+//!
 //! # Example
 //!
 //! ```
@@ -32,6 +41,48 @@ use serde::{Deserialize, Serialize};
 
 use mwl_model::{OpShape, SequencingGraph, SequencingGraphBuilder};
 
+/// Macro-structure of the generated DAG: how the operations are partitioned
+/// into layers before the random edges are wired.
+///
+/// The default [`Layered`](GraphShape::Layered) shape reproduces the paper's
+/// TGFF-style workload; the other shapes are scenario families for the batch
+/// driver that stress the allocator in different ways (wide graphs maximise
+/// parallelism pressure, deep graphs serialise everything, diamonds fan out
+/// and back in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GraphShape {
+    /// Random layer sizes around [`TgffConfig::ops_per_layer`] (the original
+    /// TGFF-style behaviour).
+    #[default]
+    Layered,
+    /// At most three near-equal layers: shallow graphs with many independent
+    /// operations per step.
+    Wide,
+    /// One operation per layer: a dependency chain with optional skip edges.
+    Deep,
+    /// Layer sizes ramp up from a single source towards the middle and back
+    /// down to a single sink.
+    Diamond,
+}
+
+/// How operand wordlengths are drawn from [`TgffConfig::width_range`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum WidthProfile {
+    /// Every width in the range is equally likely (the original behaviour).
+    #[default]
+    Uniform,
+    /// A bimodal "mixed spread": widths cluster in the bottom and top
+    /// quarters of the range, with the given fraction of draws coming from
+    /// the top cluster.  This models graphs mixing a few wide accumulation
+    /// paths with many narrow ones, where wordlength-aware sharing decisions
+    /// matter most.
+    Mixed {
+        /// Probability that a draw comes from the top cluster (clamped to
+        /// `0.0..=1.0`).
+        high_fraction: f64,
+    },
+}
+
 /// Configuration of the random sequencing-graph generator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TgffConfig {
@@ -52,6 +103,10 @@ pub struct TgffConfig {
     /// Probability that two adjacent-layer operations are connected (beyond
     /// the single edge that keeps the graph weakly connected).
     pub edge_probability: f64,
+    /// Macro-structure of the generated DAG (layered, wide, deep, diamond).
+    pub shape: GraphShape,
+    /// Distribution of operand wordlengths within [`width_range`](Self::width_range).
+    pub width_profile: WidthProfile,
 }
 
 impl TgffConfig {
@@ -68,7 +123,29 @@ impl TgffConfig {
             width_range: (4, 24),
             ops_per_layer: 2.5,
             edge_probability: 0.35,
+            shape: GraphShape::Layered,
+            width_profile: WidthProfile::Uniform,
         }
+    }
+
+    /// Sets the macro-structure of the generated DAG.
+    #[must_use]
+    pub fn shape(mut self, shape: GraphShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Sets the wordlength distribution, clamping any fraction parameter to
+    /// `0.0..=1.0`.
+    #[must_use]
+    pub fn width_profile(mut self, profile: WidthProfile) -> Self {
+        self.width_profile = match profile {
+            WidthProfile::Uniform => WidthProfile::Uniform,
+            WidthProfile::Mixed { high_fraction } => WidthProfile::Mixed {
+                high_fraction: high_fraction.clamp(0.0, 1.0),
+            },
+        };
+        self
     }
 
     /// Sets the operand wordlength range (inclusive).
@@ -132,24 +209,16 @@ impl TgffGenerator {
         assert!(self.config.ops > 0, "TgffConfig::ops must be at least 1");
         let n = self.config.ops;
 
-        // Partition the n operations into layers.
+        // Partition the n operations into layers according to the shape.
         let mut layers: Vec<Vec<usize>> = Vec::new();
         {
+            let sizes = self.layer_sizes(n);
             let mut next = 0usize;
-            while next < n {
-                let remaining = n - next;
-                let mean = self.config.ops_per_layer;
-                let span = (mean.round() as usize).max(1);
-                let lo = 1usize;
-                let hi = (2 * span).min(remaining).max(1);
-                let take = if lo >= hi {
-                    hi
-                } else {
-                    self.rng.gen_range(lo..=hi)
-                };
+            for take in sizes {
                 layers.push((next..next + take).collect());
                 next += take;
             }
+            debug_assert_eq!(next, n);
         }
 
         let mut builder = SequencingGraphBuilder::new();
@@ -211,12 +280,72 @@ impl TgffGenerator {
         (0..count).map(|_| self.generate()).collect()
     }
 
+    /// Layer sizes for the configured [`GraphShape`], summing to `n`.
+    ///
+    /// The `Layered` arm draws from the PRNG exactly as the original
+    /// generator did, so existing seeds keep producing identical graphs.
+    fn layer_sizes(&mut self, n: usize) -> Vec<usize> {
+        match self.config.shape {
+            GraphShape::Layered => {
+                let mut sizes = Vec::new();
+                let mut next = 0usize;
+                while next < n {
+                    let remaining = n - next;
+                    let mean = self.config.ops_per_layer;
+                    let span = (mean.round() as usize).max(1);
+                    let lo = 1usize;
+                    let hi = (2 * span).min(remaining).max(1);
+                    let take = if lo >= hi {
+                        hi
+                    } else {
+                        self.rng.gen_range(lo..=hi)
+                    };
+                    sizes.push(take);
+                    next += take;
+                }
+                sizes
+            }
+            GraphShape::Wide => {
+                let layers = n.min(3);
+                let base = n / layers;
+                let extra = n % layers;
+                (0..layers).map(|i| base + usize::from(i < extra)).collect()
+            }
+            GraphShape::Deep => vec![1; n],
+            GraphShape::Diamond => {
+                // Largest full diamond 1..=k..1 uses k^2 operations; pad the
+                // middle with extra width-k layers for the remainder.
+                let k = (1..).take_while(|k| k * k <= n).last().unwrap_or(1);
+                let mut sizes: Vec<usize> = (1..=k).collect();
+                let mut leftover = n - k * k;
+                while leftover >= k {
+                    sizes.push(k);
+                    leftover -= k;
+                }
+                if leftover > 0 {
+                    sizes.push(leftover);
+                }
+                sizes.extend((1..k).rev());
+                sizes
+            }
+        }
+    }
+
     fn random_width(&mut self) -> u32 {
         let (lo, hi) = self.config.width_range;
         if lo >= hi {
-            lo
-        } else {
-            self.rng.gen_range(lo..=hi)
+            return lo;
+        }
+        match self.config.width_profile {
+            WidthProfile::Uniform => self.rng.gen_range(lo..=hi),
+            WidthProfile::Mixed { high_fraction } => {
+                let quarter = (hi - lo) / 4;
+                if self.rng.gen_bool(high_fraction.clamp(0.0, 1.0)) {
+                    self.rng.gen_range(hi - quarter..=hi)
+                } else {
+                    self.rng.gen_range(lo..=lo + quarter)
+                }
+            }
         }
     }
 
@@ -339,5 +468,114 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_ops_panics() {
         let _ = TgffGenerator::new(TgffConfig::with_ops(0), 0).generate();
+    }
+
+    #[test]
+    fn layered_shape_is_backwards_compatible() {
+        // Adding shapes must not perturb the PRNG stream of the default
+        // configuration: seeds used across the workspace keep their graphs.
+        let old_style = TgffGenerator::new(TgffConfig::with_ops(15), 7).generate();
+        let explicit =
+            TgffGenerator::new(TgffConfig::with_ops(15).shape(GraphShape::Layered), 7).generate();
+        assert_eq!(old_style, explicit);
+        assert_eq!(TgffConfig::with_ops(3).shape, GraphShape::Layered);
+        assert_eq!(TgffConfig::with_ops(3).width_profile, WidthProfile::Uniform);
+    }
+
+    #[test]
+    fn deep_shape_is_a_chain() {
+        for n in [1usize, 2, 5, 12] {
+            let g =
+                TgffGenerator::new(TgffConfig::with_ops(n).shape(GraphShape::Deep), 3).generate();
+            assert_eq!(g.len(), n);
+            assert_eq!(g.depth(), n, "deep graphs have one op per layer");
+        }
+    }
+
+    #[test]
+    fn wide_shape_is_shallow() {
+        for n in [1usize, 4, 9, 24] {
+            let g =
+                TgffGenerator::new(TgffConfig::with_ops(n).shape(GraphShape::Wide), 3).generate();
+            assert_eq!(g.len(), n);
+            assert!(g.depth() <= 3, "wide graphs have at most three layers");
+        }
+    }
+
+    #[test]
+    fn diamond_shape_fans_out_and_back_in() {
+        let config = TgffConfig::with_ops(16).shape(GraphShape::Diamond);
+        let g = TgffGenerator::new(config, 9).generate();
+        assert_eq!(g.len(), 16);
+        // 16 = 4^2: layers 1,2,3,4,3,2,1.
+        assert_eq!(g.depth(), 7);
+        // The single entry op is a source and the single exit op a sink.
+        assert!(!g.sources().is_empty());
+        assert!(!g.sinks().is_empty());
+    }
+
+    #[test]
+    fn diamond_layer_sizes_sum_for_all_n() {
+        for n in 1..=40 {
+            let g = TgffGenerator::new(TgffConfig::with_ops(n).shape(GraphShape::Diamond), 1)
+                .generate();
+            assert_eq!(g.len(), n);
+        }
+    }
+
+    #[test]
+    fn mixed_width_profile_avoids_the_middle() {
+        let config = TgffConfig::with_ops(60)
+            .width_range(4, 24)
+            .width_profile(WidthProfile::Mixed { high_fraction: 0.5 });
+        let g = TgffGenerator::new(config, 17).generate();
+        let mut low = 0usize;
+        let mut high = 0usize;
+        for op in g.operations() {
+            let (a, b) = op.shape().widths();
+            for w in [a, b] {
+                assert!(
+                    (4..=9).contains(&w) || (19..=24).contains(&w),
+                    "width {w} should come from an extreme cluster"
+                );
+                if w <= 9 {
+                    low += 1;
+                } else {
+                    high += 1;
+                }
+            }
+        }
+        assert!(low > 0 && high > 0, "both clusters should be drawn from");
+    }
+
+    #[test]
+    fn width_profile_fraction_is_clamped() {
+        let c = TgffConfig::with_ops(5).width_profile(WidthProfile::Mixed { high_fraction: 3.0 });
+        assert_eq!(c.width_profile, WidthProfile::Mixed { high_fraction: 1.0 });
+        let all_high = TgffGenerator::new(
+            TgffConfig::with_ops(20)
+                .width_range(4, 24)
+                .width_profile(WidthProfile::Mixed { high_fraction: 1.0 }),
+            5,
+        )
+        .generate();
+        for op in all_high.operations() {
+            let (a, b) = op.shape().widths();
+            assert!(a >= 19 && b >= 19);
+        }
+    }
+
+    #[test]
+    fn shapes_are_deterministic_per_seed() {
+        for shape in [
+            GraphShape::Layered,
+            GraphShape::Wide,
+            GraphShape::Deep,
+            GraphShape::Diamond,
+        ] {
+            let a = TgffGenerator::new(TgffConfig::with_ops(14).shape(shape), 21).generate();
+            let b = TgffGenerator::new(TgffConfig::with_ops(14).shape(shape), 21).generate();
+            assert_eq!(a, b);
+        }
     }
 }

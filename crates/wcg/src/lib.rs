@@ -18,6 +18,10 @@
 //! is attached) the `C` edges.  It provides the queries the `DPAlloc`
 //! heuristic needs: latency upper bounds `L_o`, `O(r)`, `S(o)`, maximum
 //! chains of uncovered operations, and wordlength-refinement edge deletion.
+//!
+//! *Pipeline position:* built first from the raw graph, then iteratively
+//! refined by the `DPAlloc` loop (`mwl_core`) — Sections 2.1–2.2 of the
+//! paper.  See `docs/ARCHITECTURE.md` for the full map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -17,7 +17,11 @@
 //! * [`optimal`] — the optimal ILP and exhaustive allocators ([`mwl_optimal`]);
 //! * [`baselines`] — the two-stage \[4\], wordlength-sorted \[14\] and
 //!   uniform-wordlength baselines ([`mwl_baselines`]);
-//! * [`tgff`] — the TGFF-style random graph generator ([`mwl_tgff`]).
+//! * [`tgff`] — the TGFF-style random graph generator ([`mwl_tgff`]);
+//! * [`driver`] — the parallel batch-allocation engine ([`mwl_driver`]).
+//!
+//! A paper-to-module map with data-flow diagrams lives in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! # Quick start
 //!
@@ -296,9 +300,10 @@ pub mod optimal {
 ///
 /// # Examples
 ///
-/// The FIR-filter workload (`examples/fir_filter.rs`): compare the heuristic
+/// A scaled-down version of the FIR-filter workload (`examples/fir_filter.rs`
+/// uses 8 taps; 4 here keeps the doc-test fast): compare the heuristic
 /// against the two-stage baseline \[4\] and the uniform-wordlength
-/// (DSP-processor style) design on a 4-tap filter:
+/// (DSP-processor style) design:
 ///
 /// ```
 /// use mwl::prelude::*;
@@ -363,13 +368,55 @@ pub mod tgff {
     pub use mwl_tgff::*;
 }
 
+/// Parallel batch allocation across a scoped worker pool.
+///
+/// Fans many (graph, λ-budget, config) jobs across threads with a shared
+/// read-only cost cache; results are bit-identical for every worker count.
+///
+/// # Examples
+///
+/// Allocate a whole scenario family in one call — here the same seeded graph
+/// under three latency budgets — and aggregate the outcomes:
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// let mut generator = TgffGenerator::new(TgffConfig::with_ops(9), 11);
+/// let graph = generator.generate();
+/// let jobs: Vec<BatchJob> = [0u32, 15, 30]
+///     .into_iter()
+///     .map(|pct| {
+///         BatchJob::new(
+///             format!("relax+{pct}%"),
+///             graph.clone(),
+///             LatencySpec::RelaxPercent(pct),
+///         )
+///     })
+///     .collect();
+///
+/// let cost = SonicCostModel::default();
+/// let report = run_batch(&jobs, &cost, &BatchOptions::default());
+/// assert_eq!(report.summary().succeeded, 3);
+///
+/// // Outcomes come back in submission order and respect their budgets.
+/// for (o, pct) in report.outcomes.iter().zip([0u32, 15, 30]) {
+///     assert_eq!(o.label, format!("relax+{pct}%"));
+///     let stats = o.result.as_ref().unwrap();
+///     assert!(stats.latency <= stats.lambda);
+/// }
+/// ```
+pub mod driver {
+    pub use mwl_driver::*;
+}
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use mwl_baselines::{SortedCliqueAllocator, TwoStageAllocator, UniformWordlengthAllocator};
     pub use mwl_core::{
-        merge_instances, AllocConfig, AllocError, Datapath, DpAllocator, MergeStats,
-        ResourceInstance,
+        merge_instances, AllocConfig, AllocError, CachedCostModel, Datapath, DpAllocator,
+        MergeStats, ResourceInstance,
     };
+    pub use mwl_driver::{run_batch, BatchJob, BatchOptions, BatchReport, JobOutcome, LatencySpec};
     pub use mwl_model::{
         CostModel, Cycles, OpId, OpKind, OpShape, Operation, ResourceClass, ResourceType,
         SequencingGraph, SequencingGraphBuilder, SonicCostModel,
