@@ -1,0 +1,46 @@
+//! Throughput of the RTL backend: lowering, cycle-accurate simulation and
+//! Verilog emission over TGFF graphs of increasing size.
+//!
+//! The backend sits on the batch driver's opt-in verification path, so its
+//! cost per job determines how expensive "always verify" sweeps are.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_bench::{lambda_min, relax_constraint};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::SonicCostModel;
+use mwl_rtl::{emit_verilog, lower_datapath, random_vectors, simulate};
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_rtl(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("rtl_backend");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &ops in &[8usize, 16, 24] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 7).generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 20);
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("lower", ops), &ops, |b, _| {
+            b.iter(|| lower_datapath(&graph, &datapath, &cost, "dut").unwrap())
+        });
+        let netlist = lower_datapath(&graph, &datapath, &cost, "dut").unwrap();
+        let vectors = random_vectors(&graph, 1, 16);
+        group.bench_with_input(BenchmarkId::new("simulate_x16", ops), &ops, |b, _| {
+            b.iter(|| {
+                for v in &vectors {
+                    simulate(&netlist, v).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("emit_verilog", ops), &ops, |b, _| {
+            b.iter(|| emit_verilog(&netlist))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtl);
+criterion_main!(benches);

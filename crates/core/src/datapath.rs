@@ -270,6 +270,85 @@ impl Datapath {
     }
 }
 
+/// The control-step interval during which an operation's result value must
+/// be held in storage, as required by a structural (RTL) implementation of
+/// the datapath.
+///
+/// Produced by [`Datapath::value_lifetimes`]; consumed by the netlist
+/// lowering in `mwl_rtl` to place result registers and to share them between
+/// values with disjoint lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueLifetime {
+    /// First step at which the value is available: the producing operation's
+    /// completion step (`start + bound latency`).  The value is written to
+    /// its register at the clock edge closing step `born - 1`.
+    pub born: Cycles,
+    /// Last step through which the value must be held (inclusive).  Covers
+    /// every control step during which a consumer of the value executes;
+    /// values of sink operations are held through the final control step so
+    /// they remain observable as primary outputs.
+    pub dies: Cycles,
+}
+
+impl ValueLifetime {
+    /// Returns `true` if the two lifetimes overlap, i.e. the values cannot
+    /// share one register.
+    #[must_use]
+    pub fn overlaps(&self, other: &ValueLifetime) -> bool {
+        self.born <= other.dies && other.born <= self.dies
+    }
+}
+
+impl Datapath {
+    /// Computes, for every operation, the interval during which its result
+    /// value must be held — the register-lifetime information an RTL
+    /// backend needs.
+    ///
+    /// The interval is conservative: it extends over *all* successors of the
+    /// operation in the sequencing graph (a backend that treats some edges
+    /// as sequencing-only may hold values slightly longer than strictly
+    /// necessary, never shorter).  Sink values are held through the overall
+    /// latency so the final datapath outputs are observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph does not match the allocated datapath (call
+    /// [`validate`](Self::validate) first for a checked variant).
+    #[must_use]
+    pub fn value_lifetimes(
+        &self,
+        graph: &SequencingGraph,
+        cost: &dyn CostModel,
+    ) -> Vec<ValueLifetime> {
+        assert_eq!(
+            graph.len(),
+            self.schedule.len(),
+            "graph does not match datapath"
+        );
+        let bound = self.bound_latencies(cost);
+        let makespan = self.schedule.makespan(&bound);
+        graph
+            .op_ids()
+            .map(|op| {
+                let born = self.schedule.end(op, &bound);
+                let mut dies = born;
+                for &succ in graph.successors(op) {
+                    // The consumer reads its operands throughout its whole
+                    // execution interval; the value must outlive its final
+                    // execution step.
+                    dies = dies.max(self.schedule.end(succ, &bound).saturating_sub(1));
+                }
+                if graph.successors(op).is_empty() {
+                    // Sink: observable as a primary output after the last
+                    // control step.
+                    dies = dies.max(makespan);
+                }
+                ValueLifetime { born, dies }
+            })
+            .collect()
+    }
+}
+
 impl fmt::Display for Datapath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -435,6 +514,24 @@ mod tests {
             dp.validate(&g, &cost),
             Err(ValidateError::SizeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn value_lifetimes_cover_consumers_and_sinks() {
+        let (g, dp, cost) = valid_datapath();
+        // Schedule: m0 on mult @0..3, a1 on adder @3..5, m2 on mult @3..6.
+        let lifetimes = dp.value_lifetimes(&g, &cost);
+        assert_eq!(lifetimes.len(), 3);
+        // m0's value: born at 3, consumed by a1 through step 4.
+        assert_eq!(lifetimes[0], ValueLifetime { born: 3, dies: 4 });
+        // a1 is a sink: held through the makespan (6).
+        assert_eq!(lifetimes[1], ValueLifetime { born: 5, dies: 6 });
+        // m2 is a sink too.
+        assert_eq!(lifetimes[2], ValueLifetime { born: 6, dies: 6 });
+        // Overlap relation: a1 and m2 both hold at step 6.
+        assert!(lifetimes[1].overlaps(&lifetimes[2]));
+        assert!(!lifetimes[0].overlaps(&lifetimes[2]));
+        assert!(lifetimes[0].overlaps(&lifetimes[0]));
     }
 
     #[test]

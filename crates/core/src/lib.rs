@@ -81,7 +81,7 @@ mod report;
 
 pub use bind::{bind_select, BindSelectOptions};
 pub use cost_cache::CachedCostModel;
-pub use datapath::{Datapath, ResourceInstance};
+pub use datapath::{Datapath, ResourceInstance, ValueLifetime};
 pub use dpalloc::{most_contended_class, AllocConfig, AllocOutcome, DpAllocator, RefinementPolicy};
 pub use error::{AllocError, ValidateError};
 pub use merge::{merge_instances, MergeStats};

@@ -7,7 +7,7 @@ use mwl_core::{CachedCostModel, DpAllocator};
 use mwl_model::CostModel;
 
 use crate::job::{BatchJob, BatchOptions};
-use crate::report::{BatchReport, JobOutcome, JobStats};
+use crate::report::{BatchReport, JobOutcome, JobStats, RtlCheck};
 
 /// Runs every job in the batch and returns the per-job outcomes in
 /// submission order.
@@ -61,7 +61,7 @@ pub fn run_batch<C: CostModel + Sync>(
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(index) else { break };
-                        local.push((index, run_job(index, job, model)));
+                        local.push((index, run_job(index, job, model, options.rtl_vectors)));
                     }
                     local
                 })
@@ -77,8 +77,14 @@ pub fn run_batch<C: CostModel + Sync>(
     BatchReport { outcomes }
 }
 
-/// Solves one job.
-fn run_job(index: usize, job: &BatchJob, cost: &(dyn CostModel + Sync)) -> JobOutcome {
+/// Solves one job, optionally running the RTL equivalence oracle on the
+/// resulting datapath.
+fn run_job(
+    index: usize,
+    job: &BatchJob,
+    cost: &(dyn CostModel + Sync),
+    rtl_vectors: usize,
+) -> JobOutcome {
     let lambda = job.latency.resolve(&job.graph, cost);
     let mut config = job.config.clone();
     config.latency_constraint = lambda;
@@ -92,11 +98,47 @@ fn run_job(index: usize, job: &BatchJob, cost: &(dyn CostModel + Sync)) -> JobOu
             refinements: outcome.refinements,
             bound_escalations: outcome.bound_escalations,
             merges: outcome.merges,
+            rtl: job
+                .verify_rtl
+                .then(|| rtl_check(index, job, &outcome.datapath, cost, rtl_vectors)),
         });
     JobOutcome {
         index,
         label: job.label.clone(),
         result,
+    }
+}
+
+/// Runs the RTL oracle: lower the datapath, simulate random stimulus and
+/// compare bit-exactly against the reference evaluation of the graph.
+///
+/// The stimulus seed is the job's submission index, so reports stay
+/// bit-identical for every worker count.
+fn rtl_check(
+    index: usize,
+    job: &BatchJob,
+    datapath: &mwl_core::Datapath,
+    cost: &(dyn CostModel + Sync),
+    rtl_vectors: usize,
+) -> RtlCheck {
+    let vectors = mwl_rtl::random_vectors(&job.graph, index as u64, rtl_vectors.max(1));
+    match mwl_rtl::check_equivalence(&job.graph, datapath, cost, &vectors) {
+        Ok(report) => RtlCheck {
+            passed: true,
+            vectors: report.vectors,
+            registers: report.stats.registers,
+            mux_arms: report.stats.mux_arms,
+            adapters: report.stats.adapters,
+            failure: None,
+        },
+        Err(e) => RtlCheck {
+            passed: false,
+            vectors: vectors.len(),
+            registers: 0,
+            mux_arms: 0,
+            adapters: 0,
+            failure: Some(e.to_string()),
+        },
     }
 }
 
@@ -176,6 +218,72 @@ mod tests {
             &BatchOptions::default().with_shared_cost_cache(false),
         );
         assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn rtl_check_is_opt_in_and_passes() {
+        let cost = SonicCostModel::default();
+        let mut jobs = job_set();
+        // Opt half the jobs into the RTL oracle.
+        for job in jobs.iter_mut().step_by(2) {
+            job.verify_rtl = true;
+        }
+        let report = run_batch(&jobs, &cost, &BatchOptions::default().with_rtl_vectors(3));
+        let summary = report.summary();
+        assert_eq!(summary.rtl_checked, jobs.len().div_ceil(2));
+        assert_eq!(summary.rtl_passed, summary.rtl_checked);
+        for (i, o) in report.outcomes.iter().enumerate() {
+            let stats = o.result.as_ref().unwrap();
+            if i % 2 == 0 {
+                let rtl = stats.rtl.as_ref().expect("opted in");
+                assert!(rtl.passed, "job {i}: {:?}", rtl.failure);
+                assert_eq!(rtl.vectors, 3);
+                assert!(rtl.mux_arms > 0);
+            } else {
+                assert!(stats.rtl.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_checked_reports_are_worker_count_invariant() {
+        let cost = SonicCostModel::default();
+        let mut jobs = job_set();
+        for job in &mut jobs {
+            job.verify_rtl = true;
+        }
+        let reference = run_batch(&jobs, &cost, &BatchOptions::sequential());
+        for workers in [2, 5] {
+            let parallel = run_batch(&jobs, &cost, &BatchOptions::with_workers(workers));
+            assert_eq!(reference, parallel, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn unsimulatable_widths_fail_the_rtl_check_not_the_job() {
+        // A 40x30-bit multiplication allocates fine but its 70-bit product
+        // net exceeds the 64-bit simulation limit: the job succeeds, the
+        // oracle reports failure.
+        let cost = SonicCostModel::default();
+        let mut b = mwl_model::SequencingGraphBuilder::new();
+        b.add_operation(mwl_model::OpShape::multiplier(40, 30));
+        let graph = b.build().unwrap();
+        let jobs =
+            vec![BatchJob::new("wide", graph, LatencySpec::RelaxSteps(0)).with_rtl_check(true)];
+        let report = run_batch(&jobs, &cost, &BatchOptions::sequential());
+        let summary = report.summary();
+        assert_eq!(summary.succeeded, 1);
+        assert_eq!(summary.rtl_checked, 1);
+        assert_eq!(summary.rtl_passed, 0);
+        let rtl = report.outcomes[0]
+            .result
+            .as_ref()
+            .unwrap()
+            .rtl
+            .as_ref()
+            .unwrap();
+        assert!(!rtl.passed);
+        assert!(rtl.failure.as_ref().unwrap().contains("70-bit"));
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub struct BatchJob {
     /// Allocator options.  The `latency_constraint` field is overwritten
     /// with the resolved [`latency`](Self::latency) when the job runs.
     pub config: AllocConfig,
+    /// Run the RTL equivalence oracle on the allocated datapath: lower it to
+    /// a structural netlist (`mwl_rtl`), simulate
+    /// [`BatchOptions::rtl_vectors`] random stimulus vectors cycle by cycle
+    /// and compare bit-exactly against the reference fixed-point evaluation
+    /// of the graph, plus a netlist-vs-datapath area cross-check.  Off by
+    /// default; results land in [`crate::JobStats::rtl`].
+    pub verify_rtl: bool,
 }
 
 impl BatchJob {
@@ -74,6 +81,7 @@ impl BatchJob {
             graph,
             latency,
             config: AllocConfig::new(0),
+            verify_rtl: false,
         }
     }
 
@@ -82,6 +90,13 @@ impl BatchJob {
     #[must_use]
     pub fn with_config(mut self, config: AllocConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Enables or disables the per-job RTL equivalence check.
+    #[must_use]
+    pub fn with_rtl_check(mut self, enabled: bool) -> Self {
+        self.verify_rtl = enabled;
         self
     }
 }
@@ -96,6 +111,9 @@ pub struct BatchOptions {
     /// graphs before spawning workers (see [`mwl_core::CachedCostModel`]).
     /// On by default.
     pub shared_cost_cache: bool,
+    /// Number of random stimulus vectors simulated per job when
+    /// [`BatchJob::verify_rtl`] is set (clamped to at least 1 at run time).
+    pub rtl_vectors: usize,
 }
 
 impl BatchOptions {
@@ -120,14 +138,23 @@ impl BatchOptions {
         self.shared_cost_cache = enabled;
         self
     }
+
+    /// Sets the number of stimulus vectors per RTL-checked job.
+    #[must_use]
+    pub fn with_rtl_vectors(mut self, vectors: usize) -> Self {
+        self.rtl_vectors = vectors.max(1);
+        self
+    }
 }
 
 impl Default for BatchOptions {
-    /// One worker per available hardware thread, shared cost cache on.
+    /// One worker per available hardware thread, shared cost cache on, four
+    /// stimulus vectors per RTL-checked job.
     fn default() -> Self {
         BatchOptions {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             shared_cost_cache: true,
+            rtl_vectors: 4,
         }
     }
 }
@@ -168,6 +195,9 @@ mod tests {
                 .with_shared_cost_cache(false)
                 .shared_cost_cache
         );
+        assert_eq!(BatchOptions::default().rtl_vectors, 4);
+        assert_eq!(BatchOptions::default().with_rtl_vectors(0).rtl_vectors, 1);
+        assert_eq!(BatchOptions::default().with_rtl_vectors(9).rtl_vectors, 9);
     }
 
     #[test]
@@ -176,5 +206,7 @@ mod tests {
             .with_config(AllocConfig::new(0).with_instance_merging(false));
         assert_eq!(job.label, "j0");
         assert!(!job.config.instance_merging);
+        assert!(!job.verify_rtl);
+        assert!(job.with_rtl_check(true).verify_rtl);
     }
 }

@@ -72,4 +72,4 @@ mod report;
 
 pub use engine::run_batch;
 pub use job::{BatchJob, BatchOptions, LatencySpec};
-pub use report::{BatchReport, BatchSummary, JobOutcome, JobStats};
+pub use report::{BatchReport, BatchSummary, JobOutcome, JobStats, RtlCheck};

@@ -5,6 +5,26 @@ use std::fmt;
 use mwl_core::AllocError;
 use mwl_model::{Area, Cycles};
 
+/// The outcome of the opt-in RTL equivalence oracle for one job
+/// (see [`crate::BatchJob::verify_rtl`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlCheck {
+    /// `true` when every stimulus vector was bit-identical between the
+    /// netlist simulation and the reference evaluation, and the netlist
+    /// area matched the datapath area.
+    pub passed: bool,
+    /// Number of stimulus vectors simulated.
+    pub vectors: usize,
+    /// Result registers in the lowered netlist (after lifetime sharing).
+    pub registers: usize,
+    /// Operand-mux steering arms in the lowered netlist.
+    pub mux_arms: usize,
+    /// Width-adapter cells in the lowered netlist.
+    pub adapters: usize,
+    /// Human-readable description of the first failure, when `!passed`.
+    pub failure: Option<String>,
+}
+
 /// Statistics of one successfully allocated job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobStats {
@@ -22,6 +42,9 @@ pub struct JobStats {
     pub bound_escalations: usize,
     /// Instance merges accepted by the post-bind merging pass.
     pub merges: usize,
+    /// RTL equivalence-check outcome; `None` unless the job opted in via
+    /// [`crate::BatchJob::verify_rtl`].
+    pub rtl: Option<RtlCheck>,
 }
 
 /// The result of one job: its label plus either stats or the allocation
@@ -60,6 +83,10 @@ pub struct BatchSummary {
     pub total_escalations: usize,
     /// Sum of accepted instance merges over the successful jobs.
     pub total_merges: usize,
+    /// Jobs that ran the RTL equivalence oracle.
+    pub rtl_checked: usize,
+    /// RTL-checked jobs whose netlist was bit-identical to the reference.
+    pub rtl_passed: usize,
 }
 
 /// The deterministic result of a batch run.
@@ -91,6 +118,10 @@ impl BatchReport {
                     s.total_refinements += stats.refinements;
                     s.total_escalations += stats.bound_escalations;
                     s.total_merges += stats.merges;
+                    if let Some(rtl) = &stats.rtl {
+                        s.rtl_checked += 1;
+                        s.rtl_passed += usize::from(rtl.passed);
+                    }
                 }
                 Err(_) => s.failed += 1,
             }
@@ -114,7 +145,8 @@ impl BatchReport {
         out.push_str(&format!(
             "\"jobs\": {}, \"succeeded\": {}, \"failed\": {}, \"total_area\": {}, \
              \"total_latency\": {}, \"total_instances\": {}, \"total_refinements\": {}, \
-             \"total_escalations\": {}, \"total_merges\": {}",
+             \"total_escalations\": {}, \"total_merges\": {}, \"rtl_checked\": {}, \
+             \"rtl_passed\": {}",
             s.jobs,
             s.succeeded,
             s.failed,
@@ -123,7 +155,9 @@ impl BatchReport {
             s.total_instances,
             s.total_refinements,
             s.total_escalations,
-            s.total_merges
+            s.total_merges,
+            s.rtl_checked,
+            s.rtl_passed
         ));
         out.push_str("},\n  \"outcomes\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
@@ -134,18 +168,31 @@ impl BatchReport {
                 json_string(&o.label)
             ));
             match &o.result {
-                Ok(st) => out.push_str(&format!(
-                    ", \"ok\": true, \"lambda\": {}, \"area\": {}, \"latency\": {}, \
-                     \"instances\": {}, \"refinements\": {}, \"escalations\": {}, \
-                     \"merges\": {}",
-                    st.lambda,
-                    st.area,
-                    st.latency,
-                    st.instances,
-                    st.refinements,
-                    st.bound_escalations,
-                    st.merges
-                )),
+                Ok(st) => {
+                    out.push_str(&format!(
+                        ", \"ok\": true, \"lambda\": {}, \"area\": {}, \"latency\": {}, \
+                         \"instances\": {}, \"refinements\": {}, \"escalations\": {}, \
+                         \"merges\": {}",
+                        st.lambda,
+                        st.area,
+                        st.latency,
+                        st.instances,
+                        st.refinements,
+                        st.bound_escalations,
+                        st.merges
+                    ));
+                    if let Some(rtl) = &st.rtl {
+                        out.push_str(&format!(
+                            ", \"rtl\": {{\"passed\": {}, \"vectors\": {}, \
+                             \"registers\": {}, \"mux_arms\": {}, \"adapters\": {}",
+                            rtl.passed, rtl.vectors, rtl.registers, rtl.mux_arms, rtl.adapters
+                        ));
+                        if let Some(failure) = &rtl.failure {
+                            out.push_str(&format!(", \"failure\": {}", json_string(failure)));
+                        }
+                        out.push('}');
+                    }
+                }
                 Err(e) => out.push_str(&format!(
                     ", \"ok\": false, \"error\": {}",
                     json_string(&e.to_string())
@@ -172,11 +219,21 @@ impl fmt::Display for BatchReport {
         )?;
         for o in &self.outcomes {
             match &o.result {
-                Ok(st) => writeln!(
-                    f,
-                    "  [{:>3}] {:<28} area {:>8}  latency {:>4}/{:<4} instances {:>3}",
-                    o.index, o.label, st.area, st.latency, st.lambda, st.instances
-                )?,
+                Ok(st) => {
+                    let rtl = match &st.rtl {
+                        Some(r) if r.passed => "  rtl ok".to_string(),
+                        Some(r) => format!(
+                            "  rtl FAIL ({})",
+                            r.failure.as_deref().unwrap_or("unknown divergence")
+                        ),
+                        None => String::new(),
+                    };
+                    writeln!(
+                        f,
+                        "  [{:>3}] {:<28} area {:>8}  latency {:>4}/{:<4} instances {:>3}{rtl}",
+                        o.index, o.label, st.area, st.latency, st.lambda, st.instances
+                    )?;
+                }
                 Err(e) => writeln!(f, "  [{:>3}] {:<28} FAILED: {e}", o.index, o.label)?,
             }
         }
@@ -221,6 +278,14 @@ mod tests {
                         refinements: 2,
                         bound_escalations: 1,
                         merges: 1,
+                        rtl: Some(RtlCheck {
+                            passed: true,
+                            vectors: 4,
+                            registers: 3,
+                            mux_arms: 6,
+                            adapters: 2,
+                            failure: None,
+                        }),
                     }),
                 },
                 JobOutcome {
@@ -244,6 +309,8 @@ mod tests {
         assert_eq!(s.failed, 1);
         assert_eq!(s.total_area, 100);
         assert_eq!(s.total_merges, 1);
+        assert_eq!(s.rtl_checked, 1);
+        assert_eq!(s.rtl_passed, 1);
         assert_eq!(r.failures().len(), 1);
     }
 
@@ -254,6 +321,8 @@ mod tests {
         assert!(json.contains("\"jobs\": 2"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"rtl_checked\": 1"));
+        assert!(json.contains("\"rtl\": {\"passed\": true"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -266,6 +335,29 @@ mod tests {
         let text = sample_report().to_string();
         assert!(text.contains("2 jobs"));
         assert!(text.contains("FAILED"));
+        assert!(text.contains("rtl ok"));
+    }
+
+    #[test]
+    fn failed_rtl_check_is_visible() {
+        let mut r = sample_report();
+        if let Ok(st) = &mut r.outcomes[0].result {
+            st.rtl = Some(RtlCheck {
+                passed: false,
+                vectors: 4,
+                registers: 3,
+                mux_arms: 6,
+                adapters: 2,
+                failure: Some("vector 1 diverged".into()),
+            });
+        }
+        let s = r.summary();
+        assert_eq!(s.rtl_checked, 1);
+        assert_eq!(s.rtl_passed, 0);
+        // The diagnostic reaches both the human-readable and JSON reports.
+        assert!(r.to_string().contains("rtl FAIL (vector 1 diverged)"));
+        assert!(r.to_json().contains("\"passed\": false"));
+        assert!(r.to_json().contains("\"failure\": \"vector 1 diverged\""));
     }
 
     #[test]

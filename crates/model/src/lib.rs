@@ -54,6 +54,7 @@
 
 mod cost;
 mod error;
+pub mod fixedpoint;
 mod graph;
 mod op;
 mod resource;

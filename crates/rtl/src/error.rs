@@ -1,0 +1,123 @@
+//! Errors of the RTL backend.
+
+use std::fmt;
+
+use mwl_core::ValidateError;
+use mwl_model::OpId;
+
+/// Errors raised while lowering, simulating or checking a datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtlError {
+    /// A net of the structural netlist would be wider than the bit-true
+    /// value helpers support (`mwl_model::fixedpoint::MAX_SIM_WORDLENGTH`
+    /// bits).  Multiplier product nets are `a + b` bits wide, so graphs with
+    /// very wide multiplications cannot be simulated even though they can be
+    /// allocated.
+    WidthTooLarge {
+        /// The operation whose implementation needs the oversized net.
+        op: OpId,
+        /// The required net width in bits.
+        width: u32,
+    },
+    /// The datapath failed structural validation against the graph before
+    /// lowering; carries the first violated invariant.
+    InvalidDatapath(ValidateError),
+    /// A stimulus vector has the wrong number of primary-input values.
+    InputCountMismatch {
+        /// Primary inputs of the netlist.
+        expected: usize,
+        /// Values supplied.
+        actual: usize,
+    },
+    /// The netlist simulation disagreed with the reference evaluation of the
+    /// sequencing graph — the bit-true equivalence the backend exists to
+    /// establish does not hold.
+    OutputMismatch {
+        /// Index of the stimulus vector that exposed the divergence.
+        vector: usize,
+        /// The sink operation whose value diverged.
+        op: OpId,
+        /// Value computed by the cycle-accurate netlist simulation.
+        simulated: i64,
+        /// Value computed by the reference fixed-point evaluator.
+        reference: i64,
+    },
+    /// The summed area of the netlist's functional units does not match the
+    /// area reported by the datapath.
+    AreaMismatch {
+        /// Area summed over the netlist's functional-unit cells.
+        netlist: u64,
+        /// Area reported by [`mwl_core::Datapath::area`].
+        datapath: u64,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::WidthTooLarge { op, width } => write!(
+                f,
+                "operation {op} needs a {width}-bit net, wider than the 64-bit simulation limit"
+            ),
+            RtlError::InvalidDatapath(e) => write!(f, "datapath invalid before lowering: {e}"),
+            RtlError::InputCountMismatch { expected, actual } => write!(
+                f,
+                "stimulus vector has {actual} values but the netlist has {expected} primary inputs"
+            ),
+            RtlError::OutputMismatch {
+                vector,
+                op,
+                simulated,
+                reference,
+            } => write!(
+                f,
+                "vector {vector}: netlist computed {simulated} for sink {op}, reference computed {reference}"
+            ),
+            RtlError::AreaMismatch { netlist, datapath } => write!(
+                f,
+                "netlist functional-unit area {netlist} differs from datapath area {datapath}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+impl From<ValidateError> for RtlError {
+    fn from(e: ValidateError) -> Self {
+        RtlError::InvalidDatapath(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::OpId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RtlError::WidthTooLarge {
+            op: OpId::new(3),
+            width: 70,
+        };
+        assert!(e.to_string().contains("o3"));
+        assert!(e.to_string().contains("70"));
+        let e = RtlError::OutputMismatch {
+            vector: 2,
+            op: OpId::new(1),
+            simulated: 5,
+            reference: -5,
+        };
+        assert!(e.to_string().contains("vector 2"));
+        let e = RtlError::AreaMismatch {
+            netlist: 10,
+            datapath: 12,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = RtlError::InputCountMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("4"));
+    }
+}

@@ -1,0 +1,218 @@
+//! RTL backend for allocated multiple-wordlength datapaths: structural
+//! netlist lowering, cycle-accurate bit-true simulation and Verilog-2001
+//! emission.
+//!
+//! The allocator ([`mwl_core::DpAllocator`]) stops at an abstract
+//! [`mwl_core::Datapath`] — a schedule, resource instances and a binding.
+//! The paper's actual *output*, however, is hardware: shared functional
+//! units fed by steering muxes under an FSM controller, with registers
+//! holding values between control steps and width adapters implementing the
+//! multiple-wordlength boundaries.  This crate closes that loop:
+//!
+//! 1. [`lower_datapath`] turns a `(SequencingGraph, Datapath)` pair into a
+//!    structural [`Netlist`]: per-instance functional units at their bound
+//!    [`mwl_model::ResourceType`] widths, schedule-driven operand muxes,
+//!    lifetime-shared result registers and explicit sign-extend/truncate
+//!    adapters.
+//! 2. [`simulate`] executes the netlist cycle by cycle, bit-true at every
+//!    net (two's-complement, wrap-on-overflow — see
+//!    [`mwl_model::fixedpoint`]).
+//! 3. [`evaluate_reference`] runs the sequencing graph directly in
+//!    fixed-point, knowing nothing about schedules or sharing.
+//! 4. [`emit_verilog`] prints the netlist as one synthesisable
+//!    Verilog-2001 module.
+//!
+//! The headline property — proptested in `tests/equivalence.rs` across
+//! random TGFF graphs, every graph shape and width profile, and heuristic
+//! and baseline allocators alike — is that (2) and (3) agree **bit-exactly**
+//! on every stimulus vector, and that the netlist's functional-unit area
+//! equals the allocator's reported area.  [`check_equivalence`] bundles
+//! that check for use by tests and the batch driver (`mwl_driver`).
+//!
+//! *Pipeline position:* downstream of `mwl_core`; used by `mwl_driver` for
+//! opt-in per-job verification and by the `rtl_smoke` harness in
+//! `mwl_bench`.  See `docs/ARCHITECTURE.md` for the full map.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mwl_core::{AllocConfig, DpAllocator};
+//! use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+//! use mwl_rtl::{check_equivalence, emit_verilog, lower_datapath, random_vectors};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = SequencingGraphBuilder::new();
+//! let x = b.add_operation(OpShape::multiplier(8, 8));
+//! let y = b.add_operation(OpShape::multiplier(14, 10));
+//! let s = b.add_operation(OpShape::adder(24));
+//! b.add_dependency(x, s)?;
+//! b.add_dependency(y, s)?;
+//! let graph = b.build()?;
+//!
+//! let cost = SonicCostModel::default();
+//! let datapath = DpAllocator::new(&cost, AllocConfig::new(12)).allocate(&graph)?;
+//!
+//! // Lower to a netlist and check it against the reference evaluator.
+//! let vectors = random_vectors(&graph, 42, 8);
+//! let report = check_equivalence(&graph, &datapath, &cost, &vectors)?;
+//! assert_eq!(report.vectors, 8);
+//! assert_eq!(report.netlist_area, datapath.area());
+//!
+//! // Emit synthesisable Verilog.
+//! let netlist = lower_datapath(&graph, &datapath, &cost, "mac")?;
+//! let verilog = emit_verilog(&netlist);
+//! assert!(verilog.contains("module mac ("));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataflow;
+mod error;
+mod lower;
+mod netlist;
+mod reference;
+mod sim;
+mod verilog;
+
+pub use error::RtlError;
+pub use lower::lower_datapath;
+pub use netlist::{
+    Adapter, FuActivation, FuMode, FunctionalUnit, InputPort, Mux, MuxArm, Netlist, NetlistStats,
+    OutputPort, RegWrite, Register, Signal,
+};
+pub use reference::{evaluate_reference, evaluate_with_map, ReferenceOutcome};
+pub use sim::{simulate, SimOutcome};
+pub use verilog::emit_verilog;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use mwl_core::Datapath;
+use mwl_model::{Area, CostModel, SequencingGraph};
+
+use crate::dataflow::DataflowMap;
+
+/// The result of a successful equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceReport {
+    /// Number of stimulus vectors simulated.
+    pub vectors: usize,
+    /// Number of primary outputs compared per vector.
+    pub outputs: usize,
+    /// Summed functional-unit area of the netlist (equals the datapath's
+    /// reported area; checked).
+    pub netlist_area: Area,
+    /// Cell statistics of the lowered netlist.
+    pub stats: NetlistStats,
+}
+
+/// Deterministic random stimulus: `count` vectors with one value per
+/// primary input of the graph's dataflow interpretation.
+///
+/// Values span the full `i64` range; both the simulator and the reference
+/// evaluator wrap them into the input wordlengths, so extreme values
+/// exercise the wrap boundaries.
+#[must_use]
+pub fn random_vectors(graph: &SequencingGraph, seed: u64, count: usize) -> Vec<Vec<i64>> {
+    let map = DataflowMap::new(graph);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| map.inputs().iter().map(|_| rng.next_u64() as i64).collect())
+        .collect()
+}
+
+/// Lowers the datapath, simulates every stimulus vector and compares the
+/// primary outputs bit-exactly against the reference fixed-point evaluation
+/// of the sequencing graph; also cross-checks the netlist's functional-unit
+/// area against the datapath's reported area.
+///
+/// # Errors
+///
+/// * lowering errors ([`RtlError::InvalidDatapath`],
+///   [`RtlError::WidthTooLarge`]);
+/// * [`RtlError::AreaMismatch`] when the area accounting diverges;
+/// * [`RtlError::OutputMismatch`] on the first diverging output value;
+/// * [`RtlError::InputCountMismatch`] for malformed stimulus.
+pub fn check_equivalence(
+    graph: &SequencingGraph,
+    datapath: &Datapath,
+    cost: &dyn CostModel,
+    vectors: &[Vec<i64>],
+) -> Result<EquivalenceReport, RtlError> {
+    let netlist = lower_datapath(graph, datapath, cost, "dut")?;
+    let netlist_area = netlist.fu_area(cost);
+    if netlist_area != datapath.area() {
+        return Err(RtlError::AreaMismatch {
+            netlist: netlist_area,
+            datapath: datapath.area(),
+        });
+    }
+    let map = DataflowMap::new(graph);
+    for (index, vector) in vectors.iter().enumerate() {
+        let simulated = simulate(&netlist, vector)?;
+        let reference = evaluate_with_map(graph, &map, vector)?;
+        for (out, (&s, &r)) in netlist
+            .outputs
+            .iter()
+            .zip(simulated.outputs.iter().zip(reference.outputs.iter()))
+        {
+            if s != r {
+                return Err(RtlError::OutputMismatch {
+                    vector: index,
+                    op: out.op,
+                    simulated: s,
+                    reference: r,
+                });
+            }
+        }
+    }
+    Ok(EquivalenceReport {
+        vectors: vectors.len(),
+        outputs: netlist.outputs.len(),
+        netlist_area,
+        stats: netlist.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_core::{AllocConfig, DpAllocator};
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+
+    #[test]
+    fn check_equivalence_passes_on_a_valid_allocation() {
+        let mut b = SequencingGraphBuilder::new();
+        let m = b.add_operation(OpShape::multiplier(8, 6));
+        let n = b.add_operation(OpShape::multiplier(10, 9));
+        let a = b.add_operation(OpShape::adder(20));
+        b.add_dependency(m, a).unwrap();
+        b.add_dependency(n, a).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let dp = DpAllocator::new(&cost, AllocConfig::new(30))
+            .allocate(&g)
+            .unwrap();
+        let vectors = random_vectors(&g, 7, 16);
+        assert_eq!(vectors.len(), 16);
+        assert_eq!(vectors[0].len(), 4);
+        let report = check_equivalence(&g, &dp, &cost, &vectors).unwrap();
+        assert_eq!(report.vectors, 16);
+        assert_eq!(report.outputs, 1);
+        assert_eq!(report.netlist_area, dp.area());
+        assert!(report.stats.fus >= 1);
+    }
+
+    #[test]
+    fn random_vectors_are_deterministic() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::adder(8));
+        let g = b.build().unwrap();
+        assert_eq!(random_vectors(&g, 3, 4), random_vectors(&g, 3, 4));
+        assert_ne!(random_vectors(&g, 3, 4), random_vectors(&g, 4, 4));
+    }
+}

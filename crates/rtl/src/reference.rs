@@ -1,0 +1,169 @@
+//! Reference bit-true evaluation of a sequencing graph — the oracle the
+//! netlist simulation is checked against.
+//!
+//! The evaluator executes the dataflow interpretation of
+//! [`crate::dataflow`] directly, in topological order, entirely at the
+//! *operations'* native wordlengths — it knows nothing about schedules,
+//! bindings or shared resources.  Bit-exact agreement between this evaluator
+//! and the cycle-accurate netlist simulation is therefore evidence that the
+//! allocator's sharing, wordlength selection and steering logic preserve the
+//! program's semantics.
+
+use mwl_model::fixedpoint::{adapt_width, wrap_i128_to_width, wrap_to_width, MAX_SIM_WORDLENGTH};
+use mwl_model::{OpKind, SequencingGraph};
+
+use crate::dataflow::{DataflowMap, PortSource};
+use crate::error::RtlError;
+
+/// The result of evaluating one stimulus vector on the sequencing graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferenceOutcome {
+    /// Result value of every operation (canonical signed at the operation's
+    /// result width), indexed by operation id.
+    pub values: Vec<i64>,
+    /// Values of the sink operations, in ascending sink-id order — the same
+    /// order as the netlist's primary outputs.
+    pub outputs: Vec<i64>,
+}
+
+/// Evaluates the graph on one stimulus vector.
+///
+/// `inputs` supplies one value per primary input of the dataflow, in
+/// canonical (op id, port) order — the same order as
+/// [`crate::dataflow::DataflowMap::inputs`] and the lowered netlist's input
+/// ports.  Values are wrapped into their input wordlengths first.
+///
+/// # Errors
+///
+/// * [`RtlError::InputCountMismatch`] when the vector length is wrong;
+/// * [`RtlError::WidthTooLarge`] when an operation's result would exceed 64
+///   bits.
+pub fn evaluate_reference(
+    graph: &SequencingGraph,
+    inputs: &[i64],
+) -> Result<ReferenceOutcome, RtlError> {
+    let map = DataflowMap::new(graph);
+    evaluate_with_map(graph, &map, inputs)
+}
+
+/// [`evaluate_reference`] with a pre-built dataflow map (avoids rebuilding
+/// the map once per stimulus vector).
+pub fn evaluate_with_map(
+    graph: &SequencingGraph,
+    map: &DataflowMap,
+    inputs: &[i64],
+) -> Result<ReferenceOutcome, RtlError> {
+    if inputs.len() != map.inputs().len() {
+        return Err(RtlError::InputCountMismatch {
+            expected: map.inputs().len(),
+            actual: inputs.len(),
+        });
+    }
+    for op in graph.op_ids() {
+        let width = map.result_width(op);
+        if width > MAX_SIM_WORDLENGTH {
+            return Err(RtlError::WidthTooLarge { op, width });
+        }
+    }
+    let inputs: Vec<i64> = inputs
+        .iter()
+        .zip(map.inputs().iter())
+        .map(|(&v, spec)| wrap_to_width(v, spec.width))
+        .collect();
+
+    let mut values = vec![0i64; graph.len()];
+    for op in graph.topological_order() {
+        let ports = map.ports(op);
+        let mut operand = [0i64; 2];
+        for (slot, spec) in operand.iter_mut().zip(ports.iter()) {
+            *slot = match spec.source {
+                PortSource::Input(i) => inputs[i],
+                PortSource::Op(u) => {
+                    adapt_width(values[u.index()], map.result_width(u), spec.width)
+                }
+            };
+        }
+        let width = map.result_width(op);
+        values[op.index()] = match graph.operation(op).kind() {
+            OpKind::Add => wrap_to_width(operand[0].wrapping_add(operand[1]), width),
+            OpKind::Sub => wrap_to_width(operand[0].wrapping_sub(operand[1]), width),
+            OpKind::Mul => {
+                wrap_i128_to_width(i128::from(operand[0]) * i128::from(operand[1]), width)
+            }
+        };
+    }
+    let outputs = map.outputs().iter().map(|o| values[o.index()]).collect();
+    Ok(ReferenceOutcome { values, outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{OpShape, SequencingGraphBuilder};
+
+    #[test]
+    fn evaluates_an_expression_tree() {
+        // (x0 * x1) + (x2 * x3) at 8x8 -> 16-bit products, 16-bit sum.
+        let mut b = SequencingGraphBuilder::new();
+        let m = b.add_operation(OpShape::multiplier(8, 8));
+        let n = b.add_operation(OpShape::multiplier(8, 8));
+        let a = b.add_operation(OpShape::adder(16));
+        b.add_dependency(m, a).unwrap();
+        b.add_dependency(n, a).unwrap();
+        let g = b.build().unwrap();
+        let out = evaluate_reference(&g, &[3, -4, 5, 6]).unwrap();
+        assert_eq!(out.values, vec![-12, 30, 18]);
+        assert_eq!(out.outputs, vec![18]);
+    }
+
+    #[test]
+    fn narrowing_consumer_truncates() {
+        // A 8x8 multiplication (16-bit product) feeding a 4-bit adder keeps
+        // only the low nibble of the product.
+        let mut b = SequencingGraphBuilder::new();
+        let m = b.add_operation(OpShape::multiplier(8, 8));
+        let a = b.add_operation(OpShape::adder(4));
+        b.add_dependency(m, a).unwrap();
+        let g = b.build().unwrap();
+        // 7 * 5 = 35 = 0x23; low nibble 3; plus 1 = 4.
+        let out = evaluate_reference(&g, &[7, 5, 1]).unwrap();
+        assert_eq!(out.outputs, vec![4]);
+        // 6 * 6 = 36 = 0x24; low nibble 4; 4 + 7 = 11 wraps to -5 in 4 bits.
+        let out = evaluate_reference(&g, &[6, 6, 7]).unwrap();
+        assert_eq!(out.outputs, vec![-5]);
+    }
+
+    #[test]
+    fn subtraction_order_is_port_order() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::subtractor(8));
+        let g = b.build().unwrap();
+        let out = evaluate_reference(&g, &[10, 3]).unwrap();
+        assert_eq!(out.outputs, vec![7]);
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::adder(8));
+        let g = b.build().unwrap();
+        assert!(matches!(
+            evaluate_reference(&g, &[1]),
+            Err(RtlError::InputCountMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_width_rejected() {
+        let mut b = SequencingGraphBuilder::new();
+        b.add_operation(OpShape::multiplier(40, 40));
+        let g = b.build().unwrap();
+        assert!(matches!(
+            evaluate_reference(&g, &[1, 1]),
+            Err(RtlError::WidthTooLarge { width: 80, .. })
+        ));
+    }
+}

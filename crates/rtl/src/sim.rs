@@ -1,0 +1,205 @@
+//! Cycle-accurate, bit-true interpretation of a structural netlist.
+//!
+//! The simulator executes the netlist exactly as the emitted hardware
+//! would: one iteration per control step, combinational evaluation of
+//! adapters, muxes and functional units within the step, and synchronous
+//! register updates at the closing clock edge.  Multi-cycle operations hold
+//! their mux steering for the whole execution interval and their result is
+//! captured only at the edge closing the final step — so a value produced by
+//! a 3-cycle multiplier is observable exactly from its completion step on,
+//! matching the schedule semantics of [`mwl_sched::Schedule`].
+
+use mwl_model::fixedpoint::{adapt_width, wrap_i128_to_width, wrap_to_width};
+use mwl_model::Cycles;
+
+use crate::error::RtlError;
+use crate::netlist::{FuMode, Netlist, Signal};
+
+/// The result of simulating one stimulus vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Primary-output values (canonical signed), in the netlist's output
+    /// order, observed after the final control step.
+    pub outputs: Vec<i64>,
+    /// Number of clock cycles simulated (= the schedule makespan).
+    pub cycles: Cycles,
+}
+
+/// Simulates the netlist on one stimulus vector.
+///
+/// `inputs` supplies one value per primary input, in the netlist's input
+/// order; each value is wrapped into its port's wordlength first (so any
+/// `i64` is acceptable stimulus).
+///
+/// # Errors
+///
+/// Returns [`RtlError::InputCountMismatch`] when the stimulus vector length
+/// does not match the number of primary inputs.
+pub fn simulate(netlist: &Netlist, inputs: &[i64]) -> Result<SimOutcome, RtlError> {
+    if inputs.len() != netlist.inputs.len() {
+        return Err(RtlError::InputCountMismatch {
+            expected: netlist.inputs.len(),
+            actual: inputs.len(),
+        });
+    }
+    let inputs: Vec<i64> = inputs
+        .iter()
+        .zip(netlist.inputs.iter())
+        .map(|(&v, port)| wrap_to_width(v, port.width))
+        .collect();
+
+    let mut regs = vec![0i64; netlist.registers.len()];
+    for step in 0..netlist.steps {
+        // Collect all synchronous writes first, then commit: every write of
+        // the step sees the same pre-edge register state.
+        let mut writes: Vec<(usize, i64)> = Vec::new();
+        for (idx, reg) in netlist.registers.iter().enumerate() {
+            for w in &reg.writes {
+                if w.step == step {
+                    let value = eval(netlist, &inputs, &regs, step, w.source);
+                    writes.push((idx, wrap_to_width(value, reg.width)));
+                }
+            }
+        }
+        for (idx, value) in writes {
+            regs[idx] = value;
+        }
+    }
+
+    let outputs = netlist
+        .outputs
+        .iter()
+        .map(|o| {
+            let v = eval(netlist, &inputs, &regs, netlist.steps, o.source);
+            adapt_width(v, netlist.signal_width(o.source), o.width)
+        })
+        .collect();
+    Ok(SimOutcome {
+        outputs,
+        cycles: netlist.steps,
+    })
+}
+
+/// Combinational evaluation of a signal during one control step.
+///
+/// The netlist is acyclic through combinational paths (registers break every
+/// cycle), so the recursion terminates; chains are short (mux → adapter →
+/// register), so no memoisation is needed.
+fn eval(netlist: &Netlist, inputs: &[i64], regs: &[i64], step: Cycles, signal: Signal) -> i64 {
+    match signal {
+        Signal::Input(i) => inputs[i],
+        Signal::Register(r) => regs[r],
+        Signal::Adapter(a) => {
+            let ad = &netlist.adapters[a];
+            adapt_width(
+                eval(netlist, inputs, regs, step, ad.source),
+                ad.from_width,
+                ad.to_width,
+            )
+        }
+        Signal::FuOutput(f) => {
+            let fu = &netlist.fus[f];
+            let a = port_value(netlist, inputs, regs, step, f, 0);
+            let b = port_value(netlist, inputs, regs, step, f, 1);
+            let mode = fu.active_at(step).map_or(FuMode::Add, |act| act.mode);
+            match mode {
+                FuMode::Add => wrap_to_width(a.wrapping_add(b), fu.out_width),
+                FuMode::Sub => wrap_to_width(a.wrapping_sub(b), fu.out_width),
+                FuMode::Mul => wrap_i128_to_width(i128::from(a) * i128::from(b), fu.out_width),
+            }
+        }
+    }
+}
+
+/// The value steered onto a functional-unit operand port during one step
+/// (zero when the unit is idle).
+fn port_value(
+    netlist: &Netlist,
+    inputs: &[i64],
+    regs: &[i64],
+    step: Cycles,
+    fu: usize,
+    port: usize,
+) -> i64 {
+    let mux = netlist.mux(fu, port);
+    match mux.selected_at(step) {
+        Some(arm) => eval(netlist, inputs, regs, step, arm.source),
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_datapath;
+    use mwl_core::{AllocConfig, DpAllocator};
+    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+
+    /// (x0 * x1) + (x2 * x3), then minus x4: widths small enough to check by
+    /// hand.
+    fn lowered() -> (Netlist, usize) {
+        let mut b = SequencingGraphBuilder::new();
+        let m = b.add_operation(OpShape::multiplier(8, 8));
+        let n = b.add_operation(OpShape::multiplier(8, 8));
+        let a = b.add_operation(OpShape::adder(16));
+        let s = b.add_operation(OpShape::subtractor(16));
+        b.add_dependency(m, a).unwrap();
+        b.add_dependency(n, a).unwrap();
+        b.add_dependency(a, s).unwrap();
+        let g = b.build().unwrap();
+        let cost = SonicCostModel::default();
+        let dp = DpAllocator::new(&cost, AllocConfig::new(30))
+            .allocate(&g)
+            .unwrap();
+        let netlist = lower_datapath(&g, &dp, &cost, "dut").unwrap();
+        let n_inputs = netlist.inputs.len();
+        (netlist, n_inputs)
+    }
+
+    #[test]
+    fn computes_the_dataflow_function() {
+        let (netlist, n_inputs) = lowered();
+        assert_eq!(n_inputs, 5);
+        // (3 * 4) + (5 * 6) - 7 = 35.
+        let out = simulate(&netlist, &[3, 4, 5, 6, 7]).unwrap();
+        assert_eq!(out.outputs, vec![35]);
+        assert_eq!(out.cycles, netlist.steps);
+        // Negative operands exercise sign-extension through the adapters.
+        let out = simulate(&netlist, &[-3, 4, 5, -6, -7]).unwrap();
+        assert_eq!(out.outputs, vec![-12 - 30 + 7]);
+    }
+
+    #[test]
+    fn overflow_wraps_at_the_result_width() {
+        let (netlist, _) = lowered();
+        // 127 * 127 = 16129; 16129 + 16129 = 32258 still fits 16 bits.
+        let out = simulate(&netlist, &[127, 127, 127, 127, 0]).unwrap();
+        assert_eq!(out.outputs, vec![32258]);
+        // Subtracting -32768 pushes the 16-bit subtractor past its maximum:
+        // 32258 + 32768 = 65026 wraps to 65026 - 65536 = -510.
+        let out = simulate(&netlist, &[127, 127, 127, 127, -32768]).unwrap();
+        assert_eq!(out.outputs, vec![-510]);
+    }
+
+    #[test]
+    fn stimulus_is_wrapped_to_the_input_width() {
+        let (netlist, _) = lowered();
+        // 128 wraps to -128 in the 8-bit input port.
+        let a = simulate(&netlist, &[128, 1, 0, 0, 0]).unwrap();
+        let b = simulate(&netlist, &[-128, 1, 0, 0, 0]).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn wrong_vector_length_is_rejected() {
+        let (netlist, n_inputs) = lowered();
+        let err = simulate(&netlist, &[1, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            RtlError::InputCountMismatch {
+                expected: n_inputs,
+                actual: 2
+            }
+        );
+    }
+}

@@ -11,55 +11,15 @@
 //! Run with: `cargo run --release --example fir_filter`
 
 use mwl::prelude::*;
-
-/// Builds a direct-form FIR filter: y = Σ c_i · x_{n-i}, with an adder tree.
-fn build_fir(tap_wordlengths: &[(u32, u32)], accumulator_width: u32) -> SequencingGraph {
-    let mut builder = SequencingGraphBuilder::new();
-    let products: Vec<OpId> = tap_wordlengths
-        .iter()
-        .enumerate()
-        .map(|(i, &(coeff, data))| {
-            builder.add_named_operation(OpShape::multiplier(coeff, data), format!("tap{i}"))
-        })
-        .collect();
-    // Balanced adder tree over the products.
-    let mut level: Vec<OpId> = products;
-    let mut adder_index = 0;
-    while level.len() > 1 {
-        let mut next = Vec::new();
-        for pair in level.chunks(2) {
-            if pair.len() == 2 {
-                let sum = builder.add_named_operation(
-                    OpShape::adder(accumulator_width),
-                    format!("acc{adder_index}"),
-                );
-                adder_index += 1;
-                builder.add_dependency(pair[0], sum).expect("acyclic");
-                builder.add_dependency(pair[1], sum).expect("acyclic");
-                next.push(sum);
-            } else {
-                next.push(pair[0]);
-            }
-        }
-        level = next;
-    }
-    builder.build().expect("non-empty")
-}
+use mwl::workloads::{fir_graph, FIR8_TAPS};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Coefficient/data wordlengths as a wordlength-optimisation tool would
     // assign them: the outer taps need far fewer bits than the centre taps.
-    let taps = [
-        (4, 10),
-        (6, 10),
-        (9, 12),
-        (14, 14),
-        (14, 14),
-        (9, 12),
-        (6, 10),
-        (4, 10),
-    ];
-    let graph = build_fir(&taps, 16);
+    // The builder is shared with tests/rtl_golden.rs so the Verilog golden
+    // file and this example cannot drift apart.
+    let taps = FIR8_TAPS;
+    let graph = fir_graph(&taps, 16)?;
     println!(
         "8-tap FIR filter: {} operations ({} multiplications, {} additions)\n",
         graph.len(),
@@ -93,5 +53,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lambda = lambda_min + lambda_min / 2;
     let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda)).allocate(&graph)?;
     println!("\nbinding at lambda = {lambda}:\n{datapath}");
+
+    // Lower the allocated datapath to a structural netlist, verify it
+    // bit-exactly against the reference fixed-point evaluation, and emit
+    // the design as synthesisable Verilog-2001.
+    let vectors = random_vectors(&graph, 2001, 16);
+    let equivalence = check_equivalence(&graph, &datapath, &cost, &vectors)?;
+    let netlist = lower_datapath(&graph, &datapath, &cost, "fir8")?;
+    println!(
+        "netlist: {} bit-true vectors checked, FU area {} (= datapath area), \
+         {} registers ({} bits), {} mux arms, {} width adapters",
+        equivalence.vectors,
+        equivalence.netlist_area,
+        equivalence.stats.registers,
+        equivalence.stats.register_bits,
+        equivalence.stats.mux_arms,
+        equivalence.stats.adapters,
+    );
+
+    let verilog = emit_verilog(&netlist);
+    let first_lines: Vec<&str> = verilog.lines().take(12).collect();
+    println!("\nemitted Verilog (head):\n{}\n...", first_lines.join("\n"));
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/fir_filter.v", &verilog)?;
+    println!("full module written to results/fir_filter.v");
     Ok(())
 }

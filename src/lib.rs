@@ -398,15 +398,171 @@ pub mod tgff {
 /// let report = run_batch(&jobs, &cost, &BatchOptions::default());
 /// assert_eq!(report.summary().succeeded, 3);
 ///
-/// // Outcomes come back in submission order and respect their budgets.
+/// // Outcomes come back in submission order and respect their budgets;
+/// // each carries a `JobStats` and the whole batch aggregates into a
+/// // `BatchSummary` (both re-exported via `mwl::prelude`).
 /// for (o, pct) in report.outcomes.iter().zip([0u32, 15, 30]) {
 ///     assert_eq!(o.label, format!("relax+{pct}%"));
-///     let stats = o.result.as_ref().unwrap();
+///     let stats: &JobStats = o.result.as_ref().unwrap();
 ///     assert!(stats.latency <= stats.lambda);
+///     // No job opted into the RTL oracle, so no check ran.
+///     assert!(stats.rtl.is_none());
 /// }
+/// let summary: BatchSummary = report.summary();
+/// assert_eq!(summary.succeeded, 3);
+/// assert_eq!(summary.rtl_checked, 0);
+/// ```
+///
+/// Opting a job into the RTL equivalence oracle attaches an
+/// [`RtlCheck`](mwl_driver::RtlCheck) (also in the prelude) to its stats:
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// let mut generator = TgffGenerator::new(TgffConfig::with_ops(8), 21);
+/// let job = BatchJob::new("checked", generator.generate(), LatencySpec::RelaxSteps(2))
+///     .with_rtl_check(true);
+/// let cost = SonicCostModel::default();
+/// let report = run_batch(&[job], &cost, &BatchOptions::sequential().with_rtl_vectors(2));
+/// let rtl: &RtlCheck = report.outcomes[0]
+///     .result
+///     .as_ref()
+///     .unwrap()
+///     .rtl
+///     .as_ref()
+///     .unwrap();
+/// assert!(rtl.passed);
+/// assert_eq!(rtl.vectors, 2);
+/// assert_eq!(report.summary().rtl_passed, 1);
 /// ```
 pub mod driver {
     pub use mwl_driver::*;
+}
+
+/// RTL backend: structural netlist lowering, cycle-accurate bit-true
+/// simulation and Verilog-2001 emission of allocated datapaths.
+///
+/// The allocator stops at an abstract schedule + binding; this backend
+/// produces the hardware the paper is actually about — shared functional
+/// units behind steering muxes, lifetime-shared result registers, explicit
+/// sign-extend/truncate width adapters and an FSM controller — and proves
+/// the implementation faithful by simulating it cycle by cycle against a
+/// reference fixed-point evaluation of the source graph.
+///
+/// # Examples
+///
+/// Allocate a multiply-accumulate kernel, verify the netlist bit-exactly
+/// and emit synthesisable Verilog:
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut builder = SequencingGraphBuilder::new();
+/// let m1 = builder.add_named_operation(OpShape::multiplier(8, 8), "m1");
+/// let m2 = builder.add_named_operation(OpShape::multiplier(12, 10), "m2");
+/// let a1 = builder.add_named_operation(OpShape::adder(24), "a1");
+/// builder.add_dependency(m1, a1)?;
+/// builder.add_dependency(m2, a1)?;
+/// let graph = builder.build()?;
+///
+/// let cost = SonicCostModel::default();
+/// let datapath = DpAllocator::new(&cost, AllocConfig::new(12)).allocate(&graph)?;
+///
+/// // Bit-true equivalence oracle: netlist simulation vs reference
+/// // fixed-point evaluation, plus the area cross-check.
+/// let vectors = random_vectors(&graph, 42, 8);
+/// let report = check_equivalence(&graph, &datapath, &cost, &vectors)?;
+/// assert_eq!(report.netlist_area, datapath.area());
+///
+/// // Inspect the structural netlist and print it as Verilog-2001.
+/// let netlist = lower_datapath(&graph, &datapath, &cost, "mac")?;
+/// assert_eq!(netlist.fus.len(), datapath.num_instances());
+/// let verilog = emit_verilog(&netlist);
+/// assert!(verilog.contains("module mac ("));
+/// assert!(verilog.trim_end().ends_with("endmodule"));
+/// # Ok(())
+/// # }
+/// ```
+pub mod rtl {
+    pub use mwl_rtl::*;
+}
+
+/// Reference workloads shared by the examples, integration tests and
+/// golden-file regressions.
+pub mod workloads {
+    use mwl_model::{ModelError, OpId, OpShape, SequencingGraph, SequencingGraphBuilder};
+
+    /// Builds a direct-form FIR filter `y = Σ c_i · x_{n-i}`: one
+    /// multiplication per tap at its `(coefficient, data)` wordlengths,
+    /// summed by a balanced tree of `accumulator_width`-bit adders.
+    ///
+    /// This is the workload of `examples/fir_filter.rs` and of the Verilog
+    /// golden test (`tests/rtl_golden.rs`); keeping it in one place keeps
+    /// the two from drifting apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] when `taps` is empty or a wordlength is out
+    /// of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let graph = mwl::workloads::fir_graph(&[(4, 10), (9, 12)], 16)?;
+    /// assert_eq!(graph.len(), 3); // two taps + one adder
+    /// assert_eq!(graph.sinks().len(), 1);
+    /// # Ok::<(), mwl::model::ModelError>(())
+    /// ```
+    pub fn fir_graph(
+        taps: &[(u32, u32)],
+        accumulator_width: u32,
+    ) -> Result<SequencingGraph, ModelError> {
+        let mut builder = SequencingGraphBuilder::new();
+        let products: Vec<OpId> = taps
+            .iter()
+            .enumerate()
+            .map(|(i, &(coeff, data))| {
+                builder.add_named_operation(OpShape::multiplier(coeff, data), format!("tap{i}"))
+            })
+            .collect();
+        // Balanced adder tree over the products.
+        let mut level = products;
+        let mut adder_index = 0;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    let sum = builder.add_named_operation(
+                        OpShape::adder(accumulator_width),
+                        format!("acc{adder_index}"),
+                    );
+                    adder_index += 1;
+                    builder.add_dependency(pair[0], sum)?;
+                    builder.add_dependency(pair[1], sum)?;
+                    next.push(sum);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        builder.build()
+    }
+
+    /// The 8-tap coefficient/data wordlengths used by the FIR example and
+    /// the Verilog golden test: outer taps need far fewer bits than the
+    /// centre taps, as a wordlength-optimisation tool would assign.
+    pub const FIR8_TAPS: [(u32, u32); 8] = [
+        (4, 10),
+        (6, 10),
+        (9, 12),
+        (14, 14),
+        (14, 14),
+        (9, 12),
+        (6, 10),
+        (4, 10),
+    ];
 }
 
 /// The most commonly used items in one import.
@@ -414,14 +570,21 @@ pub mod prelude {
     pub use mwl_baselines::{SortedCliqueAllocator, TwoStageAllocator, UniformWordlengthAllocator};
     pub use mwl_core::{
         merge_instances, AllocConfig, AllocError, CachedCostModel, Datapath, DpAllocator,
-        MergeStats, ResourceInstance,
+        MergeStats, ResourceInstance, ValueLifetime,
     };
-    pub use mwl_driver::{run_batch, BatchJob, BatchOptions, BatchReport, JobOutcome, LatencySpec};
+    pub use mwl_driver::{
+        run_batch, BatchJob, BatchOptions, BatchReport, BatchSummary, JobOutcome, JobStats,
+        LatencySpec, RtlCheck,
+    };
     pub use mwl_model::{
         CostModel, Cycles, OpId, OpKind, OpShape, Operation, ResourceClass, ResourceType,
         SequencingGraph, SequencingGraphBuilder, SonicCostModel,
     };
     pub use mwl_optimal::{ExhaustiveAllocator, IlpAllocator};
+    pub use mwl_rtl::{
+        check_equivalence, emit_verilog, evaluate_reference, lower_datapath, random_vectors,
+        simulate, EquivalenceReport, Netlist, NetlistStats, RtlError,
+    };
     pub use mwl_sched::{asap, critical_path_length, OpLatencies, Schedule};
     pub use mwl_tgff::{TgffConfig, TgffGenerator};
     pub use mwl_wcg::WordlengthCompatibilityGraph;

@@ -1,0 +1,269 @@
+// Structural multiple-wordlength datapath, emitted by mwl_rtl.
+// 14 control steps, 6 functional units, 6 registers (111 bits),
+// 30 mux arms, 3 width adapters.
+// Protocol: hold rst high for one cycle, then present the primary
+// inputs and keep them stable for 14 cycles; the outputs are valid
+// once the step counter reaches 14.
+module fir8 (
+  input  wire clk,
+  input  wire rst,
+  input  wire signed [9:0] in0_o0_p0,
+  input  wire signed [3:0] in1_o0_p1,
+  input  wire signed [9:0] in2_o1_p0,
+  input  wire signed [5:0] in3_o1_p1,
+  input  wire signed [11:0] in4_o2_p0,
+  input  wire signed [8:0] in5_o2_p1,
+  input  wire signed [13:0] in6_o3_p0,
+  input  wire signed [13:0] in7_o3_p1,
+  input  wire signed [13:0] in8_o4_p0,
+  input  wire signed [13:0] in9_o4_p1,
+  input  wire signed [11:0] in10_o5_p0,
+  input  wire signed [8:0] in11_o5_p1,
+  input  wire signed [9:0] in12_o6_p0,
+  input  wire signed [5:0] in13_o6_p1,
+  input  wire signed [9:0] in14_o7_p0,
+  input  wire signed [3:0] in15_o7_p1,
+  output wire signed [15:0] out0_o14
+);
+
+  // Controller FSM: step counter 0..14.
+  reg [3:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 4'd0;
+    else if (step < 4'd14) step <= step + 4'd1;
+  end
+
+  // Result registers (lifetime-shared).
+  reg signed [13:0] r0_w14;
+  reg signed [15:0] r1_w16;
+  reg signed [15:0] r2_w16;
+  reg signed [15:0] r3_w16;
+  reg signed [20:0] r4_w21;
+  reg signed [27:0] r5_w28;
+
+  // Operand muxes and functional-unit outputs.
+  reg signed [15:0] fu0_opa;
+  reg signed [15:0] fu0_opb;
+  reg signed [15:0] fu1_opa;
+  reg signed [15:0] fu1_opb;
+  reg signed [9:0] fu2_opa;
+  reg signed [3:0] fu2_opb;
+  reg signed [13:0] fu3_opa;
+  reg signed [13:0] fu3_opb;
+  reg signed [11:0] fu4_opa;
+  reg signed [8:0] fu4_opb;
+  reg signed [9:0] fu5_opa;
+  reg signed [5:0] fu5_opb;
+  wire signed [15:0] fu0_add16_y;
+  reg fu0_add16_sub;
+  wire signed [15:0] fu1_add16_y;
+  reg fu1_add16_sub;
+  wire signed [13:0] fu2_mul10x4_y;
+  wire signed [27:0] fu3_mul14x14_y;
+  wire signed [20:0] fu4_mul12x9_y;
+  wire signed [15:0] fu5_mul10x6_y;
+
+  // Width adapters: sign-extension on widening, truncation on narrowing.
+  wire signed [15:0] ad0_14to16 = {{2{r0_w14[13]}}, r0_w14};
+  wire signed [15:0] ad1_21to16 = r4_w21[15:0];
+  wire signed [15:0] ad2_28to16 = r5_w28[15:0];
+
+  // Operand port a of fu0_add16.
+  always @* begin
+    case (step)
+      4'd2, 4'd3: fu0_opa = ad0_14to16; // o8
+      4'd4, 4'd5: fu0_opa = r1_w16; // o11
+      4'd8, 4'd9: fu0_opa = ad2_28to16; // o10
+      4'd10, 4'd11: fu0_opa = r2_w16; // o13
+      4'd12, 4'd13: fu0_opa = r1_w16; // o14
+      default: fu0_opa = {16{1'b0}};
+    endcase
+  end
+
+  // Operand port b of fu0_add16.
+  always @* begin
+    case (step)
+      4'd2, 4'd3: fu0_opb = r1_w16; // o8
+      4'd4, 4'd5: fu0_opb = ad0_14to16; // o11
+      4'd8, 4'd9: fu0_opb = ad1_21to16; // o10
+      4'd10, 4'd11: fu0_opb = r3_w16; // o13
+      4'd12, 4'd13: fu0_opb = r2_w16; // o14
+      default: fu0_opb = {16{1'b0}};
+    endcase
+  end
+
+  // Operand port a of fu1_add16.
+  always @* begin
+    case (step)
+      4'd4, 4'd5: fu1_opa = ad1_21to16; // o9
+      4'd6, 4'd7: fu1_opa = r2_w16; // o12
+      default: fu1_opa = {16{1'b0}};
+    endcase
+  end
+
+  // Operand port b of fu1_add16.
+  always @* begin
+    case (step)
+      4'd4, 4'd5: fu1_opb = ad2_28to16; // o9
+      4'd6, 4'd7: fu1_opb = r1_w16; // o12
+      default: fu1_opb = {16{1'b0}};
+    endcase
+  end
+
+  // Operand port a of fu2_mul10x4.
+  always @* begin
+    case (step)
+      4'd0, 4'd1: fu2_opa = in0_o0_p0; // o0
+      4'd2, 4'd3: fu2_opa = in14_o7_p0; // o7
+      default: fu2_opa = {10{1'b0}};
+    endcase
+  end
+
+  // Operand port b of fu2_mul10x4.
+  always @* begin
+    case (step)
+      4'd0, 4'd1: fu2_opb = in1_o0_p1; // o0
+      4'd2, 4'd3: fu2_opb = in15_o7_p1; // o7
+      default: fu2_opb = {4{1'b0}};
+    endcase
+  end
+
+  // Operand port a of fu3_mul14x14.
+  always @* begin
+    case (step)
+      4'd0, 4'd1, 4'd2, 4'd3: fu3_opa = in6_o3_p0; // o3
+      4'd4, 4'd5, 4'd6, 4'd7: fu3_opa = in8_o4_p0; // o4
+      default: fu3_opa = {14{1'b0}};
+    endcase
+  end
+
+  // Operand port b of fu3_mul14x14.
+  always @* begin
+    case (step)
+      4'd0, 4'd1, 4'd2, 4'd3: fu3_opb = in7_o3_p1; // o3
+      4'd4, 4'd5, 4'd6, 4'd7: fu3_opb = in9_o4_p1; // o4
+      default: fu3_opb = {14{1'b0}};
+    endcase
+  end
+
+  // Operand port a of fu4_mul12x9.
+  always @* begin
+    case (step)
+      4'd0, 4'd1, 4'd2: fu4_opa = in4_o2_p0; // o2
+      4'd3, 4'd4, 4'd5: fu4_opa = in10_o5_p0; // o5
+      default: fu4_opa = {12{1'b0}};
+    endcase
+  end
+
+  // Operand port b of fu4_mul12x9.
+  always @* begin
+    case (step)
+      4'd0, 4'd1, 4'd2: fu4_opb = in5_o2_p1; // o2
+      4'd3, 4'd4, 4'd5: fu4_opb = in11_o5_p1; // o5
+      default: fu4_opb = {9{1'b0}};
+    endcase
+  end
+
+  // Operand port a of fu5_mul10x6.
+  always @* begin
+    case (step)
+      4'd0, 4'd1: fu5_opa = in2_o1_p0; // o1
+      4'd2, 4'd3: fu5_opa = in12_o6_p0; // o6
+      default: fu5_opa = {10{1'b0}};
+    endcase
+  end
+
+  // Operand port b of fu5_mul10x6.
+  always @* begin
+    case (step)
+      4'd0, 4'd1: fu5_opb = in3_o1_p1; // o1
+      4'd2, 4'd3: fu5_opb = in13_o6_p1; // o6
+      default: fu5_opb = {6{1'b0}};
+    endcase
+  end
+
+  // fu0_add16: 16-bit adder.
+  always @* begin
+    case (step)
+      default: fu0_add16_sub = 1'b0;
+    endcase
+  end
+  assign fu0_add16_y = fu0_add16_sub ? (fu0_opa - fu0_opb) : (fu0_opa + fu0_opb);
+
+  // fu1_add16: 16-bit adder.
+  always @* begin
+    case (step)
+      default: fu1_add16_sub = 1'b0;
+    endcase
+  end
+  assign fu1_add16_y = fu1_add16_sub ? (fu1_opa - fu1_opb) : (fu1_opa + fu1_opb);
+
+  // fu2_mul10x4: 10x4-bit multiplier.
+  assign fu2_mul10x4_y = fu2_opa * fu2_opb;
+
+  // fu3_mul14x14: 14x14-bit multiplier.
+  assign fu3_mul14x14_y = fu3_opa * fu3_opb;
+
+  // fu4_mul12x9: 12x9-bit multiplier.
+  assign fu4_mul12x9_y = fu4_opa * fu4_opb;
+
+  // fu5_mul10x6: 10x6-bit multiplier.
+  assign fu5_mul10x6_y = fu5_opa * fu5_opb;
+
+  // Synchronous result registers.
+  always @(posedge clk) begin
+    if (rst) r0_w14 <= {14{1'b0}};
+    else case (step)
+      4'd1: r0_w14 <= fu2_mul10x4_y; // o0
+      4'd3: r0_w14 <= fu2_mul10x4_y; // o7
+      default: r0_w14 <= r0_w14;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (rst) r1_w16 <= {16{1'b0}};
+    else case (step)
+      4'd1: r1_w16 <= fu5_mul10x6_y; // o1
+      4'd3: r1_w16 <= fu5_mul10x6_y; // o6
+      4'd5: r1_w16 <= fu1_add16_y; // o9
+      4'd7: r1_w16 <= fu1_add16_y; // o12
+      4'd13: r1_w16 <= fu0_add16_y; // o14
+      default: r1_w16 <= r1_w16;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (rst) r2_w16 <= {16{1'b0}};
+    else case (step)
+      4'd3: r2_w16 <= fu0_add16_y; // o8
+      4'd9: r2_w16 <= fu0_add16_y; // o10
+      4'd11: r2_w16 <= fu0_add16_y; // o13
+      default: r2_w16 <= r2_w16;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (rst) r3_w16 <= {16{1'b0}};
+    else case (step)
+      4'd5: r3_w16 <= fu0_add16_y; // o11
+      default: r3_w16 <= r3_w16;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (rst) r4_w21 <= {21{1'b0}};
+    else case (step)
+      4'd2: r4_w21 <= fu4_mul12x9_y; // o2
+      4'd5: r4_w21 <= fu4_mul12x9_y; // o5
+      default: r4_w21 <= r4_w21;
+    endcase
+  end
+  always @(posedge clk) begin
+    if (rst) r5_w28 <= {28{1'b0}};
+    else case (step)
+      4'd3: r5_w28 <= fu3_mul14x14_y; // o3
+      4'd7: r5_w28 <= fu3_mul14x14_y; // o4
+      default: r5_w28 <= r5_w28;
+    endcase
+  end
+
+  // Primary outputs (sink operation values).
+  assign out0_o14 = r1_w16; // o14
+
+endmodule

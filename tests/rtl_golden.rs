@@ -1,0 +1,42 @@
+//! Golden-file regression: the Verilog emitted for the 8-tap FIR example is
+//! byte-stable.
+//!
+//! The FIR workload is `mwl::workloads::fir_graph(&FIR8_TAPS, 16)` — the
+//! same shared builder, taps, accumulator width and relaxed latency budget
+//! as `examples/fir_filter.rs` — so the golden file pins the entire
+//! allocate → lower → emit pipeline: an unintended change to the
+//! allocator's deterministic choices, the lowering's cell naming or the
+//! emitter's formatting shows up as a diff against
+//! `tests/golden/fir_filter.v`.
+//!
+//! To regenerate after an *intended* change:
+//! `cargo run --example fir_filter && cp results/fir_filter.v tests/golden/`
+
+use mwl::prelude::*;
+use mwl::workloads::{fir_graph, FIR8_TAPS};
+
+#[test]
+fn fir_verilog_matches_golden_file() {
+    let graph = fir_graph(&FIR8_TAPS, 16).expect("valid workload");
+    let cost = SonicCostModel::default();
+    let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+    let lambda_min = critical_path_length(&graph, &native);
+    let lambda = lambda_min + lambda_min / 2;
+    let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+        .allocate(&graph)
+        .expect("achievable budget");
+
+    // The datapath itself must also be bit-true before we pin its text.
+    let vectors = random_vectors(&graph, 2001, 16);
+    check_equivalence(&graph, &datapath, &cost, &vectors).expect("bit-true");
+
+    let netlist = lower_datapath(&graph, &datapath, &cost, "fir8").expect("lowerable");
+    let emitted = emit_verilog(&netlist);
+    let golden = include_str!("golden/fir_filter.v");
+    assert_eq!(
+        emitted, golden,
+        "emitted Verilog diverged from tests/golden/fir_filter.v; if the \
+         change is intended, regenerate with `cargo run --example fir_filter \
+         && cp results/fir_filter.v tests/golden/`"
+    );
+}
