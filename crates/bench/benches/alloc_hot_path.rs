@@ -1,0 +1,46 @@
+//! Criterion bench of the single-graph allocation hot path: the optimized
+//! scratch-reusing `DPAlloc` loop vs the frozen pre-optimization reference
+//! (`mwl_core::reference`), across problem sizes and budget tightness.
+//!
+//! Run with `cargo bench -p mwl_bench --bench alloc_hot_path`.  The
+//! committed trajectory lives in `BENCH_alloc.json` (see the `perf_gate`
+//! binary); this bench is the fine-grained local view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_core::{reference, AllocConfig, AllocScratch, CachedCostModel, DpAllocator};
+use mwl_model::{CostModel, SonicCostModel};
+use mwl_sched::{critical_path_length, OpLatencies};
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_hot_path(c: &mut Criterion) {
+    let inner = SonicCostModel::default();
+    let mut group = c.benchmark_group("alloc_hot_path");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for &(ops, slack) in &[(8usize, 0u32), (8, 8), (16, 0), (16, 8), (24, 4)] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 271).generate();
+        let native = OpLatencies::from_fn(&graph, |op| inner.native_latency(op.shape()));
+        let lambda = critical_path_length(&graph, &native) + slack;
+        let mut cache = CachedCostModel::new(&inner);
+        cache.warm_graph(&graph);
+        let label = format!("{ops}ops_slack{slack}");
+
+        let mut scratch = AllocScratch::new();
+        group.bench_with_input(BenchmarkId::new("optimized", &label), &lambda, |b, &l| {
+            b.iter(|| {
+                DpAllocator::new(&cache, AllocConfig::new(l))
+                    .allocate_with_scratch(&graph, &mut scratch)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", &label), &lambda, |b, &l| {
+            b.iter(|| reference::allocate_with_stats(&cache, &AllocConfig::new(l), &graph).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! | Figure 5 — execution time vs `|O|` for heuristic and ILP | [`run_fig5`] | `fig5` |
 //! | Table 2 — execution time vs `λ/λ_min` for 9-operation graphs | [`run_table2`] | `table2` |
 //! | Batch throughput over the TGFF + scenario families (beyond the paper) | [`run_batch_sweep`] | `batch_sweep` |
+//! | Allocation hot-path perf gate: optimized vs frozen reference, bit-identity, committed `BENCH_alloc.json` | [`run_perf_gate`] | `perf_gate` |
 //!
 //! The paper runs 200 random graphs per data point on a Pentium III 450;
 //! [`SweepConfig::paper`] reproduces those counts, while
@@ -33,6 +34,7 @@ mod batch;
 mod fig3;
 mod fig4;
 mod fig5;
+mod perf;
 mod sweep;
 mod table2;
 
@@ -43,5 +45,9 @@ pub use batch::{
 pub use fig3::{run_fig3, Fig3Cell, Fig3Config, Fig3Results};
 pub use fig4::{run_fig4, Fig4Config, Fig4Results, Fig4Row};
 pub use fig5::{run_fig5, Fig5Config, Fig5Results, Fig5Row};
+pub use perf::{
+    run_perf_gate, MultiCoreStatus, PerfGateConfig, PerfGateResults, WorkerRow, MULTI_CORE_TARGET,
+    SINGLE_THREAD_TARGET,
+};
 pub use sweep::{lambda_min, relax_constraint, SweepConfig};
 pub use table2::{run_table2, Table2Config, Table2Results, Table2Row};

@@ -1,0 +1,396 @@
+//! The allocation **perf gate**: the committed performance trajectory of the
+//! single-graph hot path.
+//!
+//! Measures single-thread allocation throughput (graphs per second) of the
+//! optimized allocator against the frozen pre-optimization implementation
+//! ([`mwl_core::reference`]) on the `batch_sweep` scenario mix, verifies the
+//! two are **bit-identical** (merging on and off), measures the batch driver
+//! at several worker counts (verifying report identity), and writes a
+//! schema-stable `BENCH_alloc.json` — committed at the repository root,
+//! unlike the gitignored `results/` artifacts — so every future PR has a
+//! trajectory to beat.
+//!
+//! The multi-core section records the machine's core count and the
+//! 4-worker/1-worker speedup; on machines with fewer than 4 cores the ≥2×
+//! check is *skipped, not failed* (the ROADMAP multi-core item), so the gate
+//! stays green in single-core containers while the claim is re-checked
+//! automatically the moment CI lands on real hardware.
+
+use std::time::Instant;
+
+use mwl_core::{reference, AllocError, AllocOutcome, AllocScratch, CachedCostModel, DpAllocator};
+use mwl_driver::{run_batch, BatchJob, BatchOptions};
+use mwl_model::SonicCostModel;
+
+use crate::batch::{scenario_jobs, BatchSweepConfig};
+
+/// Required single-thread speedup of the optimized allocator over the frozen
+/// reference (the PR's headline acceptance criterion).
+pub const SINGLE_THREAD_TARGET: f64 = 3.0;
+
+/// Required 4-worker speedup over 1 worker on a ≥4-core machine.
+pub const MULTI_CORE_TARGET: f64 = 2.0;
+
+/// Parameters of one perf-gate run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfGateConfig {
+    /// The scenario mix (the same generator as `batch_sweep`).
+    pub sweep: BatchSweepConfig,
+    /// Label recorded in the JSON (`"batch_sweep_smoke"` / `"batch_sweep_quick"`).
+    pub scenario: &'static str,
+    /// Timing repetitions per measurement; the fastest repetition is kept.
+    pub repetitions: usize,
+    /// Worker counts measured through the batch driver.
+    pub worker_counts: Vec<usize>,
+}
+
+impl PerfGateConfig {
+    /// The CI configuration: the `batch_sweep --smoke` scenario mix at
+    /// 1/2/4 workers.
+    #[must_use]
+    pub fn smoke() -> Self {
+        PerfGateConfig {
+            sweep: BatchSweepConfig::smoke(),
+            scenario: "batch_sweep_smoke",
+            repetitions: 5,
+            worker_counts: vec![1, 2, 4],
+        }
+    }
+
+    /// A longer mix for stabler local numbers.
+    #[must_use]
+    pub fn quick() -> Self {
+        PerfGateConfig {
+            sweep: BatchSweepConfig::quick(),
+            scenario: "batch_sweep_quick",
+            repetitions: 3,
+            worker_counts: vec![1, 2, 4],
+        }
+    }
+}
+
+/// One measured worker count (driver throughput).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerRow {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds of the fastest repetition.
+    pub seconds: f64,
+    /// Jobs solved per second.
+    pub graphs_per_sec: f64,
+    /// Whether the report was bit-identical to the 1-worker reference run.
+    pub identical: bool,
+}
+
+/// Outcome of the ≥2× @ 4-worker multi-core check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiCoreStatus {
+    /// Achieved the target speedup on a ≥4-core machine.
+    Ok,
+    /// A ≥4-core machine missed the target.
+    BelowTarget,
+    /// Fewer than 4 cores available: skipped, not failed.
+    Skipped,
+}
+
+impl MultiCoreStatus {
+    fn as_str(&self) -> &'static str {
+        match self {
+            MultiCoreStatus::Ok => "ok",
+            MultiCoreStatus::BelowTarget => "below_target",
+            MultiCoreStatus::Skipped => "skipped_few_cores",
+        }
+    }
+}
+
+/// Full results of a perf-gate run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfGateResults {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Jobs in the mix.
+    pub jobs: usize,
+    /// Hardware threads visible to the process.
+    pub cores: usize,
+    /// Timing repetitions per measurement.
+    pub repetitions: usize,
+    /// Frozen-reference single-thread throughput, graphs/sec.
+    pub reference_graphs_per_sec: f64,
+    /// Optimized single-thread throughput, graphs/sec.
+    pub optimized_graphs_per_sec: f64,
+    /// `optimized / reference`.
+    pub speedup: f64,
+    /// Optimized results equal the reference bit for bit, merging enabled.
+    pub identical_merging_on: bool,
+    /// Same with the merging pass disabled.
+    pub identical_merging_off: bool,
+    /// Driver throughput per worker count (`identical` vs the 1-worker run).
+    pub workers: Vec<WorkerRow>,
+    /// 4-worker/1-worker speedup when measured.
+    pub multi_core_speedup: Option<f64>,
+    /// Status of the multi-core check.
+    pub multi_core_status: MultiCoreStatus,
+}
+
+impl PerfGateResults {
+    /// Whether every identity check passed (the hard gate).
+    #[must_use]
+    pub fn all_identical(&self) -> bool {
+        self.identical_merging_on
+            && self.identical_merging_off
+            && self.workers.iter().all(|w| w.identical)
+    }
+
+    /// Whether the single-thread speedup meets [`SINGLE_THREAD_TARGET`].
+    #[must_use]
+    pub fn meets_single_thread_target(&self) -> bool {
+        self.speedup >= SINGLE_THREAD_TARGET
+    }
+
+    /// Renders a text table.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "Perf gate ({}, {} jobs, {} cores, best of {} reps)\n",
+            self.scenario, self.jobs, self.cores, self.repetitions
+        );
+        out.push_str(&format!(
+            "single thread: reference {:.1} graphs/s, optimized {:.1} graphs/s -> {:.2}x (target {:.1}x)\n",
+            self.reference_graphs_per_sec,
+            self.optimized_graphs_per_sec,
+            self.speedup,
+            SINGLE_THREAD_TARGET,
+        ));
+        out.push_str(&format!(
+            "bit-identical: merging on {}, merging off {}\n",
+            self.identical_merging_on, self.identical_merging_off
+        ));
+        out.push_str("workers   seconds   graphs/sec   identical\n");
+        for w in &self.workers {
+            out.push_str(&format!(
+                "{:>7} {:>9.4} {:>12.1} {:>11}\n",
+                w.workers, w.seconds, w.graphs_per_sec, w.identical
+            ));
+        }
+        out.push_str(&format!(
+            "multi-core (>= {:.0}x @ 4 workers): {}{}\n",
+            MULTI_CORE_TARGET,
+            self.multi_core_status.as_str(),
+            self.multi_core_speedup
+                .map(|s| format!(" ({s:.2}x)"))
+                .unwrap_or_default(),
+        ));
+        out
+    }
+
+    /// Renders the schema-stable `BENCH_alloc.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"mwl_perf_gate_v1\",\n");
+        out.push_str(&format!(
+            "  \"scenario\": \"{}\",\n  \"jobs\": {},\n  \"cores\": {},\n  \"repetitions\": {},\n",
+            self.scenario, self.jobs, self.cores, self.repetitions
+        ));
+        out.push_str(&format!(
+            "  \"single_thread\": {{\"reference_graphs_per_sec\": {:.3}, \"optimized_graphs_per_sec\": {:.3}, \"speedup\": {:.3}, \"target_speedup\": {SINGLE_THREAD_TARGET:.1}, \"meets_target\": {}}},\n",
+            self.reference_graphs_per_sec,
+            self.optimized_graphs_per_sec,
+            self.speedup,
+            self.meets_single_thread_target(),
+        ));
+        out.push_str(&format!(
+            "  \"bit_identical\": {{\"merging_on\": {}, \"merging_off\": {}, \"workers\": {}}},\n",
+            self.identical_merging_on,
+            self.identical_merging_off,
+            self.workers.iter().all(|w| w.identical),
+        ));
+        out.push_str("  \"throughput\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"seconds\": {:.6}, \"graphs_per_sec\": {:.3}, \"identical\": {}}}{}\n",
+                w.workers,
+                w.seconds,
+                w.graphs_per_sec,
+                w.identical,
+                if i + 1 < self.workers.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"multi_core\": {{\"target_speedup\": {MULTI_CORE_TARGET:.1}, \"at_workers\": 4, \"achieved_speedup\": {}, \"status\": \"{}\"}}\n",
+            self.multi_core_speedup
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".into()),
+            self.multi_core_status.as_str(),
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Resolved per-job allocation inputs of the mix.
+fn job_outcomes(
+    jobs: &[BatchJob],
+    cache: &CachedCostModel<'_>,
+    merging: bool,
+    optimized: bool,
+    scratch: &mut AllocScratch,
+) -> Vec<Result<AllocOutcome, AllocError>> {
+    jobs.iter()
+        .map(|job| {
+            let mut config = job.config.clone();
+            config.latency_constraint = job.latency.resolve(&job.graph, cache);
+            config.instance_merging = merging;
+            if optimized {
+                DpAllocator::new(cache, config).allocate_with_scratch(&job.graph, scratch)
+            } else {
+                reference::allocate_with_stats(cache, &config, &job.graph)
+            }
+        })
+        .collect()
+}
+
+/// Times one single-thread pass over the mix, returning the fastest
+/// repetition in seconds.
+fn time_single_thread(
+    jobs: &[BatchJob],
+    cache: &CachedCostModel<'_>,
+    repetitions: usize,
+    optimized: bool,
+) -> f64 {
+    let mut scratch = AllocScratch::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..repetitions.max(1) {
+        let started = Instant::now();
+        let outcomes = job_outcomes(jobs, cache, true, optimized, &mut scratch);
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(outcomes.len(), jobs.len());
+        best = best.min(elapsed);
+    }
+    best.max(1e-9)
+}
+
+/// Runs the full perf gate (see the module docs).
+#[must_use]
+pub fn run_perf_gate(config: &PerfGateConfig) -> PerfGateResults {
+    let cost = SonicCostModel::default();
+    let jobs = scenario_jobs(&config.sweep);
+    let mut cache = CachedCostModel::new(&cost);
+    for job in &jobs {
+        cache.warm_graph(&job.graph);
+    }
+
+    // Bit-identity, merging on and off (the hard gate).
+    let mut scratch = AllocScratch::new();
+    let identical_merging_on = job_outcomes(&jobs, &cache, true, true, &mut scratch)
+        == job_outcomes(&jobs, &cache, true, false, &mut scratch);
+    let identical_merging_off = job_outcomes(&jobs, &cache, false, true, &mut scratch)
+        == job_outcomes(&jobs, &cache, false, false, &mut scratch);
+
+    // Single-thread throughput, frozen reference vs optimized.
+    let reference_seconds = time_single_thread(&jobs, &cache, config.repetitions, false);
+    let optimized_seconds = time_single_thread(&jobs, &cache, config.repetitions, true);
+    let reference_graphs_per_sec = jobs.len() as f64 / reference_seconds;
+    let optimized_graphs_per_sec = jobs.len() as f64 / optimized_seconds;
+
+    // Driver throughput per worker count, identity-checked against the
+    // 1-worker report.
+    let reference_report = run_batch(&jobs, &cost, &BatchOptions::sequential());
+    let mut workers = Vec::new();
+    for &count in &config.worker_counts {
+        let mut best = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..config.repetitions.max(1) {
+            let started = Instant::now();
+            let report = run_batch(&jobs, &cost, &BatchOptions::with_workers(count));
+            best = best.min(started.elapsed().as_secs_f64());
+            identical &= report == reference_report;
+        }
+        let seconds = best.max(1e-9);
+        workers.push(WorkerRow {
+            workers: count,
+            seconds,
+            graphs_per_sec: jobs.len() as f64 / seconds,
+            identical,
+        });
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let gps_at = |count: usize| {
+        workers
+            .iter()
+            .find(|w| w.workers == count)
+            .map(|w| w.graphs_per_sec)
+    };
+    let multi_core_speedup = match (gps_at(1), gps_at(4)) {
+        (Some(one), Some(four)) if one > 0.0 => Some(four / one),
+        _ => None,
+    };
+    let multi_core_status = if cores < 4 {
+        MultiCoreStatus::Skipped
+    } else {
+        match multi_core_speedup {
+            Some(s) if s >= MULTI_CORE_TARGET => MultiCoreStatus::Ok,
+            _ => MultiCoreStatus::BelowTarget,
+        }
+    };
+
+    PerfGateResults {
+        scenario: config.scenario,
+        jobs: jobs.len(),
+        cores,
+        repetitions: config.repetitions,
+        reference_graphs_per_sec,
+        optimized_graphs_per_sec,
+        speedup: optimized_graphs_per_sec / reference_graphs_per_sec,
+        identical_merging_on,
+        identical_merging_off,
+        workers,
+        multi_core_speedup,
+        multi_core_status,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PerfGateConfig {
+        PerfGateConfig {
+            sweep: BatchSweepConfig::smoke().with_graphs(1),
+            scenario: "test_tiny",
+            repetitions: 1,
+            worker_counts: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn gate_reports_identity_and_positive_throughput() {
+        let results = run_perf_gate(&tiny());
+        assert!(results.all_identical());
+        assert!(results.reference_graphs_per_sec > 0.0);
+        assert!(results.optimized_graphs_per_sec > 0.0);
+        assert!(results.speedup > 0.0);
+        assert_eq!(results.workers.len(), 2);
+    }
+
+    #[test]
+    fn json_is_schema_stable() {
+        let results = run_perf_gate(&tiny());
+        let json = results.to_json();
+        for key in [
+            "\"schema\": \"mwl_perf_gate_v1\"",
+            "\"scenario\": \"test_tiny\"",
+            "\"single_thread\"",
+            "\"bit_identical\"",
+            "\"throughput\"",
+            "\"multi_core\"",
+            "\"target_speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(results.render_text().contains("graphs/s"));
+    }
+}

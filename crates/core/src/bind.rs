@@ -23,6 +23,7 @@ use mwl_wcg::WordlengthCompatibilityGraph;
 
 use crate::datapath::ResourceInstance;
 use crate::error::AllocError;
+use crate::scratch::BindScratch;
 
 /// Options controlling [`bind_select`]; the defaults follow the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,24 +57,44 @@ pub fn bind_select(
     wcg: &WordlengthCompatibilityGraph,
     options: BindSelectOptions,
 ) -> Result<Vec<ResourceInstance>, AllocError> {
+    bind_select_with_scratch(wcg, options, &mut BindScratch::default())
+}
+
+/// The scratch-reusing form of [`bind_select`] the allocator's inner loop
+/// runs once per refinement iteration (one [`crate::AllocScratch`] per
+/// driver worker).  Decisions are identical to [`bind_select`].
+pub(crate) fn bind_select_with_scratch(
+    wcg: &WordlengthCompatibilityGraph,
+    options: BindSelectOptions,
+    scratch: &mut BindScratch,
+) -> Result<Vec<ResourceInstance>, AllocError> {
     let n = wcg.num_ops();
-    let mut covered = vec![false; n];
+    let BindScratch {
+        covered,
+        chain,
+        chain_buf,
+        best_chain,
+        union,
+    } = scratch;
+    covered.clear();
+    covered.resize(n, false);
+    let mut remaining = n;
     // Selected cliques: operations + chosen resource index.
     let mut cliques: Vec<(Vec<OpId>, usize)> = Vec::new();
 
-    while covered.iter().any(|&c| !c) {
+    while remaining > 0 {
         // Find, per resource type, a maximum clique of uncovered operations
         // and keep the one with the best |p_r| / cost(r) ratio.
-        let mut best: Option<(Vec<OpId>, usize)> = None;
+        let mut best: Option<usize> = None;
         let mut best_key = (0.0f64, 0usize, u64::MAX);
         for r in 0..wcg.resources().len() {
-            let chain = wcg.max_chain(r, &covered);
-            if chain.is_empty() {
+            wcg.max_chain_into(r, covered, chain, chain_buf);
+            if chain_buf.is_empty() {
                 continue;
             }
             let area = wcg.resource_area(r).max(1);
-            let ratio = chain.len() as f64 / area as f64;
-            let key = (ratio, chain.len(), u64::MAX - area);
+            let ratio = chain_buf.len() as f64 / area as f64;
+            let key = (ratio, chain_buf.len(), u64::MAX - area);
             let better = match &best {
                 None => true,
                 Some(_) => {
@@ -84,11 +105,12 @@ pub fn bind_select(
             };
             if better {
                 best_key = key;
-                best = Some((chain, r));
+                best = Some(r);
+                std::mem::swap(best_chain, chain_buf);
             }
         }
 
-        let Some((chain, resource)) = best else {
+        let Some(resource) = best else {
             // Some operation is uncovered but no resource can execute it.
             let op = (0..n)
                 .map(|i| OpId::new(i as u32))
@@ -97,10 +119,11 @@ pub fn bind_select(
             return Err(AllocError::UncoverableOperation(op));
         };
 
-        for &op in &chain {
+        for &op in best_chain.iter() {
             covered[op.index()] = true;
         }
-        let mut new_clique = (chain, resource);
+        remaining -= best_chain.len();
+        let mut new_clique = (best_chain.clone(), resource);
 
         if options.grow_cliques {
             // Try to grow the new clique to absorb previously selected
@@ -108,15 +131,11 @@ pub fn bind_select(
             // saved).
             let mut i = 0;
             while i < cliques.len() {
-                let union: Vec<OpId> = new_clique
-                    .0
-                    .iter()
-                    .chain(cliques[i].0.iter())
-                    .copied()
-                    .collect();
+                union.clear();
+                union.extend(new_clique.0.iter().chain(cliques[i].0.iter()).copied());
                 let resource_covers_union = union.iter().all(|&o| wcg.has_edge(o, new_clique.1));
-                if resource_covers_union && wcg.is_chain(&union) {
-                    new_clique.0 = union;
+                if resource_covers_union && wcg.is_chain(union) {
+                    std::mem::swap(&mut new_clique.0, union);
                     cliques.remove(i);
                 } else {
                     i += 1;

@@ -147,48 +147,62 @@ impl<'a> CachedCostModel<'a> {
     }
 
     /// Number of queries served from the table so far.
+    ///
+    /// The counters are monotone `Relaxed` fetch-adds: they impose no
+    /// ordering on the lock-free lookup path, and per-thread tallies may
+    /// interleave arbitrarily — only the totals are meaningful.
     #[must_use]
+    #[inline]
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of queries that fell through to the wrapped model so far.
+    /// `Relaxed`, like [`hits`](Self::hits).
     #[must_use]
+    #[inline]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The per-lookup hot path: one ordered-map probe plus a relaxed counter
+    /// bump, no locks.
+    #[inline]
+    fn lookup(&self, resource: &ResourceType) -> Option<CostEntry> {
+        match self.table.get(resource) {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(*e)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 }
 
 impl CostModel for CachedCostModel<'_> {
+    #[inline]
     fn area(&self, resource: &ResourceType) -> Area {
-        match self.table.get(resource) {
-            Some(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                e.area
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.inner.area(resource)
-            }
+        match self.lookup(resource) {
+            Some(e) => e.area,
+            None => self.inner.area(resource),
         }
     }
 
+    #[inline]
     fn latency(&self, resource: &ResourceType) -> Cycles {
-        match self.table.get(resource) {
-            Some(e) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                e.latency
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.inner.latency(resource)
-            }
+        match self.lookup(resource) {
+            Some(e) => e.latency,
+            None => self.inner.latency(resource),
         }
     }
 
     // Forwarded verbatim rather than memoised: a wrapped model may override
     // the trait's default (latency of the smallest cover), and the cache must
     // answer exactly like the model it wraps.
+    #[inline]
     fn native_latency(&self, shape: mwl_model::OpShape) -> Cycles {
         self.inner.native_latency(shape)
     }
@@ -273,6 +287,38 @@ mod tests {
             cached.datapath.validate(&g, &inner).unwrap();
             assert_eq!(cache.misses(), 0, "warm_graph must cover the allocator");
         }
+    }
+
+    /// The merge pass's pruning prechecks probe the cache with synthesised
+    /// component-max types (candidate areas, merged-instance latencies for
+    /// the λ lower bound).  `warm_graph`'s width grid must cover every such
+    /// probe — a silent miss storm here would put the wrapped model back on
+    /// the hot path for exactly the queries the pruning multiplied.
+    #[test]
+    fn merge_pruning_probes_never_miss() {
+        let inner = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(14), 8086);
+        let mut scratch = crate::AllocScratch::new();
+        let mut merged_somewhere = 0usize;
+        for i in 0..8 {
+            let g = generator.generate();
+            let native = mwl_sched::OpLatencies::from_fn(&g, |op| inner.native_latency(op.shape()));
+            // Loose budgets so the merge pass (and its prechecks) fire often.
+            let lambda = mwl_sched::critical_path_length(&g, &native) + 6 + (i % 3) * 6;
+            let mut cache = CachedCostModel::new(&inner);
+            cache.warm_graph(&g);
+            let outcome = DpAllocator::new(&cache, AllocConfig::new(lambda))
+                .allocate_with_scratch(&g, &mut scratch)
+                .unwrap();
+            merged_somewhere += outcome.merges;
+            assert_eq!(
+                cache.misses(),
+                0,
+                "graph {i}: merge-pruning probes fell through the cache"
+            );
+            assert!(cache.hits() > 0);
+        }
+        assert!(merged_somewhere > 0, "the merge pass never fired");
     }
 
     #[test]

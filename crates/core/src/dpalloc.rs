@@ -12,18 +12,17 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use mwl_model::{CostModel, Cycles, ResourceClass, SequencingGraph};
-use mwl_sched::{
-    critical_path_length, scheduling_set, ListScheduler, OpLatencies, SchedError, SchedulePriority,
-    SchedulingSetBound,
-};
-use mwl_wcg::WordlengthCompatibilityGraph;
-
-use crate::bind::{bind_select, BindSelectOptions};
+use crate::bind::{bind_select_with_scratch, BindSelectOptions};
 use crate::datapath::Datapath;
 use crate::error::AllocError;
-use crate::merge::merge_instances;
-use crate::refine::select_refinement_op;
+use crate::merge::merge_instances_with_scratch;
+use crate::refine::select_refinement_op_with_scratch;
+use crate::scratch::AllocScratch;
+use mwl_model::{CostModel, Cycles, OpId, ResourceClass, SequencingGraph};
+use mwl_sched::{
+    critical_path_length, scheduling_set_with_scratch, ListScheduler, OpLatencies, SchedError,
+    SchedulePriority,
+};
 
 /// How the allocator chooses the operation whose wordlength information is
 /// refined when the latency constraint is violated.
@@ -181,6 +180,23 @@ impl<'a> DpAllocator<'a> {
     ///
     /// Same conditions as [`allocate`](Self::allocate).
     pub fn allocate_with_stats(&self, graph: &SequencingGraph) -> Result<AllocOutcome, AllocError> {
+        self.allocate_with_scratch(graph, &mut AllocScratch::new())
+    }
+
+    /// Runs the heuristic through a caller-owned [`AllocScratch`], reusing
+    /// its buffers across jobs — the steady-state entry point of the batch
+    /// driver, which keeps one scratch per worker thread.  The result is
+    /// bit-identical to [`allocate_with_stats`](Self::allocate_with_stats)
+    /// regardless of what the scratch was previously used for.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`allocate`](Self::allocate).
+    pub fn allocate_with_scratch(
+        &self,
+        graph: &SequencingGraph,
+        scratch: &mut AllocScratch,
+    ) -> Result<AllocOutcome, AllocError> {
         let native = OpLatencies::from_fn(graph, |op| self.cost.native_latency(op.shape()));
         let minimum = critical_path_length(graph, &native);
         if self.config.latency_constraint < minimum {
@@ -209,14 +225,15 @@ impl<'a> DpAllocator<'a> {
         let max_escalations: usize = class_ops.values().sum::<usize>() + 1;
 
         for _ in 0..=max_escalations {
-            match self.try_with_bounds(graph, &bounds, &mut total_refinements) {
+            match self.try_with_bounds(graph, &bounds, &mut total_refinements, scratch) {
                 Ok(datapath) => {
                     let (datapath, merges) = if self.config.instance_merging {
-                        let (merged, stats) = merge_instances(
+                        let (merged, stats) = merge_instances_with_scratch(
                             &datapath,
                             graph,
                             self.cost,
                             self.config.latency_constraint,
+                            &mut scratch.merge,
                         );
                         (merged, stats.merges)
                     } else {
@@ -269,89 +286,136 @@ impl<'a> DpAllocator<'a> {
     /// One full run of the paper's `while` loop for a fixed resource-bound
     /// vector: schedule with upper bounds, bind, check the constraint,
     /// refine, repeat.
+    ///
+    /// The loop is engineered around the scratch workspace so that its
+    /// steady state performs no allocation work proportional to the
+    /// iteration count: upper bounds and per-resource cover rows are read
+    /// straight from the compatibility graph's incrementally-maintained
+    /// tables, the scheduling-set membership rows are rewritten in place —
+    /// and only for the one operation whose edges the previous refinement
+    /// deleted, when the scheduling set itself is unchanged — and the
+    /// Eqn (3) constraint and list scheduler reuse their buffers across
+    /// iterations.  Decisions are bit-identical to the frozen
+    /// [`crate::reference`] loop.
     fn try_with_bounds(
         &self,
         graph: &SequencingGraph,
         bounds: &BTreeMap<ResourceClass, usize>,
         refinements: &mut usize,
+        scratch: &mut AllocScratch,
     ) -> Result<Datapath, InnerFailure> {
-        let mut wcg = WordlengthCompatibilityGraph::new(graph, self.cost);
+        scratch.wcg.rebuild(graph, self.cost);
         for op in graph.op_ids() {
-            if wcg.resources_for(op).is_empty() {
+            if scratch.wcg.candidate_slice(op).is_empty() {
                 return Err(InnerFailure::Fatal(AllocError::UncoverableOperation(op)));
             }
         }
-        let op_classes: Vec<ResourceClass> = graph
-            .operations()
-            .iter()
-            .map(|o| ResourceClass::for_kind(o.kind()))
-            .collect();
+        scratch.op_classes.clear();
+        scratch.op_classes.extend(
+            graph
+                .operations()
+                .iter()
+                .map(|o| ResourceClass::for_kind(o.kind())),
+        );
+        let mut dense_bounds = [None; ResourceClass::COUNT];
+        for (&class, &bound) in bounds {
+            dense_bounds[class.index()] = Some(bound);
+        }
+        scratch
+            .constraint
+            .reset_problem(&scratch.op_classes, dense_bounds);
+        let mut members_valid = false;
+        let mut last_refined: Option<OpId> = None;
 
         for _ in 0..self.config.max_iterations {
-            let upper = wcg.upper_bound_latencies();
+            scratch
+                .upper
+                .copy_from_slice(scratch.wcg.upper_bound_slice());
 
-            // Scheduling set S and the Eqn (3) constraint.
-            let candidate_lists = wcg.op_candidate_lists();
-            let members = scheduling_set(&candidate_lists);
-            let member_classes: Vec<ResourceClass> =
-                members.iter().map(|&r| wcg.resource(r).class()).collect();
-            let op_members: Vec<Vec<usize>> = graph
-                .op_ids()
-                .map(|o| {
-                    members
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &r)| wcg.has_edge(o, r))
-                        .map(|(j, _)| j)
-                        .collect()
-                })
-                .collect();
-            let constraint = SchedulingSetBound::new(
-                op_classes.clone(),
-                op_members,
-                member_classes,
-                bounds.clone(),
+            // Scheduling set S and the Eqn (3) constraint.  The cover is
+            // recomputed from the maintained per-resource rows; membership
+            // rows are rebuilt only where refinement invalidated them.
+            scheduling_set_with_scratch(
+                graph.len(),
+                scratch.wcg.resource_op_lists(),
+                &mut scratch.cover_scratch,
+                &mut scratch.cover,
             );
+            if !members_valid || scratch.cover != scratch.prev_cover {
+                scratch.constraint.set_members(
+                    scratch
+                        .cover
+                        .iter()
+                        .map(|&r| scratch.wcg.resource(r).class()),
+                );
+                for op in graph.op_ids() {
+                    scratch.constraint.set_row(
+                        op,
+                        member_positions(scratch.wcg.candidate_slice(op), &scratch.cover),
+                    );
+                }
+                scratch.prev_cover.clone_from(&scratch.cover);
+                members_valid = true;
+            } else if let Some(op) = last_refined {
+                scratch.constraint.set_row(
+                    op,
+                    member_positions(scratch.wcg.candidate_slice(op), &scratch.cover),
+                );
+            }
+            scratch.constraint.reset_loads();
 
-            let schedule = match ListScheduler::new(self.config.priority)
-                .schedule(graph, &upper, constraint)
-            {
+            let schedule = match ListScheduler::new(self.config.priority).schedule_with_scratch(
+                graph,
+                &scratch.upper,
+                &mut scratch.constraint,
+                &mut scratch.sched,
+            ) {
                 Ok(s) => s,
                 Err(SchedError::InfeasibleResourceBound { op }) => {
-                    return Err(InnerFailure::NeedMoreResources(op_classes[op.index()]));
+                    return Err(InnerFailure::NeedMoreResources(
+                        scratch.op_classes[op.index()],
+                    ));
                 }
                 Err(e) => return Err(InnerFailure::Fatal(e.into())),
             };
 
-            wcg.attach_schedule(&schedule, &upper);
+            scratch.wcg.attach_schedule(&schedule, &scratch.upper);
             let instances =
-                bind_select(&wcg, self.config.bind_options).map_err(InnerFailure::Fatal)?;
-            let datapath = Datapath::assemble(schedule.clone(), instances, self.cost);
+                bind_select_with_scratch(&scratch.wcg, self.config.bind_options, &mut scratch.bind)
+                    .map_err(InnerFailure::Fatal)?;
+            let datapath = Datapath::assemble(schedule, instances, self.cost);
 
             if datapath.latency() <= self.config.latency_constraint {
                 return Ok(datapath);
             }
 
             // Constraint violated: refine wordlength information.
-            let binding: Vec<usize> = graph.op_ids().map(|o| datapath.instance_of(o)).collect();
+            scratch.binding.clear();
+            scratch
+                .binding
+                .extend(graph.op_ids().map(|o| datapath.instance_of(o)));
             let bound_latencies = datapath.bound_latencies(self.cost);
             let chosen = match self.config.refinement {
-                RefinementPolicy::BoundCriticalPath => select_refinement_op(
+                RefinementPolicy::BoundCriticalPath => select_refinement_op_with_scratch(
                     graph,
-                    &wcg,
-                    &schedule,
-                    &upper,
+                    &scratch.wcg,
+                    datapath.schedule(),
+                    &scratch.upper,
                     &bound_latencies,
-                    &binding,
+                    &scratch.binding,
                     self.config.latency_constraint,
+                    &mut scratch.refine,
                 ),
-                RefinementPolicy::FirstRefinable => graph.op_ids().find(|&o| wcg.refinable(o)),
+                RefinementPolicy::FirstRefinable => {
+                    graph.op_ids().find(|&o| scratch.wcg.refinable(o))
+                }
             };
             match chosen {
                 Some(op) => {
                     *refinements += 1;
-                    wcg.refine_op(op);
-                    wcg.detach_schedule();
+                    scratch.wcg.refine_op(op);
+                    scratch.wcg.detach_schedule();
+                    last_refined = Some(op);
                 }
                 None => {
                     // Fully refined and still over the constraint: more
@@ -368,6 +432,22 @@ impl<'a> DpAllocator<'a> {
             budget: self.config.max_iterations,
         }))
     }
+}
+
+/// Positions `j` within the scheduling set `cover` whose resource is among
+/// the operation's compatible `candidates` — the membership row `S(o)`.
+/// Both inputs are ascending, so a single merge pass suffices.
+fn member_positions<'a>(
+    candidates: &'a [usize],
+    cover: &'a [usize],
+) -> impl Iterator<Item = usize> + 'a {
+    let mut next_candidate = 0usize;
+    cover.iter().enumerate().filter_map(move |(j, &resource)| {
+        while next_candidate < candidates.len() && candidates[next_candidate] < resource {
+            next_candidate += 1;
+        }
+        (next_candidate < candidates.len() && candidates[next_candidate] == resource).then_some(j)
+    })
 }
 
 /// The eligible class with the largest total workload per allowed resource —

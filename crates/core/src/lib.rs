@@ -76,8 +76,10 @@ mod datapath;
 mod dpalloc;
 mod error;
 pub mod merge;
+pub mod reference;
 mod refine;
 mod report;
+mod scratch;
 
 pub use bind::{bind_select, BindSelectOptions};
 pub use cost_cache::CachedCostModel;
@@ -87,3 +89,4 @@ pub use error::{AllocError, ValidateError};
 pub use merge::{merge_instances, MergeStats};
 pub use refine::{bound_critical_path, select_refinement_op};
 pub use report::{render_report, DatapathReport, InstanceUtilisation};
+pub use scratch::AllocScratch;

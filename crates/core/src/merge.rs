@@ -14,8 +14,7 @@
 //! * the total area **strictly drops**, and
 //! * the re-scheduled latency still meets the constraint `λ`, and
 //! * every instance's operations still form a chain of the compatibility
-//!   graph under the new schedule (checked with the existing
-//!   [`WordlengthCompatibilityGraph::is_chain`] test).
+//!   graph under the new schedule.
 //!
 //! Candidates considered per round are every same-class instance *pair* plus
 //! one *class-collapse* candidate per resource class (all instances of the
@@ -24,12 +23,24 @@
 //! area-improving).  The pass is deterministic and monotone: area never
 //! increases, the latency constraint is never violated, and the returned
 //! datapath always validates.
+//!
+//! **Hot path.**  Only candidates with a strictly positive area saving are
+//! enumerated (the admissible area-delta bound: component-max area vs.
+//! summed instance areas), and each surviving candidate must first pass a
+//! cheap λ-feasibility precheck — two admissible lower bounds on the
+//! re-scheduled latency, the critical path under the post-merge latencies
+//! and the serialised work of the busiest instance — before the expensive
+//! list reschedule runs.  The prechecks never reject a candidate the full
+//! evaluation would accept, so the accepted merge sequence is **bit
+//! identical** to the frozen pre-optimization pass
+//! ([`crate::reference::merge_instances`]), which rebuilt a full
+//! compatibility graph and rescheduled for every candidate.
 
 use mwl_model::{Area, CostModel, Cycles, OpId, ResourceType, SequencingGraph};
 use mwl_sched::{ListScheduler, OpLatencies, PerInstanceExclusive, Schedule, SchedulePriority};
-use mwl_wcg::WordlengthCompatibilityGraph;
 
 use crate::datapath::{Datapath, ResourceInstance};
+use crate::scratch::MergeScratch;
 
 /// Statistics reported by [`merge_instances`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +83,19 @@ pub fn merge_instances(
     cost: &dyn CostModel,
     latency_constraint: Cycles,
 ) -> (Datapath, MergeStats) {
+    let mut scratch = MergeScratch::default();
+    merge_instances_with_scratch(datapath, graph, cost, latency_constraint, &mut scratch)
+}
+
+/// The scratch-reusing form of [`merge_instances`] used by the allocator
+/// (one [`crate::AllocScratch`] per driver worker).
+pub(crate) fn merge_instances_with_scratch(
+    datapath: &Datapath,
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    latency_constraint: Cycles,
+    scratch: &mut MergeScratch,
+) -> (Datapath, MergeStats) {
     let mut current = datapath.clone();
     let mut stats = MergeStats {
         merges: 0,
@@ -83,7 +107,10 @@ pub fn merge_instances(
         return (current, stats);
     }
 
-    while let Some((next, merged_count)) = best_merge(&current, graph, cost, latency_constraint) {
+    scratch.topo = graph.topological_order();
+    while let Some((next, merged_count)) =
+        best_merge(&current, graph, cost, latency_constraint, scratch)
+    {
         stats.merges += merged_count;
         current = next;
     }
@@ -94,22 +121,113 @@ pub fn merge_instances(
 /// Evaluates candidate merges of `current` in decreasing order of area saving
 /// (ties broken deterministically by enumeration order) and returns the first
 /// feasible one applied as a fresh datapath, or `None` when no candidate is
-/// both feasible and strictly area-improving.
+/// both feasible and strictly area-improving.  Candidates whose λ-feasibility
+/// lower bound already exceeds the constraint are skipped without paying the
+/// reschedule.
 fn best_merge(
     current: &Datapath,
     graph: &SequencingGraph,
     cost: &dyn CostModel,
     latency_constraint: Cycles,
+    scratch: &mut MergeScratch,
 ) -> Option<(Datapath, usize)> {
-    let mut candidates = candidates(current.instances(), cost);
+    let instances = current.instances();
+    let mut candidates = candidates(instances, cost);
+    if candidates.is_empty() {
+        return None;
+    }
     // A stable sort keeps enumeration order among equal savings, so the
     // first feasible candidate below is exactly the maximum-saving feasible
     // one — without paying a full reschedule for every candidate.
     candidates.sort_by_key(|c| std::cmp::Reverse(c.saving));
-    candidates.into_iter().find_map(|candidate| {
-        apply(current, &candidate, graph, cost, latency_constraint)
-            .map(|dp| (dp, candidate.members.len() - 1))
-    })
+
+    // Per-round tables for the lower-bound precheck.
+    let n = graph.len();
+    scratch.binding.clear();
+    scratch
+        .binding
+        .extend(graph.op_ids().map(|o| current.instance_of(o)));
+    scratch.base_latency.clear();
+    scratch
+        .base_latency
+        .extend((0..n).map(|i| cost.latency(&instances[scratch.binding[i]].resource())));
+    scratch.inst_work.clear();
+    scratch.inst_work.resize(instances.len(), 0);
+    for i in 0..n {
+        scratch.inst_work[scratch.binding[i]] += scratch.base_latency[i];
+    }
+    scratch.in_candidate.clear();
+    scratch.in_candidate.resize(instances.len(), false);
+
+    for candidate in candidates {
+        if lower_bound(graph, instances, &candidate, cost, scratch) > latency_constraint {
+            continue;
+        }
+        if let Some(dp) = apply(current, &candidate, graph, cost, latency_constraint) {
+            return Some((dp, candidate.members.len() - 1));
+        }
+    }
+    None
+}
+
+/// An admissible lower bound on the latency of the re-scheduled datapath
+/// after applying `candidate`: the maximum of
+///
+/// * the **work bound** — each instance serialises its operations, so the
+///   makespan is at least the busiest instance's total latency, and
+/// * the **critical-path bound** — the longest dependence path with every
+///   operation at its post-merge latency.
+///
+/// Never exceeds the true re-scheduled latency, so pruning on it preserves
+/// the exact accept/reject sequence of the unpruned pass.
+fn lower_bound(
+    graph: &SequencingGraph,
+    instances: &[ResourceInstance],
+    candidate: &Candidate,
+    cost: &dyn CostModel,
+    scratch: &mut MergeScratch,
+) -> Cycles {
+    let merged_latency = cost.latency(&candidate.merged);
+    for &k in &candidate.members {
+        scratch.in_candidate[k] = true;
+    }
+
+    // Work bound.
+    let mut bound: Cycles = 0;
+    let mut merged_work: Cycles = 0;
+    for (k, inst) in instances.iter().enumerate() {
+        if scratch.in_candidate[k] {
+            merged_work += merged_latency * inst.ops().len() as Cycles;
+        } else {
+            bound = bound.max(scratch.inst_work[k]);
+        }
+    }
+    bound = bound.max(merged_work);
+
+    // Critical-path bound under the post-merge latencies.
+    scratch.finish.clear();
+    scratch.finish.resize(graph.len(), 0);
+    for &v in &scratch.topo {
+        let i = v.index();
+        let latency = if scratch.in_candidate[scratch.binding[i]] {
+            merged_latency
+        } else {
+            scratch.base_latency[i]
+        };
+        let start = graph
+            .predecessors(v)
+            .iter()
+            .map(|&p| scratch.finish[p.index()])
+            .max()
+            .unwrap_or(0);
+        scratch.finish[i] = start + latency;
+        bound = bound.max(scratch.finish[i]);
+    }
+
+    for &k in &candidate.members {
+        scratch.in_candidate[k] = false;
+    }
+    bound
 }
 
 /// Enumerates merge candidates in deterministic order: all same-class pairs,
@@ -194,18 +312,23 @@ fn apply(
         return None;
     }
 
-    // Re-check every instance's clique with the compatibility graph's chain
-    // test under the new schedule (Eqn 4 feasibility of the re-serialised
-    // binding).  The list schedule guarantees this by construction; the test
-    // keeps the acceptance criterion independent of the scheduler.
-    let mut wcg = WordlengthCompatibilityGraph::with_resources(
-        graph,
-        dp.instances().iter().map(|i| i.resource()).collect(),
-        cost,
-    );
-    wcg.attach_schedule(dp.schedule(), &dp.bound_latencies(cost));
-    if dp.instances().iter().any(|inst| !wcg.is_chain(inst.ops())) {
-        return None;
+    // Re-check every instance's clique under the new schedule (Eqn 4
+    // feasibility of the re-serialised binding).  The list schedule
+    // guarantees this by construction; the test keeps the acceptance
+    // criterion independent of the scheduler.  Checked directly on the
+    // schedule intervals — equivalent to the compatibility graph's
+    // `is_chain`, without rebuilding the graph per candidate.
+    let bound = dp.bound_latencies(cost);
+    for inst in dp.instances() {
+        let mut intervals: Vec<(Cycles, Cycles)> = inst
+            .ops()
+            .iter()
+            .map(|&o| (dp.schedule().start(o), dp.schedule().end(o, &bound)))
+            .collect();
+        intervals.sort_by_key(|&(start, _)| start);
+        if intervals.windows(2).any(|w| w[0].1 > w[1].0) {
+            return None;
+        }
     }
     Some(dp)
 }
@@ -374,6 +497,23 @@ mod tests {
         let (b, sb) = merge_instances(&dp, &g, &c, lambda);
         assert_eq!(a, b);
         assert_eq!(sa, sb);
+    }
+
+    /// The pruned pass must reproduce the frozen unpruned pass exactly —
+    /// the prechecks are admissible, never rejecting a feasible candidate.
+    #[test]
+    fn pruned_pass_matches_frozen_pass() {
+        let c = cost();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(14), 4711);
+        for i in 0..10 {
+            let g = generator.generate();
+            let lambda = lambda_min(&g, &c) + (i % 6) * 5;
+            let dp = unmerged(&g, &c, lambda);
+            let (fast, fast_stats) = merge_instances(&dp, &g, &c, lambda);
+            let (frozen, frozen_stats) = crate::reference::merge_instances(&dp, &g, &c, lambda);
+            assert_eq!(fast, frozen, "graph {i}");
+            assert_eq!(fast_stats, frozen_stats, "graph {i}");
+        }
     }
 
     #[test]

@@ -15,6 +15,23 @@ use mwl_model::{Cycles, OpId, SequencingGraph};
 use mwl_sched::{OpLatencies, Schedule};
 use mwl_wcg::WordlengthCompatibilityGraph;
 
+/// Reusable buffers of the refinement rule: the augmented adjacency of the
+/// bound critical path, its topological-order queue and ASAP/ALAP tables,
+/// and the candidate lists of the selection rule.  One lives in each
+/// [`crate::AllocScratch`], so the once-per-iteration refinement selection
+/// is allocation-free in the steady state.
+#[derive(Debug, Default)]
+pub(crate) struct RefineScratch {
+    succ: Vec<Vec<u32>>,
+    pred: Vec<Vec<u32>>,
+    indegree: Vec<u32>,
+    order: Vec<u32>,
+    asap: Vec<Cycles>,
+    alap_end: Vec<Cycles>,
+    critical: Vec<OpId>,
+    candidates: Vec<OpId>,
+}
+
 /// Computes the bound critical path `Q_b`.
 ///
 /// The sequencing edges are augmented with `S_b = {(o1, o2) : start(o1) +
@@ -31,13 +48,37 @@ pub fn bound_critical_path(
     bound_latencies: &OpLatencies,
     binding: &[usize],
 ) -> Vec<OpId> {
+    let mut scratch = RefineScratch::default();
+    bound_critical_path_into(graph, schedule, bound_latencies, binding, &mut scratch);
+    scratch.critical
+}
+
+/// Scratch-reusing core of [`bound_critical_path`]: the result lands in
+/// `scratch.critical`.
+fn bound_critical_path_into(
+    graph: &SequencingGraph,
+    schedule: &Schedule,
+    bound_latencies: &OpLatencies,
+    binding: &[usize],
+    scratch: &mut RefineScratch,
+) {
     let n = graph.len();
     // Augmented successor lists.
-    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+    scratch.succ.truncate(n);
+    scratch.pred.truncate(n);
+    if scratch.succ.len() < n {
+        scratch.succ.resize_with(n, Vec::new);
+        scratch.pred.resize_with(n, Vec::new);
+    }
+    for row in &mut scratch.succ {
+        row.clear();
+    }
+    for row in &mut scratch.pred {
+        row.clear();
+    }
     for e in graph.edges() {
-        succ[e.from.index()].push(e.to.index());
-        pred[e.to.index()].push(e.from.index());
+        scratch.succ[e.from.index()].push(e.to.index() as u32);
+        scratch.pred[e.to.index()].push(e.from.index() as u32);
     }
     for i in 0..n {
         for j in 0..n {
@@ -47,72 +88,76 @@ pub fn bound_critical_path(
             let oi = OpId::new(i as u32);
             let oj = OpId::new(j as u32);
             if schedule.start(oi) + bound_latencies.get(oi) == schedule.start(oj)
-                && !succ[i].contains(&j)
+                && !scratch.succ[i].contains(&(j as u32))
             {
-                succ[i].push(j);
-                pred[j].push(i);
+                scratch.succ[i].push(j as u32);
+                scratch.pred[j].push(i as u32);
             }
         }
     }
 
     // Topological order of the augmented DAG (it is acyclic: both edge kinds
     // only point forward in schedule time).
-    let order = topological_order(&succ, &pred);
+    scratch.indegree.clear();
+    scratch
+        .indegree
+        .extend(scratch.pred.iter().take(n).map(|p| p.len() as u32));
+    scratch.order.clear();
+    scratch
+        .order
+        .extend((0..n as u32).filter(|&i| scratch.indegree[i as usize] == 0));
+    let mut head = 0;
+    while head < scratch.order.len() {
+        let v = scratch.order[head] as usize;
+        head += 1;
+        for k in 0..scratch.succ[v].len() {
+            let s = scratch.succ[v][k] as usize;
+            scratch.indegree[s] -= 1;
+            if scratch.indegree[s] == 0 {
+                scratch.order.push(s as u32);
+            }
+        }
+    }
+    debug_assert_eq!(scratch.order.len(), n, "augmented graph must stay acyclic");
 
     // ASAP on the augmented graph.
-    let mut asap = vec![0 as Cycles; n];
-    for &v in &order {
-        let op_v = OpId::new(v as u32);
-        let _ = op_v;
-        for &p in &pred[v] {
-            let op_p = OpId::new(p as u32);
-            asap[v] = asap[v].max(asap[p] + bound_latencies.get(op_p));
+    scratch.asap.clear();
+    scratch.asap.resize(n, 0);
+    for &v in &scratch.order {
+        let v = v as usize;
+        for &p in &scratch.pred[v] {
+            let op_p = OpId::new(p);
+            scratch.asap[v] =
+                scratch.asap[v].max(scratch.asap[p as usize] + bound_latencies.get(op_p));
         }
     }
     let deadline = (0..n)
-        .map(|i| asap[i] + bound_latencies.get(OpId::new(i as u32)))
+        .map(|i| scratch.asap[i] + bound_latencies.get(OpId::new(i as u32)))
         .max()
         .unwrap_or(0);
 
     // ALAP (start times) against that deadline.
-    let mut alap_end = vec![deadline; n];
-    for &v in order.iter().rev() {
-        for &s in &succ[v] {
-            let op_s = OpId::new(s as u32);
-            let succ_start = alap_end[s] - bound_latencies.get(op_s);
-            alap_end[v] = alap_end[v].min(succ_start);
+    scratch.alap_end.clear();
+    scratch.alap_end.resize(n, deadline);
+    for &v in scratch.order.iter().rev() {
+        let v = v as usize;
+        for &s in &scratch.succ[v] {
+            let op_s = OpId::new(s);
+            let succ_start = scratch.alap_end[s as usize] - bound_latencies.get(op_s);
+            scratch.alap_end[v] = scratch.alap_end[v].min(succ_start);
         }
     }
 
-    (0..n)
-        .filter(|&i| {
-            let op = OpId::new(i as u32);
-            let alap_start = alap_end[i] - bound_latencies.get(op);
-            asap[i] == alap_start
-        })
-        .map(|i| OpId::new(i as u32))
-        .collect()
-}
-
-fn topological_order(succ: &[Vec<usize>], pred: &[Vec<usize>]) -> Vec<usize> {
-    let n = succ.len();
-    let mut indegree: Vec<usize> = pred.iter().map(Vec::len).collect();
-    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-    let mut order = Vec::with_capacity(n);
-    let mut head = 0;
-    while head < queue.len() {
-        let v = queue[head];
-        head += 1;
-        order.push(v);
-        for &s in &succ[v] {
-            indegree[s] -= 1;
-            if indegree[s] == 0 {
-                queue.push(s);
-            }
-        }
-    }
-    debug_assert_eq!(order.len(), n, "augmented graph must stay acyclic");
-    order
+    scratch.critical.clear();
+    scratch.critical.extend(
+        (0..n)
+            .filter(|&i| {
+                let op = OpId::new(i as u32);
+                let alap_start = scratch.alap_end[i] - bound_latencies.get(op);
+                scratch.asap[i] == alap_start
+            })
+            .map(|i| OpId::new(i as u32)),
+    );
 }
 
 /// Selects the operation whose latency upper bound should be refined next,
@@ -135,28 +180,55 @@ pub fn select_refinement_op(
     binding: &[usize],
     constraint: Cycles,
 ) -> Option<OpId> {
-    let critical = bound_critical_path(graph, schedule, bound_latencies, binding);
+    select_refinement_op_with_scratch(
+        graph,
+        wcg,
+        schedule,
+        upper_bounds,
+        bound_latencies,
+        binding,
+        constraint,
+        &mut RefineScratch::default(),
+    )
+}
+
+/// The scratch-reusing form of [`select_refinement_op`] used by the
+/// allocator's inner loop; decisions are identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn select_refinement_op_with_scratch(
+    graph: &SequencingGraph,
+    wcg: &WordlengthCompatibilityGraph,
+    schedule: &Schedule,
+    upper_bounds: &OpLatencies,
+    bound_latencies: &OpLatencies,
+    binding: &[usize],
+    constraint: Cycles,
+    scratch: &mut RefineScratch,
+) -> Option<OpId> {
+    bound_critical_path_into(graph, schedule, bound_latencies, binding, scratch);
+    let critical = &scratch.critical;
 
     // Candidate subset W: critical operations finishing before the
-    // constraint even at their upper-bound latency.
+    // constraint even at their upper-bound latency.  Tier 1: critical,
+    // refinable and inside the window; tier 2: critical and refinable;
+    // tier 3: any refinable operation.
     let in_window = |o: &OpId| schedule.start(*o) + upper_bounds.get(*o) <= constraint;
     let refinable = |o: &OpId| wcg.refinable(*o);
 
-    let tier1: Vec<OpId> = critical
-        .iter()
-        .copied()
-        .filter(|o| in_window(o) && refinable(o))
-        .collect();
-    let tier2: Vec<OpId> = critical.iter().copied().filter(refinable).collect();
-    let tier3: Vec<OpId> = graph.op_ids().filter(|o| wcg.refinable(*o)).collect();
-
-    let candidates = if !tier1.is_empty() {
-        tier1
-    } else if !tier2.is_empty() {
-        tier2
-    } else {
-        tier3
-    };
+    let candidates = &mut scratch.candidates;
+    candidates.clear();
+    candidates.extend(
+        critical
+            .iter()
+            .copied()
+            .filter(|o| in_window(o) && refinable(o)),
+    );
+    if candidates.is_empty() {
+        candidates.extend(critical.iter().copied().filter(refinable));
+    }
+    if candidates.is_empty() {
+        candidates.extend(graph.op_ids().filter(|o| wcg.refinable(*o)));
+    }
     if candidates.is_empty() {
         return None;
     }
@@ -164,7 +236,7 @@ pub fn select_refinement_op(
     // Choose the candidate losing the smallest proportion of edges in
     // {{o1, r} ∈ H : ∃{o, r} ∈ H}; tie-break toward operations currently
     // bound to a resource faster than their upper bound, then by id.
-    candidates.into_iter().min_by(|&a, &b| {
+    candidates.iter().copied().min_by(|&a, &b| {
         let pa = deletion_proportion(wcg, a);
         let pb = deletion_proportion(wcg, b);
         pa.partial_cmp(&pb)
@@ -188,12 +260,12 @@ pub fn select_refinement_op(
 /// current latency upper bound).
 fn deletion_proportion(wcg: &WordlengthCompatibilityGraph, op: OpId) -> f64 {
     let bound = wcg.upper_bound_latency(op);
-    let resources = wcg.resources_for(op);
-    let pool: usize = resources.iter().map(|&r| wcg.ops_for(r).len()).sum();
+    let resources = wcg.candidate_slice(op);
+    let pool: usize = resources.iter().map(|&r| wcg.resource_edge_count(r)).sum();
     let deleted: usize = resources
         .iter()
         .filter(|&&r| wcg.resource_latency(r) == bound)
-        .map(|&r| wcg.ops_for(r).len())
+        .map(|&r| wcg.resource_edge_count(r))
         .sum();
     if pool == 0 {
         f64::INFINITY

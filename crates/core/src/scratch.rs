@@ -1,0 +1,118 @@
+//! The reusable allocation workspace behind the optimized `DPAlloc` loop.
+//!
+//! One [`AllocScratch`] holds every growable table the allocator's inner
+//! loop needs — dense class tables, the scheduling-set cover and membership
+//! rows, the Eqn (3) constraint's load profiles, the list scheduler's
+//! working buffers and the merge pass's lower-bound tables — so that the
+//! steady state of [`crate::DpAllocator::allocate_with_scratch`] performs no
+//! per-iteration allocations.  The batch driver keeps **one scratch per
+//! worker thread** and reuses it across jobs; buffers grow to the largest
+//! job seen and stay warm.
+//!
+//! A scratch carries no result state between calls: allocating through a
+//! fresh scratch and a reused one is guaranteed bit-identical (that is what
+//! the determinism of the batch driver rests on, and what
+//! `tests/optimization_identity.rs` pins against the frozen
+//! [`crate::reference`] implementation).
+
+use mwl_model::{Cycles, OpId, ResourceClass};
+use mwl_sched::{CoverScratch, DenseSchedulingSetBound, OpLatencies, SchedScratch};
+use mwl_wcg::{ChainScratch, WordlengthCompatibilityGraph};
+
+/// Reusable buffers for one allocator worker (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use mwl_core::{AllocConfig, AllocScratch, DpAllocator};
+/// use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SequencingGraphBuilder::new();
+/// b.add_operation(OpShape::multiplier(8, 8));
+/// let graph = b.build()?;
+///
+/// let cost = SonicCostModel::default();
+/// let mut scratch = AllocScratch::new();
+/// // Reuse the same scratch across any number of jobs.
+/// for lambda in [2, 4, 8] {
+///     let outcome = DpAllocator::new(&cost, AllocConfig::new(lambda))
+///         .allocate_with_scratch(&graph, &mut scratch)?;
+///     assert!(outcome.datapath.latency() <= lambda);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    /// Resource class per operation of the current graph.
+    pub(crate) op_classes: Vec<ResourceClass>,
+    /// Latency upper bounds `L_o` of the current iteration.
+    pub(crate) upper: OpLatencies,
+    /// Scheduling set of the current iteration (resource indices).
+    pub(crate) cover: Vec<usize>,
+    /// Scheduling set of the previous iteration — rows are rebuilt only when
+    /// the two differ.
+    pub(crate) prev_cover: Vec<usize>,
+    /// Set-cover working buffers.
+    pub(crate) cover_scratch: CoverScratch,
+    /// The Eqn (3) constraint with its load profiles and membership rows.
+    pub(crate) constraint: DenseSchedulingSetBound,
+    /// List-scheduler working buffers.
+    pub(crate) sched: SchedScratch,
+    /// Instance index per operation (refinement input).
+    pub(crate) binding: Vec<usize>,
+    /// The compatibility-graph workspace, rebuilt in place per
+    /// bound-escalation attempt.
+    pub(crate) wcg: WordlengthCompatibilityGraph,
+    /// `BindSelect` working buffers.
+    pub(crate) bind: BindScratch,
+    /// Refinement-rule working buffers (bound critical path, tiers).
+    pub(crate) refine: crate::refine::RefineScratch,
+    /// Merge-pass tables.
+    pub(crate) merge: MergeScratch,
+}
+
+impl AllocScratch {
+    /// Creates an empty workspace; buffers grow to fit on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable buffers of Algorithm `BindSelect`: the covered-operation map,
+/// the per-resource chain computation and the clique-growth union buffer.
+#[derive(Debug, Default)]
+pub(crate) struct BindScratch {
+    /// Covered flag per operation.
+    pub(crate) covered: Vec<bool>,
+    /// Longest-chain DP tables shared across resources.
+    pub(crate) chain: ChainScratch,
+    /// Chain under evaluation for the current resource.
+    pub(crate) chain_buf: Vec<OpId>,
+    /// Best chain of the current covering round.
+    pub(crate) best_chain: Vec<OpId>,
+    /// Union buffer of the clique-growth step.
+    pub(crate) union: Vec<OpId>,
+}
+
+/// Reusable tables of the post-bind merging pass: the admissible
+/// latency-lower-bound precheck that prunes merge candidates before the
+/// expensive reschedule.
+#[derive(Debug, Default)]
+pub(crate) struct MergeScratch {
+    /// Topological order of the current graph (schedule-independent, so
+    /// computed once per pass).
+    pub(crate) topo: Vec<OpId>,
+    /// Instance index per operation under the current datapath.
+    pub(crate) binding: Vec<usize>,
+    /// Bound latency `ℓ(o)` per operation under the current datapath.
+    pub(crate) base_latency: Vec<Cycles>,
+    /// Serialised work (sum of bound latencies) per instance.
+    pub(crate) inst_work: Vec<Cycles>,
+    /// Marker: is this instance part of the candidate under evaluation?
+    pub(crate) in_candidate: Vec<bool>,
+    /// Per-operation finish times of the critical-path lower bound.
+    pub(crate) finish: Vec<Cycles>,
+}

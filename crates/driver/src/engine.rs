@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-use mwl_core::{CachedCostModel, DpAllocator};
+use mwl_core::{AllocScratch, CachedCostModel, DpAllocator};
 use mwl_model::CostModel;
 
 use crate::job::{BatchJob, BatchOptions};
@@ -57,11 +57,18 @@ pub fn run_batch<C: CostModel + Sync>(
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    // One allocation workspace per worker, reused across
+                    // jobs: the allocator's inner loop is allocation-free
+                    // once the scratch buffers have grown to the largest job.
+                    let mut scratch = AllocScratch::new();
                     let mut local = Vec::new();
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(job) = jobs.get(index) else { break };
-                        local.push((index, run_job(index, job, model, options.rtl_vectors)));
+                        local.push((
+                            index,
+                            run_job(index, job, model, options.rtl_vectors, &mut scratch),
+                        ));
                     }
                     local
                 })
@@ -84,12 +91,13 @@ fn run_job(
     job: &BatchJob,
     cost: &(dyn CostModel + Sync),
     rtl_vectors: usize,
+    scratch: &mut AllocScratch,
 ) -> JobOutcome {
     let lambda = job.latency.resolve(&job.graph, cost);
     let mut config = job.config.clone();
     config.latency_constraint = lambda;
     let result = DpAllocator::new(cost, config)
-        .allocate_with_stats(&job.graph)
+        .allocate_with_scratch(&job.graph, scratch)
         .map(|outcome| JobStats {
             lambda,
             area: outcome.datapath.area(),

@@ -28,12 +28,29 @@ impl ResourceClass {
     /// All supported resource classes.
     pub const ALL: [ResourceClass; 2] = [ResourceClass::Adder, ResourceClass::Multiplier];
 
+    /// Number of resource classes — the size of dense class-indexed tables
+    /// (see [`index`](Self::index)).
+    pub const COUNT: usize = Self::ALL.len();
+
     /// Returns the resource class executing the given operation kind.
     #[must_use]
     pub fn for_kind(kind: OpKind) -> Self {
         match kind {
             OpKind::Add | OpKind::Sub => ResourceClass::Adder,
             OpKind::Mul => ResourceClass::Multiplier,
+        }
+    }
+
+    /// Dense index of the class in `0..`[`COUNT`](Self::COUNT), consistent
+    /// with the position in [`ALL`](Self::ALL) and with the `Ord` order.
+    /// Allows hot paths to replace `BTreeMap<ResourceClass, _>` lookups with
+    /// array indexing.
+    #[must_use]
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ResourceClass::Adder => 0,
+            ResourceClass::Multiplier => 1,
         }
     }
 }

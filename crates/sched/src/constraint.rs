@@ -52,6 +52,23 @@ pub trait ResourceConstraint {
     }
 }
 
+/// A mutable reference forwards to the referenced constraint, letting a
+/// caller keep ownership of a constraint whose buffers are reused across
+/// scheduler invocations (see [`DenseSchedulingSetBound`]).
+impl<C: ResourceConstraint + ?Sized> ResourceConstraint for &mut C {
+    fn admits(&self, op: OpId, step: Cycles, latency: Cycles) -> bool {
+        (**self).admits(op, step, latency)
+    }
+
+    fn commit(&mut self, op: OpId, step: Cycles, latency: Cycles) {
+        (**self).commit(op, step, latency)
+    }
+
+    fn admissible_at_all(&self, op: OpId, latency: Cycles) -> bool {
+        (**self).admissible_at_all(op, latency)
+    }
+}
+
 /// No resource constraint: every operation is admitted immediately.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Unbounded;
@@ -306,6 +323,204 @@ impl ResourceConstraint for SchedulingSetBound {
     }
 }
 
+/// The scratch-reusing dense form of [`SchedulingSetBound`], built for the
+/// allocator's inner loop.
+///
+/// Behaviourally **identical** to [`SchedulingSetBound`] — every admission
+/// decision performs the same floating-point operations in the same order —
+/// but engineered for the steady state of the `DPAlloc` refinement loop:
+///
+/// * per-class bounds live in a [`ResourceClass::COUNT`]-sized array instead
+///   of a `BTreeMap`;
+/// * the scheduling-set membership tables (`S(o)` rows, member classes,
+///   members-by-class) are owned buffers updated in place — when a
+///   refinement deletes wordlength edges of one operation and the scheduling
+///   set is unchanged, only that operation's row is rewritten;
+/// * [`admits`](ResourceConstraint::admits) is allocation-free: instead of
+///   cloning the peak table to overlay tentative peaks, it walks the class's
+///   members in index order and substitutes the tentative value on the fly
+///   (the summation order, and therefore the rounding, of
+///   [`SchedulingSetBound`] is preserved exactly);
+/// * [`reset_loads`](Self::reset_loads) clears the committed load profiles
+///   without releasing their allocations, so repeated schedules are
+///   allocation-free after warm-up.
+///
+/// Pass `&mut bound` to [`crate::ListScheduler::schedule`] (mutable
+/// references forward the [`ResourceConstraint`] impl) so the buffers stay
+/// with the caller.
+#[derive(Debug, Default)]
+pub struct DenseSchedulingSetBound {
+    /// Class of every operation, indexed by [`OpId`].
+    op_classes: Vec<ResourceClass>,
+    /// Bound per class, dense; `None` means unbounded.
+    bounds: [Option<usize>; ResourceClass::COUNT],
+    /// Resource class of every scheduling-set member.
+    member_classes: Vec<ResourceClass>,
+    /// Member indices by class, ascending — the iteration domain of the
+    /// Eqn (3) left-hand side.
+    class_members: [Vec<u32>; ResourceClass::COUNT],
+    /// Scheduling-set members compatible with every operation (`S(o)`),
+    /// ascending member indices, indexed by [`OpId`].
+    rows: Vec<Vec<u32>>,
+    /// Per-member load profile over control steps.
+    load: Vec<Vec<f64>>,
+    /// Per-member peak load so far.
+    peak: Vec<f64>,
+}
+
+impl DenseSchedulingSetBound {
+    /// Creates an empty constraint; configure it with
+    /// [`reset_problem`](Self::reset_problem), [`set_members`](Self::set_members)
+    /// and [`set_row`](Self::set_row).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins a new scheduling problem: copies the per-operation classes and
+    /// installs the dense per-class bounds (`None` = unbounded).  Membership
+    /// tables and load state are configured separately so they can survive
+    /// across refinement iterations.
+    pub fn reset_problem(
+        &mut self,
+        op_classes: &[ResourceClass],
+        bounds: [Option<usize>; ResourceClass::COUNT],
+    ) {
+        self.op_classes.clear();
+        self.op_classes.extend_from_slice(op_classes);
+        self.bounds = bounds;
+        if self.rows.len() < op_classes.len() {
+            self.rows.resize_with(op_classes.len(), Vec::new);
+        }
+        for row in &mut self.rows {
+            row.clear();
+        }
+    }
+
+    /// Replaces the scheduling-set member classes (invalidating every row —
+    /// rewrite them with [`set_row`](Self::set_row)).
+    pub fn set_members(&mut self, classes: impl Iterator<Item = ResourceClass>) {
+        self.member_classes.clear();
+        self.member_classes.extend(classes);
+        for list in &mut self.class_members {
+            list.clear();
+        }
+        for (j, c) in self.member_classes.iter().enumerate() {
+            self.class_members[c.index()].push(j as u32);
+        }
+        let members = self.member_classes.len();
+        if self.load.len() < members {
+            self.load.resize_with(members, Vec::new);
+        }
+        if self.peak.len() < members {
+            self.peak.resize(members, 0.0);
+        }
+    }
+
+    /// Rewrites one operation's member row `S(o)` (ascending member
+    /// indices).
+    pub fn set_row(&mut self, op: OpId, members: impl Iterator<Item = usize>) {
+        let row = &mut self.rows[op.index()];
+        row.clear();
+        row.extend(members.map(|j| j as u32));
+    }
+
+    /// Clears all committed load and peaks, keeping every buffer allocation —
+    /// call before each schedule.
+    pub fn reset_loads(&mut self) {
+        for profile in &mut self.load {
+            profile.clear();
+        }
+        for peak in &mut self.peak {
+            *peak = 0.0;
+        }
+    }
+
+    #[inline]
+    fn load_at(&self, member: usize, step: Cycles) -> f64 {
+        self.load[member].get(step as usize).copied().unwrap_or(0.0)
+    }
+}
+
+impl ResourceConstraint for DenseSchedulingSetBound {
+    #[inline]
+    fn admits(&self, op: OpId, step: Cycles, latency: Cycles) -> bool {
+        let class = self.op_classes[op.index()];
+        let Some(bound) = self.bounds[class.index()] else {
+            return true;
+        };
+        let row = &self.rows[op.index()];
+        if row.is_empty() {
+            return false;
+        }
+        let share = 1.0 / row.len() as f64;
+        // The Eqn (3) left-hand side with this op tentatively placed: walk
+        // the class's members in index order (the same order, and therefore
+        // the same rounding, as SchedulingSetBound::class_total) overlaying
+        // the tentative peak of the op's own members on the fly.
+        let mut total = 0.0f64;
+        for &j in &self.class_members[class.index()] {
+            let m = j as usize;
+            let value = if row.binary_search(&j).is_ok() {
+                let mut new_peak = self.peak[m];
+                for t in step..step + latency {
+                    new_peak = new_peak.max(self.load_at(m, t) + share);
+                }
+                new_peak
+            } else {
+                self.peak[m]
+            };
+            total += value;
+        }
+        total <= bound as f64 + EPSILON
+    }
+
+    fn commit(&mut self, op: OpId, step: Cycles, latency: Cycles) {
+        let row_len = self.rows[op.index()].len();
+        if row_len == 0 {
+            return;
+        }
+        let share = 1.0 / row_len as f64;
+        let end = (step + latency) as usize;
+        for k in 0..row_len {
+            let m = self.rows[op.index()][k] as usize;
+            if self.load[m].len() < end {
+                self.load[m].resize(end, 0.0);
+            }
+            for t in step as usize..end {
+                self.load[m][t] += share;
+                if self.load[m][t] > self.peak[m] {
+                    self.peak[m] = self.load[m][t];
+                }
+            }
+        }
+    }
+
+    fn admissible_at_all(&self, op: OpId, latency: Cycles) -> bool {
+        let class = self.op_classes[op.index()];
+        let Some(bound) = self.bounds[class.index()] else {
+            return true;
+        };
+        let row = &self.rows[op.index()];
+        if row.is_empty() || bound == 0 {
+            return false;
+        }
+        let share = 1.0 / row.len() as f64;
+        let mut total = 0.0f64;
+        for &j in &self.class_members[class.index()] {
+            let m = j as usize;
+            let value = if row.binary_search(&j).is_ok() {
+                self.peak[m].max(share)
+            } else {
+                self.peak[m]
+            };
+            total += value;
+        }
+        let _ = latency;
+        total <= bound as f64 + EPSILON
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +664,97 @@ mod tests {
         let c = SchedulingSetBound::new(op_classes, op_members, member_classes, bounds);
         assert!(c.admits(id(0), 0, 2));
         assert!(c.admissible_at_all(id(0), 2));
+    }
+
+    /// Builds the dense twin of a [`SchedulingSetBound`] configuration.
+    fn dense_twin(
+        op_classes: &[ResourceClass],
+        op_members: &[Vec<usize>],
+        member_classes: &[ResourceClass],
+        bounds: &BTreeMap<ResourceClass, usize>,
+    ) -> DenseSchedulingSetBound {
+        let mut dense_bounds = [None; ResourceClass::COUNT];
+        for (&c, &b) in bounds {
+            dense_bounds[c.index()] = Some(b);
+        }
+        let mut dense = DenseSchedulingSetBound::new();
+        dense.reset_problem(op_classes, dense_bounds);
+        dense.set_members(member_classes.iter().copied());
+        for (i, row) in op_members.iter().enumerate() {
+            dense.set_row(id(i as u32), row.iter().copied());
+        }
+        dense
+    }
+
+    /// The dense constraint must agree with [`SchedulingSetBound`] decision
+    /// for decision, including near the fractional-sharing boundary.
+    #[test]
+    fn dense_bound_matches_sparse_bound_decision_for_decision() {
+        let op_classes = vec![
+            ResourceClass::Multiplier,
+            ResourceClass::Multiplier,
+            ResourceClass::Multiplier,
+            ResourceClass::Adder,
+            ResourceClass::Multiplier,
+        ];
+        let member_classes = vec![
+            ResourceClass::Multiplier,
+            ResourceClass::Multiplier,
+            ResourceClass::Adder,
+        ];
+        let op_members = vec![vec![0], vec![0, 1], vec![1], vec![2], vec![0, 1]];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 2), (ResourceClass::Adder, 1)]);
+        let mut sparse = SchedulingSetBound::new(
+            op_classes.clone(),
+            op_members.clone(),
+            member_classes.clone(),
+            bounds.clone(),
+        );
+        let mut dense = dense_twin(&op_classes, &op_members, &member_classes, &bounds);
+
+        // Deterministic pseudo-random probe sequence.
+        let mut state = 0x9e37_79b9u64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..400 {
+            let op = id(next(op_classes.len() as u64) as u32);
+            let step = next(6) as Cycles;
+            let latency = 1 + next(3) as Cycles;
+            let a = sparse.admits(op, step, latency);
+            let b = dense.admits(op, step, latency);
+            assert_eq!(a, b, "admits diverged for {op:?} @ {step}+{latency}");
+            assert_eq!(
+                sparse.admissible_at_all(op, latency),
+                dense.admissible_at_all(op, latency)
+            );
+            if a && next(2) == 0 {
+                sparse.commit(op, step, latency);
+                dense.commit(op, step, latency);
+            }
+        }
+    }
+
+    /// `reset_loads` restores a fresh dense constraint (buffers reused, not
+    /// state).
+    #[test]
+    fn dense_bound_reset_clears_committed_load() {
+        let op_classes = vec![ResourceClass::Multiplier, ResourceClass::Multiplier];
+        let member_classes = vec![ResourceClass::Multiplier];
+        let op_members = vec![vec![0], vec![0]];
+        let bounds = BTreeMap::from([(ResourceClass::Multiplier, 1)]);
+        let mut dense = dense_twin(&op_classes, &op_members, &member_classes, &bounds);
+        assert!(dense.admits(id(0), 0, 3));
+        dense.commit(id(0), 0, 3);
+        assert!(!dense.admits(id(1), 1, 3));
+        dense.reset_loads();
+        assert!(dense.admits(id(1), 1, 3));
+        // A mutable reference forwards the constraint unchanged.
+        let via_ref: &mut DenseSchedulingSetBound = &mut dense;
+        assert!(via_ref.admits(id(1), 1, 3));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! of the evaluation (≤ a few dozen operations) and by the classic greedy
 //! heuristic beyond that.
 
+use mwl_model::OpId;
+
 /// Upper bound on the number of items for which the exact branch-and-bound
 /// cover is attempted; larger instances fall back to the greedy heuristic.
 const EXACT_COVER_ITEM_LIMIT: usize = 64;
@@ -50,11 +52,54 @@ pub fn minimum_cover(num_items: usize, candidates: &[Vec<usize>]) -> Vec<usize> 
         return Vec::new();
     }
 
-    if items.len() <= EXACT_COVER_ITEM_LIMIT && candidates.len() <= EXACT_COVER_CANDIDATE_LIMIT {
-        exact_cover(&items, candidates)
-    } else {
-        greedy_cover(&items, candidates)
+    if items.len() > EXACT_COVER_ITEM_LIMIT {
+        // Too many items for 64-bit masks: mask-free greedy.
+        return greedy_cover_large(num_items, &items, candidates);
     }
+    let (full, masks) = item_masks(&items, num_items, candidates);
+    if candidates.len() <= EXACT_COVER_CANDIDATE_LIMIT {
+        exact_cover(full, &masks)
+    } else {
+        greedy_cover(full, &masks)
+    }
+}
+
+/// The classic greedy set-cover heuristic for instances with more items
+/// than a 64-bit mask can hold: identical selection rule to
+/// [`greedy_cover`] (most newly-covered items wins, ties to the
+/// highest-indexed candidate), without the bitset.
+fn greedy_cover_large(num_items: usize, items: &[usize], candidates: &[Vec<usize>]) -> Vec<usize> {
+    let mut covered = vec![false; num_items];
+    let mut relevant = vec![false; num_items];
+    for &item in items {
+        relevant[item] = true;
+    }
+    let new_coverage = |set: &Vec<usize>, covered: &[bool]| {
+        set.iter()
+            .filter(|&&item| item < num_items && relevant[item] && !covered[item])
+            .count()
+    };
+    let mut remaining = items.len();
+    let mut chosen: Vec<usize> = Vec::new();
+    while remaining > 0 {
+        let best = (0..candidates.len())
+            .filter(|j| !chosen.contains(j))
+            .max_by_key(|&j| new_coverage(&candidates[j], &covered));
+        match best {
+            Some(j) if new_coverage(&candidates[j], &covered) > 0 => {
+                for &item in &candidates[j] {
+                    if item < num_items && relevant[item] && !covered[item] {
+                        covered[item] = true;
+                        remaining -= 1;
+                    }
+                }
+                chosen.push(j);
+            }
+            _ => break,
+        }
+    }
+    chosen.sort_unstable();
+    chosen
 }
 
 /// Computes the scheduling set from per-operation candidate lists:
@@ -84,8 +129,104 @@ pub fn scheduling_set(op_candidates: &[Vec<usize>]) -> Vec<usize> {
     minimum_cover(op_candidates.len(), &covers)
 }
 
-fn item_masks(items: &[usize], candidates: &[Vec<usize>]) -> (u64, Vec<u64>) {
-    let index_of = |item: usize| items.iter().position(|&i| i == item);
+/// As [`scheduling_set`], but reads the per-resource operation lists
+/// directly (the rows a [`WordlengthCompatibilityGraph`] maintains
+/// incrementally) and writes the selected resource indices into a reusable
+/// buffer — the allocation-light form used by the allocator's inner loop.
+/// The selection is identical to
+/// `scheduling_set(&per-op candidate lists)` on the transposed input.
+///
+/// [`WordlengthCompatibilityGraph`]: https://docs.rs/mwl_wcg
+pub fn scheduling_set_into(num_ops: usize, covers: &[Vec<OpId>], out: &mut Vec<usize>) {
+    scheduling_set_with_scratch(num_ops, covers, &mut CoverScratch::default(), out);
+}
+
+/// Reusable buffers for [`scheduling_set_with_scratch`].
+#[derive(Debug, Default)]
+pub struct CoverScratch {
+    coverable: Vec<bool>,
+    bit: Vec<u32>,
+    masks: Vec<u64>,
+}
+
+/// As [`scheduling_set_into`], reusing the caller's buffers — the form the
+/// allocator's inner loop runs once per refinement iteration.
+pub fn scheduling_set_with_scratch(
+    num_ops: usize,
+    covers: &[Vec<OpId>],
+    scratch: &mut CoverScratch,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    if num_ops == 0 || covers.is_empty() {
+        return;
+    }
+    let CoverScratch {
+        coverable,
+        bit,
+        masks,
+    } = scratch;
+    coverable.clear();
+    coverable.resize(num_ops, false);
+    for set in covers {
+        for &op in set {
+            if op.index() < num_ops {
+                coverable[op.index()] = true;
+            }
+        }
+    }
+    // Bit position per op: its rank among the coverable ops, exactly the
+    // position the legacy path assigns in its `items` list.
+    bit.clear();
+    bit.resize(num_ops, u32::MAX);
+    let mut num_items = 0u32;
+    for (i, &c) in coverable.iter().enumerate() {
+        if c {
+            bit[i] = num_items;
+            num_items += 1;
+        }
+    }
+    if num_items == 0 {
+        return;
+    }
+    if num_items as usize > EXACT_COVER_ITEM_LIMIT {
+        // Mirror the legacy path byte for byte on oversized instances.
+        let lists: Vec<Vec<usize>> = covers
+            .iter()
+            .map(|set| set.iter().map(|o| o.index()).collect())
+            .collect();
+        out.extend_from_slice(&minimum_cover(num_ops, &lists));
+        return;
+    }
+    let full: u64 = if num_items == 64 {
+        u64::MAX
+    } else {
+        (1u64 << num_items) - 1
+    };
+    masks.clear();
+    masks.extend(covers.iter().map(|set| {
+        let mut m = 0u64;
+        for &op in set {
+            if op.index() < num_ops {
+                m |= 1u64 << bit[op.index()];
+            }
+        }
+        m
+    }));
+    let chosen = if covers.len() <= EXACT_COVER_CANDIDATE_LIMIT {
+        exact_cover(full, masks)
+    } else {
+        greedy_cover(full, masks)
+    };
+    out.extend_from_slice(&chosen);
+}
+
+fn item_masks(items: &[usize], num_items: usize, candidates: &[Vec<usize>]) -> (u64, Vec<u64>) {
+    // Bit position of every item, O(1) per lookup.
+    let mut bit = vec![u32::MAX; num_items];
+    for (pos, &item) in items.iter().enumerate() {
+        bit[item] = pos as u32;
+    }
     let full: u64 = if items.len() == 64 {
         u64::MAX
     } else {
@@ -96,8 +237,8 @@ fn item_masks(items: &[usize], candidates: &[Vec<usize>]) -> (u64, Vec<u64>) {
         .map(|set| {
             let mut m = 0u64;
             for &item in set {
-                if let Some(bit) = index_of(item) {
-                    m |= 1u64 << bit;
+                if item < num_items && bit[item] != u32::MAX {
+                    m |= 1u64 << bit[item];
                 }
             }
             m
@@ -106,8 +247,7 @@ fn item_masks(items: &[usize], candidates: &[Vec<usize>]) -> (u64, Vec<u64>) {
     (full, masks)
 }
 
-fn greedy_cover(items: &[usize], candidates: &[Vec<usize>]) -> Vec<usize> {
-    let (full, masks) = item_masks(items, candidates);
+fn greedy_cover(full: u64, masks: &[u64]) -> Vec<usize> {
     let mut covered = 0u64;
     let mut chosen = Vec::new();
     while covered != full {
@@ -126,10 +266,9 @@ fn greedy_cover(items: &[usize], candidates: &[Vec<usize>]) -> Vec<usize> {
     chosen
 }
 
-fn exact_cover(items: &[usize], candidates: &[Vec<usize>]) -> Vec<usize> {
-    let (full, masks) = item_masks(items, candidates);
+fn exact_cover(full: u64, masks: &[u64]) -> Vec<usize> {
     // Greedy solution as the initial incumbent / upper bound.
-    let mut best = greedy_cover(items, candidates);
+    let mut best = greedy_cover(full, masks);
     let mut best_len = best.len();
 
     // Order candidates by decreasing coverage for better pruning.
@@ -194,7 +333,7 @@ fn exact_cover(items: &[usize], candidates: &[Vec<usize>]) -> Vec<usize> {
 
     let search = Search {
         order: &order,
-        masks: &masks,
+        masks,
         full,
     };
     let mut chosen = Vec::new();
@@ -272,6 +411,74 @@ mod tests {
         // All ops can use resource 3 (the biggest): scheduling set = {3}.
         let ops = vec![vec![0, 3], vec![1, 3], vec![2, 3]];
         assert_eq!(scheduling_set(&ops), vec![3]);
+    }
+
+    /// The into-variant over per-resource op lists must select exactly what
+    /// `scheduling_set` selects over the transposed per-op candidate lists.
+    #[test]
+    fn scheduling_set_into_matches_legacy_on_random_instances() {
+        let mut state = 0xdead_beefu64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        let mut out = Vec::new();
+        for _ in 0..40 {
+            let num_ops = 1 + next(12) as usize;
+            let num_resources = 1 + next(8) as usize;
+            let op_candidates: Vec<Vec<usize>> = (0..num_ops)
+                .map(|_| (0..num_resources).filter(|_| next(3) != 0).collect())
+                .collect();
+            let mut covers: Vec<Vec<OpId>> = vec![Vec::new(); num_resources];
+            for (op, cands) in op_candidates.iter().enumerate() {
+                for &r in cands {
+                    covers[r].push(OpId::new(op as u32));
+                }
+            }
+            let legacy = scheduling_set(&op_candidates);
+            scheduling_set_into(num_ops, &covers, &mut out);
+            assert_eq!(out, legacy, "candidates: {op_candidates:?}");
+        }
+        // Degenerate shapes.
+        scheduling_set_into(0, &[vec![OpId::new(0)]], &mut out);
+        assert!(out.is_empty());
+        scheduling_set_into(3, &[], &mut out);
+        assert!(out.is_empty());
+        scheduling_set_into(2, &[vec![], vec![]], &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// More than 64 coverable items exceeds the 64-bit mask representation:
+    /// the mask-free greedy must take over and still produce a valid cover
+    /// (this used to shift-overflow).
+    #[test]
+    fn more_than_64_items_use_the_maskfree_greedy() {
+        let num_items = 70;
+        let mut candidates: Vec<Vec<usize>> = (0..num_items).map(|i| vec![i]).collect();
+        candidates.push((0..num_items).collect());
+        let cover = minimum_cover(num_items, &candidates);
+        assert!(covers_all(num_items, &candidates, &cover));
+        assert_eq!(cover, vec![num_items]); // the big candidate wins
+                                            // Two medium sets beat seventy singletons.
+        let split: Vec<Vec<usize>> = {
+            let mut c: Vec<Vec<usize>> = (0..num_items).map(|i| vec![i]).collect();
+            c.push((0..40).collect());
+            c.push((40..num_items).collect());
+            c
+        };
+        let cover = minimum_cover(num_items, &split);
+        assert!(covers_all(num_items, &split, &cover));
+        assert_eq!(cover, vec![num_items, num_items + 1]);
+        // The OpId entry point takes the same fallback.
+        let mut covers: Vec<Vec<OpId>> = vec![Vec::new(); split.len()];
+        for (j, set) in split.iter().enumerate() {
+            covers[j] = set.iter().map(|&i| OpId::new(i as u32)).collect();
+        }
+        let mut out = Vec::new();
+        scheduling_set_into(num_items, &covers, &mut out);
+        assert_eq!(out, cover);
     }
 
     #[test]

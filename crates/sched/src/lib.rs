@@ -59,10 +59,13 @@ mod schedule;
 mod timing;
 
 pub use constraint::{
-    PerClassBound, PerInstanceExclusive, ResourceConstraint, SchedulingSetBound, Unbounded,
+    DenseSchedulingSetBound, PerClassBound, PerInstanceExclusive, ResourceConstraint,
+    SchedulingSetBound, Unbounded,
 };
-pub use cover::{minimum_cover, scheduling_set};
+pub use cover::{
+    minimum_cover, scheduling_set, scheduling_set_into, scheduling_set_with_scratch, CoverScratch,
+};
 pub use error::SchedError;
-pub use list::{ListScheduler, SchedulePriority};
+pub use list::{ListScheduler, SchedScratch, SchedulePriority};
 pub use schedule::{OpLatencies, Schedule};
 pub use timing::{alap, asap, critical_path_length, mobility};

@@ -64,6 +64,24 @@ pub struct ListScheduler {
     priority: SchedulePriority,
 }
 
+/// Reusable buffers for [`ListScheduler::schedule_with_scratch`], so the
+/// allocator's refinement loop can run one full list schedule per iteration
+/// without reallocating its working tables.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    start: Vec<Option<Cycles>>,
+    priority: Vec<Cycles>,
+    ready: Vec<OpId>,
+}
+
+impl SchedScratch {
+    /// Creates an empty scratch; buffers grow to fit on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ListScheduler {
     /// Creates a list scheduler with the given ready-list priority.
     #[must_use]
@@ -89,33 +107,60 @@ impl ListScheduler {
         &self,
         graph: &SequencingGraph,
         latencies: &OpLatencies,
+        constraint: C,
+    ) -> Result<Schedule, SchedError> {
+        self.schedule_with_scratch(graph, latencies, constraint, &mut SchedScratch::new())
+    }
+
+    /// As [`schedule`](Self::schedule), but reuses the caller's working
+    /// buffers — the steady-state form used by the allocator's inner loop.
+    /// Produces the identical [`Schedule`] for identical inputs; only the
+    /// allocation behaviour differs.  Pass `&mut constraint` to keep the
+    /// constraint's own buffers with the caller too.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`schedule`](Self::schedule).
+    pub fn schedule_with_scratch<C: ResourceConstraint>(
+        &self,
+        graph: &SequencingGraph,
+        latencies: &OpLatencies,
         mut constraint: C,
+        scratch: &mut SchedScratch,
     ) -> Result<Schedule, SchedError> {
         latencies.validate(graph)?;
         let n = graph.len();
-        let priority = self.priority_values(graph, latencies);
+        let SchedScratch {
+            start,
+            priority,
+            ready,
+        } = scratch;
+        self.priority_values_into(graph, latencies, priority);
+        start.clear();
+        start.resize(n, None);
 
-        let mut start: Vec<Option<Cycles>> = vec![None; n];
         let mut scheduled = 0usize;
         let mut step: Cycles = 0;
 
         while scheduled < n {
             // Ready operations: unscheduled, all predecessors finished by `step`.
-            let mut ready: Vec<OpId> = graph
-                .op_ids()
-                .filter(|&o| start[o.index()].is_none())
-                .filter(|&o| {
-                    graph.predecessors(o).iter().all(|&p| {
-                        start[p.index()]
-                            .map(|s| s + latencies.get(p) <= step)
-                            .unwrap_or(false)
-                    })
-                })
-                .collect();
-            self.sort_ready(&mut ready, &priority);
+            ready.clear();
+            ready.extend(
+                graph
+                    .op_ids()
+                    .filter(|&o| start[o.index()].is_none())
+                    .filter(|&o| {
+                        graph.predecessors(o).iter().all(|&p| {
+                            start[p.index()]
+                                .map(|s| s + latencies.get(p) <= step)
+                                .unwrap_or(false)
+                        })
+                    }),
+            );
+            self.sort_ready(ready, priority);
 
             let mut placed_any = false;
-            for &op in &ready {
+            for &op in ready.iter() {
                 let lat = latencies.get(op);
                 if constraint.admits(op, step, lat) {
                     constraint.commit(op, step, lat);
@@ -141,10 +186,6 @@ impl ListScheduler {
             match next_event {
                 Some(e) => step = e,
                 None => {
-                    // Nothing is running beyond `step` and nothing could be
-                    // placed: the constraint permanently rejects some ready
-                    // operation (or no operation is ready, which cannot
-                    // happen in a DAG once all running work has finished).
                     if placed_any {
                         step += 1;
                         continue;
@@ -162,15 +203,21 @@ impl ListScheduler {
         }
 
         Ok(Schedule::from_vec(
-            start.into_iter().map(|s| s.unwrap_or(0)).collect(),
+            start.iter().map(|s| s.unwrap_or(0)).collect(),
         ))
     }
 
     /// Longest path from each operation to any sink, including the
     /// operation's own latency (classic list-scheduling urgency metric).
-    fn priority_values(&self, graph: &SequencingGraph, latencies: &OpLatencies) -> Vec<Cycles> {
+    fn priority_values_into(
+        &self,
+        graph: &SequencingGraph,
+        latencies: &OpLatencies,
+        value: &mut Vec<Cycles>,
+    ) {
         let order = graph.topological_order();
-        let mut value = vec![0; graph.len()];
+        value.clear();
+        value.resize(graph.len(), 0);
         for &v in order.iter().rev() {
             let tail = graph
                 .successors(v)
@@ -180,7 +227,6 @@ impl ListScheduler {
                 .unwrap_or(0);
             value[v.index()] = tail + latencies.get(v);
         }
-        value
     }
 
     fn sort_ready(&self, ready: &mut [OpId], priority: &[Cycles]) {
@@ -371,6 +417,34 @@ mod tests {
             .schedule(&g, &lat, mk(1))
             .unwrap_err();
         assert!(matches!(err, SchedError::InfeasibleResourceBound { .. }));
+    }
+
+    /// The scratch variant must reproduce `schedule` exactly, including
+    /// across reuses of the same scratch.
+    #[test]
+    fn scratch_variant_is_identical_to_schedule() {
+        use mwl_tgff::{TgffConfig, TgffGenerator};
+        let mut scratch = SchedScratch::new();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(12), 9);
+        for i in 0..10 {
+            let g = generator.generate();
+            let lat = OpLatencies::from_fn(&g, |op| 1 + (op.id().index() as Cycles % 3));
+            let bounds = BTreeMap::from([
+                (ResourceClass::Multiplier, 1 + i % 2),
+                (ResourceClass::Adder, 1),
+            ]);
+            let mk = || PerClassBound::new(classes_of(&g), bounds.clone());
+            for priority in [SchedulePriority::CriticalPath, SchedulePriority::InputOrder] {
+                let scheduler = ListScheduler::new(priority);
+                let plain = scheduler.schedule(&g, &lat, mk());
+                let reused = scheduler.schedule_with_scratch(&g, &lat, mk(), &mut scratch);
+                match (plain, reused) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b),
+                    (Err(a), Err(b)) => assert_eq!(format!("{a:?}"), format!("{b:?}")),
+                    (a, b) => panic!("scratch variant diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
     }
 
     #[test]

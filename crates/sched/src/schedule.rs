@@ -20,7 +20,7 @@ use crate::error::SchedError;
 /// the slowest resource an operation is still compatible with) during
 /// scheduling, and the *bound latencies* `ℓ(o)` (latency of the resource the
 /// operation was actually bound to) when analysing the result.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpLatencies {
     latencies: Vec<Cycles>,
 }
@@ -47,6 +47,23 @@ impl OpLatencies {
         OpLatencies {
             latencies: vec![latency; graph.len()],
         }
+    }
+
+    /// An empty table, intended as a reusable buffer for
+    /// [`copy_from_slice`](Self::copy_from_slice).
+    #[must_use]
+    pub fn empty() -> Self {
+        OpLatencies {
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Overwrites the table with the given per-operation latencies, reusing
+    /// the existing allocation — the scratch-buffer counterpart of
+    /// [`from_vec`](Self::from_vec).
+    pub fn copy_from_slice(&mut self, latencies: &[Cycles]) {
+        self.latencies.clear();
+        self.latencies.extend_from_slice(latencies);
     }
 
     /// Latency of one operation.

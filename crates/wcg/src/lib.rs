@@ -19,6 +19,15 @@
 //! heuristic needs: latency upper bounds `L_o`, `O(r)`, `S(o)`, maximum
 //! chains of uncovered operations, and wordlength-refinement edge deletion.
 //!
+//! The adjacency is stored **twice** — per operation and per resource, both
+//! as sorted index lists — and the latency upper bounds `L_o` are cached, so
+//! an edge deletion ([`refine_op`](WordlengthCompatibilityGraph::refine_op) /
+//! [`delete_edge`](WordlengthCompatibilityGraph::delete_edge)) updates only
+//! the rows it touches and the allocator's inner loop reads `O(r)`, `L_o`
+//! and per-resource edge counts in `O(1)` without rebuilding tables.  The
+//! schedule-interval buffer behind the `C` edges is likewise reused across
+//! [`attach_schedule`](WordlengthCompatibilityGraph::attach_schedule) calls.
+//!
 //! *Pipeline position:* built first from the raw graph, then iteratively
 //! refined by the `DPAlloc` loop (`mwl_core`) — Sections 2.1–2.2 of the
 //! paper.  See `docs/ARCHITECTURE.md` for the full map.
@@ -27,16 +36,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::collections::BTreeSet;
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
 
 use mwl_model::{Area, CostModel, Cycles, OpId, ResourceType, SequencingGraph};
 use mwl_sched::{OpLatencies, Schedule};
 
 /// Index of a resource-wordlength type within the graph's resource list.
 pub type ResourceIndex = usize;
+
+/// Reusable buffers for
+/// [`WordlengthCompatibilityGraph::max_chain_into`]: the candidate list and
+/// the longest-chain dynamic-programming tables.
+#[derive(Debug, Default)]
+pub struct ChainScratch {
+    candidates: Vec<OpId>,
+    best: Vec<u32>,
+    prev: Vec<u32>,
+}
 
 /// The wordlength compatibility graph.
 ///
@@ -61,7 +77,13 @@ pub type ResourceIndex = usize;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+//
+// Deliberately NOT Serialize/Deserialize: the struct carries redundant
+// internal state (the per-resource mirror lists, cached upper bounds and
+// sorted-row invariants of the per-op adjacency) that a hand-crafted
+// deserialized value could silently violate.  Rebuild from the graph and
+// cost model instead — construction is cheap and canonical.
+#[derive(Debug, Clone)]
 pub struct WordlengthCompatibilityGraph {
     /// Candidate resource-wordlength types (the vertex subset `R`).
     resources: Vec<ResourceType>,
@@ -69,12 +91,37 @@ pub struct WordlengthCompatibilityGraph {
     latencies: Vec<Cycles>,
     /// Area of each resource type under the cost model.
     areas: Vec<Area>,
-    /// `H` edges: for every operation, the set of compatible resource
-    /// indices.
-    edges: Vec<BTreeSet<ResourceIndex>>,
+    /// `H` edges per operation: compatible resource indices, ascending.
+    edges: Vec<Vec<ResourceIndex>>,
+    /// `H` edges per resource: compatible operations, ascending (the mirror
+    /// of `edges`, maintained through every deletion).
+    resource_ops: Vec<Vec<OpId>>,
+    /// Cached latency upper bound `L_o` per operation (meaningless — and
+    /// never read — for an operation whose last edge was deleted).
+    upper: Vec<Cycles>,
     /// Schedule-derived start/end intervals used for the `C` edges
-    /// (operation `o1` precedes `o2` iff `end(o1) <= start(o2)`).
-    intervals: Option<Vec<(Cycles, Cycles)>>,
+    /// (operation `o1` precedes `o2` iff `end(o1) <= start(o2)`).  The
+    /// buffer is retained across attach/detach cycles.
+    intervals: Vec<(Cycles, Cycles)>,
+    /// Whether `intervals` currently holds an attached schedule.
+    scheduled: bool,
+}
+
+impl Default for WordlengthCompatibilityGraph {
+    /// An empty graph, intended as a reusable workspace for
+    /// [`rebuild`](Self::rebuild).
+    fn default() -> Self {
+        WordlengthCompatibilityGraph {
+            resources: Vec::new(),
+            latencies: Vec::new(),
+            areas: Vec::new(),
+            edges: Vec::new(),
+            resource_ops: Vec::new(),
+            upper: Vec::new(),
+            intervals: Vec::new(),
+            scheduled: false,
+        }
+    }
 }
 
 impl WordlengthCompatibilityGraph {
@@ -84,8 +131,9 @@ impl WordlengthCompatibilityGraph {
     /// [`attach_schedule`](Self::attach_schedule) is called.
     #[must_use]
     pub fn new(graph: &SequencingGraph, cost: &dyn CostModel) -> Self {
-        let resources = graph.extract_resource_types();
-        Self::with_resources(graph, resources, cost)
+        let mut wcg = Self::default();
+        wcg.rebuild(graph, cost);
+        wcg
     }
 
     /// Builds the graph with an explicitly supplied resource set.
@@ -95,27 +143,69 @@ impl WordlengthCompatibilityGraph {
         resources: Vec<ResourceType>,
         cost: &dyn CostModel,
     ) -> Self {
-        let latencies = resources.iter().map(|r| cost.latency(r)).collect();
-        let areas = resources.iter().map(|r| cost.area(r)).collect();
-        let edges = graph
-            .operations()
-            .iter()
-            .map(|op| {
-                resources
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| r.covers(op.shape()))
-                    .map(|(i, _)| i)
-                    .collect()
-            })
-            .collect();
-        WordlengthCompatibilityGraph {
-            resources,
-            latencies,
-            areas,
-            edges,
-            intervals: None,
+        let mut wcg = Self::default();
+        wcg.rebuild_with_resources(graph, resources, cost);
+        wcg
+    }
+
+    /// Re-initialises this graph for a (possibly different) sequencing graph,
+    /// reusing every buffer — the allocation-free counterpart of
+    /// [`new`](Self::new), used by the allocator to restart refinement after
+    /// a resource-bound escalation and by the batch driver's per-worker
+    /// workspaces.  The result is indistinguishable from a freshly
+    /// constructed graph.
+    pub fn rebuild(&mut self, graph: &SequencingGraph, cost: &dyn CostModel) {
+        let resources = graph.extract_resource_types();
+        self.rebuild_with_resources(graph, resources, cost);
+    }
+
+    fn rebuild_with_resources(
+        &mut self,
+        graph: &SequencingGraph,
+        resources: Vec<ResourceType>,
+        cost: &dyn CostModel,
+    ) {
+        self.resources = resources;
+        let num_resources = self.resources.len();
+        self.latencies.clear();
+        self.latencies
+            .extend(self.resources.iter().map(|r| cost.latency(r)));
+        self.areas.clear();
+        self.areas
+            .extend(self.resources.iter().map(|r| cost.area(r)));
+
+        self.resource_ops.truncate(num_resources);
+        if self.resource_ops.len() < num_resources {
+            self.resource_ops.resize_with(num_resources, Vec::new);
         }
+        for list in &mut self.resource_ops {
+            list.clear();
+        }
+
+        let n = graph.len();
+        self.edges.truncate(n);
+        if self.edges.len() < n {
+            self.edges.resize_with(n, Vec::new);
+        }
+        self.upper.clear();
+        self.upper.resize(n, 0);
+        for (i, op) in graph.operations().iter().enumerate() {
+            let shape = op.shape();
+            self.edges[i].clear();
+            for j in 0..num_resources {
+                if self.resources[j].covers(shape) {
+                    self.edges[i].push(j);
+                    self.resource_ops[j].push(OpId::new(i as u32));
+                }
+            }
+            self.upper[i] = self.edges[i]
+                .iter()
+                .map(|&r| self.latencies[r])
+                .max()
+                .unwrap_or(0);
+        }
+        self.intervals.clear();
+        self.scheduled = false;
     }
 
     /// Number of operations `|O|`.
@@ -156,28 +246,61 @@ impl WordlengthCompatibilityGraph {
     /// of `o`, i.e. the candidates from which `S(o)` is drawn).
     #[must_use]
     pub fn resources_for(&self, op: OpId) -> Vec<ResourceIndex> {
-        self.edges[op.index()].iter().copied().collect()
+        self.edges[op.index()].clone()
+    }
+
+    /// Borrowed view of [`resources_for`](Self::resources_for): the
+    /// compatible resource indices of an operation, ascending, without
+    /// copying.
+    #[must_use]
+    #[inline]
+    pub fn candidate_slice(&self, op: OpId) -> &[ResourceIndex] {
+        &self.edges[op.index()]
     }
 
     /// Returns `true` if the `H` edge `{o, r}` is present.
     #[must_use]
+    #[inline]
     pub fn has_edge(&self, op: OpId, resource: ResourceIndex) -> bool {
-        self.edges[op.index()].contains(&resource)
+        self.edges[op.index()].binary_search(&resource).is_ok()
     }
 
     /// The operations compatible with a resource type (`O(r)`).
     #[must_use]
     pub fn ops_for(&self, resource: ResourceIndex) -> Vec<OpId> {
-        (0..self.num_ops())
-            .map(|i| OpId::new(i as u32))
-            .filter(|&o| self.has_edge(o, resource))
-            .collect()
+        self.resource_ops[resource].clone()
+    }
+
+    /// Borrowed view of [`ops_for`](Self::ops_for): the operations
+    /// compatible with a resource, ascending, without copying.
+    #[must_use]
+    #[inline]
+    pub fn ops_for_slice(&self, resource: ResourceIndex) -> &[OpId] {
+        &self.resource_ops[resource]
+    }
+
+    /// All per-resource operation lists (`O(r)` for every `r`), in resource
+    /// order — the set-cover rows consumed by
+    /// [`mwl_sched::scheduling_set_into`].
+    #[must_use]
+    #[inline]
+    pub fn resource_op_lists(&self) -> &[Vec<OpId>] {
+        &self.resource_ops
+    }
+
+    /// Number of `H` edges incident to one resource (`|O(r)|`), maintained
+    /// incrementally — the quantity behind the refinement rule's
+    /// deletion-proportion denominator.
+    #[must_use]
+    #[inline]
+    pub fn resource_edge_count(&self, resource: ResourceIndex) -> usize {
+        self.resource_ops[resource].len()
     }
 
     /// Total number of `H` edges.
     #[must_use]
     pub fn num_edges(&self) -> usize {
-        self.edges.iter().map(BTreeSet::len).sum()
+        self.edges.iter().map(Vec::len).sum()
     }
 
     /// Latency upper bound `L_o`: the latency of the slowest resource the
@@ -188,12 +311,13 @@ impl WordlengthCompatibilityGraph {
     /// Panics if every `H` edge of the operation has been deleted; the
     /// allocator never removes the last edge of an operation.
     #[must_use]
+    #[inline]
     pub fn upper_bound_latency(&self, op: OpId) -> Cycles {
-        self.edges[op.index()]
-            .iter()
-            .map(|&r| self.latencies[r])
-            .max()
-            .expect("operation retains at least one compatible resource")
+        assert!(
+            !self.edges[op.index()].is_empty(),
+            "operation retains at least one compatible resource"
+        );
+        self.upper[op.index()]
     }
 
     /// Latency upper bounds for all operations, in a form directly usable by
@@ -205,9 +329,42 @@ impl WordlengthCompatibilityGraph {
             .collect()
     }
 
+    /// Borrowed view of the cached upper bounds `L_o`, indexed by operation.
+    /// Entries of operations whose last edge was deleted are meaningless;
+    /// the allocator guarantees that never happens.
+    #[must_use]
+    #[inline]
+    pub fn upper_bound_slice(&self) -> &[Cycles] {
+        &self.upper
+    }
+
+    /// Re-derives the cached upper bound of one operation after its edge row
+    /// changed.
+    fn refresh_upper(&mut self, op: usize) {
+        self.upper[op] = self.edges[op]
+            .iter()
+            .map(|&r| self.latencies[r])
+            .max()
+            .unwrap_or(0);
+    }
+
+    /// Removes `op` from the mirror list of `resource`.
+    fn unlink_resource(&mut self, op: OpId, resource: ResourceIndex) {
+        if let Ok(pos) = self.resource_ops[resource].binary_search(&op) {
+            self.resource_ops[resource].remove(pos);
+        }
+    }
+
     /// Deletes a single `H` edge.  Returns `true` if the edge existed.
     pub fn delete_edge(&mut self, op: OpId, resource: ResourceIndex) -> bool {
-        self.edges[op.index()].remove(&resource)
+        let row = &mut self.edges[op.index()];
+        let Ok(pos) = row.binary_search(&resource) else {
+            return false;
+        };
+        row.remove(pos);
+        self.unlink_resource(op, resource);
+        self.refresh_upper(op.index());
+        true
     }
 
     /// Deletes every `H` edge `{op, r}` whose resource latency equals the
@@ -218,28 +375,23 @@ impl WordlengthCompatibilityGraph {
     /// Returns the number of edges removed.
     pub fn refine_op(&mut self, op: OpId) -> usize {
         let bound = self.upper_bound_latency(op);
-        let slow: Vec<ResourceIndex> = self.edges[op.index()]
+        let row = &self.edges[op.index()];
+        let slow: Vec<ResourceIndex> = row
             .iter()
             .copied()
             .filter(|&r| self.latencies[r] == bound)
             .collect();
-        if slow.len() == self.edges[op.index()].len() {
+        if slow.len() == row.len() && !self.refinable(op) {
             // All remaining candidates share the same (minimal) latency:
             // nothing can be refined away without stranding the operation.
-            let distinct: BTreeSet<Cycles> = self.edges[op.index()]
-                .iter()
-                .map(|&r| self.latencies[r])
-                .collect();
-            if distinct.len() <= 1 {
-                return 0;
-            }
+            return 0;
         }
         let mut removed = 0;
         for r in slow {
             if self.edges[op.index()].len() == 1 {
                 break;
             }
-            if self.edges[op.index()].remove(&r) {
+            if self.delete_edge(op, r) {
                 removed += 1;
             }
         }
@@ -250,35 +402,43 @@ impl WordlengthCompatibilityGraph {
     /// candidate latency, i.e. refinement could still lower its upper bound.
     #[must_use]
     pub fn refinable(&self, op: OpId) -> bool {
-        let distinct: BTreeSet<Cycles> = self.edges[op.index()]
-            .iter()
-            .map(|&r| self.latencies[r])
-            .collect();
-        distinct.len() > 1
+        let mut latencies = self.edges[op.index()].iter().map(|&r| self.latencies[r]);
+        let Some(first) = latencies.next() else {
+            return false;
+        };
+        latencies.any(|l| l != first)
     }
 
     /// Attaches schedule information, creating the `C` edges: `(o1, o2) ∈ C`
     /// iff `o1` completes no later than `o2` starts under the given start
-    /// times and latency table.
+    /// times and latency table.  The interval buffer is reused, so repeated
+    /// attach/detach cycles in the allocator loop are allocation-free.
     pub fn attach_schedule(&mut self, schedule: &Schedule, latencies: &OpLatencies) {
-        let intervals = (0..self.num_ops())
-            .map(|i| {
-                let op = OpId::new(i as u32);
-                (schedule.start(op), schedule.end(op, latencies))
-            })
-            .collect();
-        self.intervals = Some(intervals);
+        self.intervals.clear();
+        self.intervals.extend((0..self.num_ops()).map(|i| {
+            let op = OpId::new(i as u32);
+            (schedule.start(op), schedule.end(op, latencies))
+        }));
+        self.scheduled = true;
     }
 
     /// Removes the `C` edges (used when the allocator reschedules).
     pub fn detach_schedule(&mut self) {
-        self.intervals = None;
+        self.scheduled = false;
     }
 
     /// Returns `true` if a schedule has been attached.
     #[must_use]
     pub fn has_schedule(&self) -> bool {
-        self.intervals.is_some()
+        self.scheduled
+    }
+
+    fn intervals(&self, context: &str) -> &[(Cycles, Cycles)] {
+        assert!(
+            self.scheduled,
+            "attach_schedule must be called before {context}"
+        );
+        &self.intervals
     }
 
     /// Returns `true` if the directed compatibility edge `(o1, o2)` exists:
@@ -289,10 +449,7 @@ impl WordlengthCompatibilityGraph {
     /// Panics if no schedule is attached.
     #[must_use]
     pub fn compatible(&self, o1: OpId, o2: OpId) -> bool {
-        let intervals = self
-            .intervals
-            .as_ref()
-            .expect("attach_schedule must be called before compatibility queries");
+        let intervals = self.intervals("compatibility queries");
         intervals[o1.index()].1 <= intervals[o2.index()].0
     }
 
@@ -305,11 +462,8 @@ impl WordlengthCompatibilityGraph {
     /// Panics if no schedule is attached.
     #[must_use]
     pub fn is_chain(&self, ops: &[OpId]) -> bool {
+        let intervals = self.intervals("compatibility queries");
         let mut sorted: Vec<OpId> = ops.to_vec();
-        let intervals = self
-            .intervals
-            .as_ref()
-            .expect("attach_schedule must be called before compatibility queries");
         sorted.sort_by_key(|o| intervals[o.index()].0);
         sorted
             .windows(2)
@@ -329,41 +483,67 @@ impl WordlengthCompatibilityGraph {
     /// Panics if no schedule is attached.
     #[must_use]
     pub fn max_chain(&self, resource: ResourceIndex, covered: &[bool]) -> Vec<OpId> {
-        let intervals = self
-            .intervals
-            .as_ref()
-            .expect("attach_schedule must be called before max_chain");
-        let mut candidates: Vec<OpId> = self
-            .ops_for(resource)
-            .into_iter()
-            .filter(|o| !covered[o.index()])
-            .collect();
+        let mut scratch = ChainScratch::default();
+        let mut chain = Vec::new();
+        self.max_chain_into(resource, covered, &mut scratch, &mut chain);
+        chain
+    }
+
+    /// As [`max_chain`](Self::max_chain), but writes the chain into a
+    /// reusable buffer — the allocation-free form `BindSelect` runs once per
+    /// resource per covering round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule is attached.
+    pub fn max_chain_into(
+        &self,
+        resource: ResourceIndex,
+        covered: &[bool],
+        scratch: &mut ChainScratch,
+        chain: &mut Vec<OpId>,
+    ) {
+        chain.clear();
+        let intervals = self.intervals("max_chain");
+        let ChainScratch {
+            candidates,
+            best,
+            prev,
+        } = scratch;
+        candidates.clear();
+        candidates.extend(
+            self.resource_ops[resource]
+                .iter()
+                .copied()
+                .filter(|o| !covered[o.index()]),
+        );
         candidates.sort_by_key(|o| (intervals[o.index()].0, intervals[o.index()].1, *o));
         let k = candidates.len();
         if k == 0 {
-            return Vec::new();
+            return;
         }
         // best[i]: length of the longest chain ending at candidate i.
-        let mut best = vec![1usize; k];
-        let mut prev: Vec<Option<usize>> = vec![None; k];
+        best.clear();
+        best.resize(k, 1);
+        prev.clear();
+        prev.resize(k, u32::MAX);
         for i in 0..k {
             for j in 0..i {
                 let end_j = intervals[candidates[j].index()].1;
                 let start_i = intervals[candidates[i].index()].0;
                 if end_j <= start_i && best[j] + 1 > best[i] {
                     best[i] = best[j] + 1;
-                    prev[i] = Some(j);
+                    prev[i] = j as u32;
                 }
             }
         }
         let mut tail = (0..k).max_by_key(|&i| best[i]).expect("k > 0");
-        let mut chain = vec![candidates[tail]];
-        while let Some(p) = prev[tail] {
-            chain.push(candidates[p]);
-            tail = p;
+        chain.push(candidates[tail]);
+        while prev[tail] != u32::MAX {
+            tail = prev[tail] as usize;
+            chain.push(candidates[tail]);
         }
         chain.reverse();
-        chain
     }
 
     /// The cheapest resource (by area) able to execute every operation in the
@@ -380,9 +560,7 @@ impl WordlengthCompatibilityGraph {
     /// compatible with operation `i`.
     #[must_use]
     pub fn op_candidate_lists(&self) -> Vec<Vec<ResourceIndex>> {
-        (0..self.num_ops())
-            .map(|i| self.resources_for(OpId::new(i as u32)))
-            .collect()
+        self.edges.clone()
     }
 }
 
@@ -474,6 +652,7 @@ mod tests {
         assert_eq!(wcg.upper_bound_latency(OpId::new(3)), 2);
         let all = wcg.upper_bound_latencies();
         assert_eq!(all.get(OpId::new(0)), 4);
+        assert_eq!(wcg.upper_bound_slice(), all.as_slice());
     }
 
     #[test]
@@ -514,6 +693,30 @@ mod tests {
         assert!(wcg.delete_edge(op, r));
         assert!(!wcg.delete_edge(op, r));
         assert!(!wcg.has_edge(op, r));
+    }
+
+    #[test]
+    fn mirrors_stay_consistent_through_deletions() {
+        let (g, mut wcg) = sample();
+        // Delete a few edges, then cross-check both adjacency directions and
+        // the cached quantities against first-principles recomputation.
+        wcg.refine_op(OpId::new(0));
+        wcg.delete_edge(OpId::new(2), wcg.resources_for(OpId::new(2))[0]);
+        for r in 0..wcg.resources().len() {
+            let scan: Vec<OpId> = g.op_ids().filter(|&o| wcg.has_edge(o, r)).collect();
+            assert_eq!(wcg.ops_for(r), scan);
+            assert_eq!(wcg.resource_edge_count(r), scan.len());
+            assert_eq!(wcg.ops_for_slice(r), &scan[..]);
+            assert_eq!(&wcg.resource_op_lists()[r], &scan);
+        }
+        for op in g.op_ids() {
+            let row = wcg.resources_for(op);
+            assert_eq!(wcg.candidate_slice(op), &row[..]);
+            if !row.is_empty() {
+                let max = row.iter().map(|&r| wcg.resource_latency(r)).max().unwrap();
+                assert_eq!(wcg.upper_bound_latency(op), max);
+            }
+        }
     }
 
     #[test]

@@ -235,6 +235,35 @@ pub mod wcg {
 /// # Ok(())
 /// # }
 /// ```
+///
+/// When allocating many graphs on one thread, reuse an
+/// [`alloc::AllocScratch`] across jobs so the inner loop stays
+/// allocation-free (the batch driver does this per worker automatically);
+/// results are bit-identical either way:
+///
+/// ```
+/// use mwl::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut builder = SequencingGraphBuilder::new();
+/// builder.add_operation(OpShape::multiplier(8, 8));
+/// let graph = builder.build()?;
+/// let cost = SonicCostModel::default();
+///
+/// let mut scratch = AllocScratch::new();
+/// for lambda in [2, 4, 8] {
+///     let outcome = DpAllocator::new(&cost, AllocConfig::new(lambda))
+///         .allocate_with_scratch(&graph, &mut scratch)?;
+///     assert!(outcome.datapath.latency() <= lambda);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The frozen pre-optimization implementation is kept as the
+/// [`alloc::reference`] module — the specification oracle the optimized
+/// loop is regression-tested against, and the baseline of the committed
+/// `BENCH_alloc.json` performance trajectory.
 pub mod alloc {
     pub use mwl_core::*;
 }
@@ -569,8 +598,8 @@ pub mod workloads {
 pub mod prelude {
     pub use mwl_baselines::{SortedCliqueAllocator, TwoStageAllocator, UniformWordlengthAllocator};
     pub use mwl_core::{
-        merge_instances, AllocConfig, AllocError, CachedCostModel, Datapath, DpAllocator,
-        MergeStats, ResourceInstance, ValueLifetime,
+        merge_instances, AllocConfig, AllocError, AllocScratch, CachedCostModel, Datapath,
+        DpAllocator, MergeStats, ResourceInstance, ValueLifetime,
     };
     pub use mwl_driver::{
         run_batch, BatchJob, BatchOptions, BatchReport, BatchSummary, JobOutcome, JobStats,
