@@ -75,6 +75,7 @@ mod cost_cache;
 mod datapath;
 mod dpalloc;
 mod error;
+pub mod fingerprint;
 pub mod merge;
 pub mod reference;
 mod refine;
@@ -86,6 +87,7 @@ pub use cost_cache::CachedCostModel;
 pub use datapath::{Datapath, ResourceInstance, ValueLifetime};
 pub use dpalloc::{most_contended_class, AllocConfig, AllocOutcome, DpAllocator, RefinementPolicy};
 pub use error::{AllocError, ValidateError};
+pub use fingerprint::{config_fingerprint, graph_fingerprint, StableHasher};
 pub use merge::{merge_instances, MergeStats};
 pub use refine::{bound_critical_path, select_refinement_op};
 pub use report::{render_report, DatapathReport, InstanceUtilisation};

@@ -3,11 +3,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-use mwl_core::{AllocScratch, CachedCostModel, DpAllocator};
+use mwl_core::AllocScratch;
 use mwl_model::CostModel;
 
+use crate::exec::{batch_cache, solve_job};
 use crate::job::{BatchJob, BatchOptions};
-use crate::report::{BatchReport, JobOutcome, JobStats, RtlCheck};
+use crate::report::{BatchReport, JobOutcome};
 
 /// Runs every job in the batch and returns the per-job outcomes in
 /// submission order.
@@ -35,11 +36,7 @@ pub fn run_batch<C: CostModel + Sync>(
 
     let mut cache = None;
     if options.shared_cost_cache {
-        let mut warmed = CachedCostModel::new(cost);
-        for job in jobs {
-            warmed.warm_graph(&job.graph);
-        }
-        cache = Some(warmed);
+        cache = Some(batch_cache(cost, jobs));
     }
     let model: &(dyn CostModel + Sync) = match &cache {
         Some(c) => c,
@@ -67,7 +64,7 @@ pub fn run_batch<C: CostModel + Sync>(
                         let Some(job) = jobs.get(index) else { break };
                         local.push((
                             index,
-                            run_job(index, job, model, options.rtl_vectors, &mut scratch),
+                            solve_job(index, job, model, options.rtl_vectors, &mut scratch),
                         ));
                     }
                     local
@@ -82,72 +79,6 @@ pub fn run_batch<C: CostModel + Sync>(
     collected.sort_unstable_by_key(|(index, _)| *index);
     let outcomes = collected.into_iter().map(|(_, outcome)| outcome).collect();
     BatchReport { outcomes }
-}
-
-/// Solves one job, optionally running the RTL equivalence oracle on the
-/// resulting datapath.
-fn run_job(
-    index: usize,
-    job: &BatchJob,
-    cost: &(dyn CostModel + Sync),
-    rtl_vectors: usize,
-    scratch: &mut AllocScratch,
-) -> JobOutcome {
-    let lambda = job.latency.resolve(&job.graph, cost);
-    let mut config = job.config.clone();
-    config.latency_constraint = lambda;
-    let result = DpAllocator::new(cost, config)
-        .allocate_with_scratch(&job.graph, scratch)
-        .map(|outcome| JobStats {
-            lambda,
-            area: outcome.datapath.area(),
-            latency: outcome.datapath.latency(),
-            instances: outcome.datapath.num_instances(),
-            refinements: outcome.refinements,
-            bound_escalations: outcome.bound_escalations,
-            merges: outcome.merges,
-            rtl: job
-                .verify_rtl
-                .then(|| rtl_check(index, job, &outcome.datapath, cost, rtl_vectors)),
-        });
-    JobOutcome {
-        index,
-        label: job.label.clone(),
-        result,
-    }
-}
-
-/// Runs the RTL oracle: lower the datapath, simulate random stimulus and
-/// compare bit-exactly against the reference evaluation of the graph.
-///
-/// The stimulus seed is the job's submission index, so reports stay
-/// bit-identical for every worker count.
-fn rtl_check(
-    index: usize,
-    job: &BatchJob,
-    datapath: &mwl_core::Datapath,
-    cost: &(dyn CostModel + Sync),
-    rtl_vectors: usize,
-) -> RtlCheck {
-    let vectors = mwl_rtl::random_vectors(&job.graph, index as u64, rtl_vectors.max(1));
-    match mwl_rtl::check_equivalence(&job.graph, datapath, cost, &vectors) {
-        Ok(report) => RtlCheck {
-            passed: true,
-            vectors: report.vectors,
-            registers: report.stats.registers,
-            mux_arms: report.stats.mux_arms,
-            adapters: report.stats.adapters,
-            failure: None,
-        },
-        Err(e) => RtlCheck {
-            passed: false,
-            vectors: vectors.len(),
-            registers: 0,
-            mux_arms: 0,
-            adapters: 0,
-            failure: Some(e.to_string()),
-        },
-    }
 }
 
 #[cfg(test)]

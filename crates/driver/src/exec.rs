@@ -1,0 +1,176 @@
+//! The shared submission core: solving one job and building shared caches.
+//!
+//! Both front ends of the engine go through this module — the batch driver
+//! ([`crate::run_batch`]) fans a fixed job list across a cursor-fed pool,
+//! while the allocation service (`mwl_serve`) feeds a long-lived worker pool
+//! from a network queue.  Each worker, in either front end, owns one
+//! persistent [`AllocScratch`] and calls [`solve_job`] per job against a
+//! shared read-only [`CachedCostModel`]; keeping the execution path in one
+//! place is what makes the two front ends bit-identical for the same jobs
+//! (regression-tested in `mwl_serve`'s parity suite).
+
+use mwl_core::{AllocScratch, CachedCostModel, DpAllocator};
+use mwl_model::{CostModel, ResourceType};
+
+use crate::job::BatchJob;
+use crate::report::{JobOutcome, JobStats, RtlCheck};
+
+/// Solves one job, optionally running the RTL equivalence oracle on the
+/// resulting datapath.
+///
+/// This is the whole per-job execution path shared by every front end: the
+/// λ budget is resolved against the graph, the allocator runs through the
+/// caller's persistent `scratch`, and failures are captured in the returned
+/// [`JobOutcome`] rather than propagated.  `index` becomes
+/// [`JobOutcome::index`] and seeds the RTL stimulus when
+/// [`BatchJob::verify_rtl`] is set, so results depend only on the job and
+/// its index — never on which worker ran it.
+#[must_use]
+pub fn solve_job(
+    index: usize,
+    job: &BatchJob,
+    cost: &(dyn CostModel + Sync),
+    rtl_vectors: usize,
+    scratch: &mut AllocScratch,
+) -> JobOutcome {
+    let lambda = job.latency.resolve(&job.graph, cost);
+    let mut config = job.config.clone();
+    config.latency_constraint = lambda;
+    let result = DpAllocator::new(cost, config)
+        .allocate_with_scratch(&job.graph, scratch)
+        .map(|outcome| JobStats {
+            lambda,
+            area: outcome.datapath.area(),
+            latency: outcome.datapath.latency(),
+            instances: outcome.datapath.num_instances(),
+            refinements: outcome.refinements,
+            bound_escalations: outcome.bound_escalations,
+            merges: outcome.merges,
+            rtl: job
+                .verify_rtl
+                .then(|| rtl_check(index, job, &outcome.datapath, cost, rtl_vectors)),
+        });
+    JobOutcome {
+        index,
+        label: job.label.clone(),
+        result,
+    }
+}
+
+/// Builds the shared read-only cost cache for a fixed job list: every graph
+/// is warmed before any worker starts, so lookups never need a lock.
+#[must_use]
+pub fn batch_cache<'a>(cost: &'a (dyn CostModel + Sync), jobs: &[BatchJob]) -> CachedCostModel<'a> {
+    let mut cache = CachedCostModel::new(cost);
+    for job in jobs {
+        cache.warm_graph(&job.graph);
+    }
+    cache
+}
+
+/// Builds a shared read-only cost cache over the full width *grid* up to
+/// `max_width` bits — every adder width and every `a×b` multiplier shape.
+///
+/// This is the cache for front ends whose graphs arrive *after* the workers
+/// start (the allocation service): the table cannot be warmed per graph
+/// without locking, but a grid warmed once at startup covers every resource
+/// type — including the component-wise-max joins synthesised by the merge
+/// pass — for any graph whose operand widths stay within `max_width`.
+/// Wider queries safely fall through to the wrapped model and are counted
+/// as misses.
+#[must_use]
+pub fn width_grid_cache(cost: &(dyn CostModel + Sync), max_width: u32) -> CachedCostModel<'_> {
+    let mut cache = CachedCostModel::new(cost);
+    let max_width = max_width.max(1);
+    cache.warm_types((1..=max_width).map(ResourceType::adder));
+    cache.warm_types(
+        (1..=max_width).flat_map(|a| (1..=max_width).map(move |b| ResourceType::multiplier(a, b))),
+    );
+    cache
+}
+
+/// Runs the RTL oracle: lower the datapath, simulate random stimulus and
+/// compare bit-exactly against the reference evaluation of the graph.
+///
+/// The stimulus seed is the job's submission index, so reports stay
+/// bit-identical for every worker count.
+fn rtl_check(
+    index: usize,
+    job: &BatchJob,
+    datapath: &mwl_core::Datapath,
+    cost: &(dyn CostModel + Sync),
+    rtl_vectors: usize,
+) -> RtlCheck {
+    let vectors = mwl_rtl::random_vectors(&job.graph, index as u64, rtl_vectors.max(1));
+    match mwl_rtl::check_equivalence(&job.graph, datapath, cost, &vectors) {
+        Ok(report) => RtlCheck {
+            passed: true,
+            vectors: report.vectors,
+            registers: report.stats.registers,
+            mux_arms: report.stats.mux_arms,
+            adapters: report.stats.adapters,
+            failure: None,
+        },
+        Err(e) => RtlCheck {
+            passed: false,
+            vectors: vectors.len(),
+            registers: 0,
+            mux_arms: 0,
+            adapters: 0,
+            failure: Some(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::LatencySpec;
+    use mwl_model::SonicCostModel;
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    #[test]
+    fn solve_job_matches_direct_allocation() {
+        let cost = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(9), 31);
+        let job = BatchJob::new("j", generator.generate(), LatencySpec::RelaxSteps(2));
+        let mut scratch = AllocScratch::new();
+        let outcome = solve_job(5, &job, &cost, 1, &mut scratch);
+        assert_eq!(outcome.index, 5);
+        assert_eq!(outcome.label, "j");
+        let stats = outcome.result.expect("relative budget is feasible");
+        assert!(stats.latency <= stats.lambda);
+        assert!(stats.rtl.is_none());
+        // Reusing the scratch across calls changes nothing.
+        let again = solve_job(5, &job, &cost, 1, &mut scratch);
+        assert_eq!(again.result.unwrap(), stats);
+    }
+
+    #[test]
+    fn width_grid_cache_covers_in_range_graphs() {
+        let cost = SonicCostModel::default();
+        let cache = width_grid_cache(&cost, 24);
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 9);
+        let graph = generator.generate();
+        for r in graph.extract_resource_types() {
+            assert!(cache.contains(&r), "grid missing {r:?}");
+        }
+        // An out-of-range query falls through without poisoning the table.
+        let wide = ResourceType::multiplier(40, 30);
+        assert_eq!(cache.area(&wide), cost.area(&wide));
+        assert!(!cache.contains(&wide));
+    }
+
+    #[test]
+    fn grid_allocation_is_identical_to_direct() {
+        let cost = SonicCostModel::default();
+        let cache = width_grid_cache(&cost, 32);
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(11), 44);
+        let job = BatchJob::new("g", generator.generate(), LatencySpec::RelaxPercent(20));
+        let mut scratch = AllocScratch::new();
+        let direct = solve_job(0, &job, &cost, 1, &mut scratch);
+        let through_grid = solve_job(0, &job, &cache, 1, &mut scratch);
+        assert_eq!(direct, through_grid);
+        assert_eq!(cache.misses(), 0, "grid must cover the allocator's probes");
+    }
+}

@@ -67,9 +67,11 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+mod exec;
 mod job;
 mod report;
 
 pub use engine::run_batch;
+pub use exec::{batch_cache, solve_job, width_grid_cache};
 pub use job::{BatchJob, BatchOptions, LatencySpec};
 pub use report::{BatchReport, BatchSummary, JobOutcome, JobStats, RtlCheck};

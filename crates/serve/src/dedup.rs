@@ -1,0 +1,224 @@
+//! Content-hash deduplication of allocation jobs.
+//!
+//! Two submissions with the same (graph, latency budget, allocator options)
+//! are guaranteed to produce the same result — the whole pipeline is
+//! deterministic — so the server memoises completed outcomes under a stable
+//! content hash and answers repeats from the cache.  The cached value is the
+//! full [`JobStats`]-or-[`AllocError`] result, cloned verbatim on a hit, so
+//! a hit is *bit-identical* to a cold run (property-tested in
+//! `tests/dedup.rs`).
+//!
+//! Keys come from [`mwl_core::fingerprint`]: an FNV-1a hash over the graph
+//! structure (names excluded), the latency spec and every allocator option
+//! that can change the produced datapath.  The latency constraint inside the
+//! config is *not* part of the key — it is overwritten by the resolved
+//! budget at run time — the [`LatencySpec`] is hashed instead.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mwl_core::fingerprint::{config_fingerprint_into, graph_fingerprint_into};
+use mwl_core::{AllocConfig, AllocError, StableHasher};
+use mwl_driver::{JobStats, LatencySpec};
+use mwl_model::SequencingGraph;
+
+/// A memoised job result.
+pub type CachedResult = Result<JobStats, AllocError>;
+
+/// Computes the stable content key of one job.
+///
+/// The config's `latency_constraint` field is ignored (forced to zero before
+/// hashing) because the runner overwrites it with the budget resolved from
+/// `latency`; hashing the spec itself keeps e.g. `Absolute(12)` and
+/// `RelaxSteps(0)` distinct even when they happen to resolve equally for one
+/// graph — a conservative choice that can only cost a duplicate solve, never
+/// a wrong answer.
+#[must_use]
+pub fn job_key(graph: &SequencingGraph, latency: &LatencySpec, config: &AllocConfig) -> u64 {
+    let mut h = StableHasher::new();
+    graph_fingerprint_into(graph, &mut h);
+    match *latency {
+        LatencySpec::Absolute(v) => {
+            h.write_u32(0);
+            h.write_u32(v);
+        }
+        LatencySpec::RelaxSteps(v) => {
+            h.write_u32(1);
+            h.write_u32(v);
+        }
+        LatencySpec::RelaxPercent(v) => {
+            h.write_u32(2);
+            h.write_u32(v);
+        }
+    }
+    let mut config = config.clone();
+    config.latency_constraint = 0;
+    config_fingerprint_into(&config, &mut h);
+    h.finish()
+}
+
+/// A thread-safe memo table from job content keys to completed results.
+///
+/// Lookups and inserts take a mutex (the critical sections are a `HashMap`
+/// probe plus a clone); the hit/miss counters are lock-free so the stats
+/// endpoint never contends with workers.  Two identical jobs in flight at
+/// once may both miss and both solve — they insert the same value, so the
+/// race is benign and the counters still reconcile: every solved job counts
+/// exactly one miss, every cache-answered job exactly one hit.
+#[derive(Debug, Default)]
+pub struct DedupCache {
+    entries: Mutex<HashMap<u64, CachedResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DedupCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        DedupCache::default()
+    }
+
+    /// Looks up a key, counting a hit or a miss.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<CachedResult> {
+        let entries = self.entries.lock().expect("dedup cache poisoned");
+        match entries.get(&key) {
+            Some(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(result.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoises a completed result.
+    pub fn insert(&self, key: u64, result: CachedResult) {
+        let mut entries = self.entries.lock().expect("dedup cache poisoned");
+        entries.insert(key, result);
+    }
+
+    /// Number of lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that fell through to a real solve.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct memoised results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("dedup cache poisoned").len()
+    }
+
+    /// Returns `true` when nothing is memoised yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwl_model::{OpShape, SequencingGraphBuilder};
+
+    fn graph(width: u32) -> SequencingGraph {
+        let mut b = SequencingGraphBuilder::new();
+        let m = b.add_operation(OpShape::multiplier(8, 8));
+        let a = b.add_operation(OpShape::adder(width));
+        b.add_dependency(m, a).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn key_covers_graph_latency_and_config() {
+        let base = job_key(
+            &graph(16),
+            &LatencySpec::RelaxSteps(2),
+            &AllocConfig::new(0),
+        );
+        assert_eq!(
+            base,
+            job_key(
+                &graph(16),
+                &LatencySpec::RelaxSteps(2),
+                &AllocConfig::new(0)
+            )
+        );
+        assert_ne!(
+            base,
+            job_key(
+                &graph(17),
+                &LatencySpec::RelaxSteps(2),
+                &AllocConfig::new(0)
+            )
+        );
+        assert_ne!(
+            base,
+            job_key(
+                &graph(16),
+                &LatencySpec::RelaxSteps(3),
+                &AllocConfig::new(0)
+            )
+        );
+        assert_ne!(
+            base,
+            job_key(&graph(16), &LatencySpec::Absolute(2), &AllocConfig::new(0))
+        );
+        assert_ne!(
+            base,
+            job_key(
+                &graph(16),
+                &LatencySpec::RelaxSteps(2),
+                &AllocConfig::new(0).with_instance_merging(false)
+            )
+        );
+    }
+
+    #[test]
+    fn latency_constraint_field_does_not_split_keys() {
+        // The runner overwrites it, so configs differing only there are the
+        // same job.
+        assert_eq!(
+            job_key(
+                &graph(16),
+                &LatencySpec::RelaxSteps(2),
+                &AllocConfig::new(5)
+            ),
+            job_key(
+                &graph(16),
+                &LatencySpec::RelaxSteps(2),
+                &AllocConfig::new(9)
+            ),
+        );
+    }
+
+    #[test]
+    fn counters_track_lookups() {
+        let cache = DedupCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(7), None);
+        cache.insert(
+            7,
+            Err(AllocError::LatencyUnachievable {
+                constraint: 1,
+                minimum: 2,
+            }),
+        );
+        assert!(matches!(cache.lookup(7), Some(Err(_))));
+        assert_eq!(cache.lookup(8), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,549 @@
+//! The load generator: replays scenario mixes against a running daemon and
+//! writes the `BENCH_serve.json` service-level report.
+//!
+//! The job mix is the batch sweep's seven scenario families
+//! ([`mwl_bench::scenario_jobs`]), replayed `repeats` times — replays after
+//! the first consist entirely of content-duplicate jobs, which is what
+//! exercises (and measures) the server's dedup cache.  Submissions are
+//! pipelined with a bounded in-flight window; queue-full rejections are
+//! counted and retried, so the run also demonstrates explicit back-pressure
+//! instead of blocking.
+//!
+//! With `exercise_faults` on, the run additionally drives one deterministic
+//! queue-full rejection burst, one cancellation of a deeply queued job, one
+//! malformed protocol line, and finishes with a graceful shutdown that
+//! drains pipelined in-flight jobs — the checks the CI `serve_smoke` job
+//! asserts on.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use mwl_bench::{scenario_jobs, BatchSweepConfig};
+use mwl_driver::BatchJob;
+
+use crate::client::{Client, ClientError, SubmitAck};
+use crate::wire::{
+    CancelOutcome, JobConfig, StatsSnapshot, SubmitRequest, WireGraph, WireOutcome, CODE_QUEUE_FULL,
+};
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadgenConfig {
+    /// Address of the running daemon.
+    pub addr: SocketAddr,
+    /// Graphs per scenario family in each wave.
+    pub graphs_per_family: usize,
+    /// Number of times the scenario job set is replayed.  Waves after the
+    /// first are pure dedup traffic.
+    pub repeats: usize,
+    /// Maximum accepted-but-unfinished jobs in flight at once.
+    pub window: usize,
+    /// Drive the deterministic fault checks (queue-full burst, cancellation,
+    /// malformed line).
+    pub exercise_faults: bool,
+    /// Finish with a graceful `shutdown` request, pipelining a few jobs
+    /// first so the drain is observable.
+    pub shutdown: bool,
+}
+
+impl LoadgenConfig {
+    /// The seconds-scale CI profile.
+    #[must_use]
+    pub fn smoke(addr: SocketAddr) -> Self {
+        LoadgenConfig {
+            addr,
+            graphs_per_family: 2,
+            repeats: 2,
+            window: 8,
+            exercise_faults: true,
+            shutdown: true,
+        }
+    }
+
+    /// The committed-benchmark profile: more graphs and replays for stable
+    /// percentiles and a meaningful dedup hit rate.
+    #[must_use]
+    pub fn quick(addr: SocketAddr) -> Self {
+        LoadgenConfig {
+            addr,
+            graphs_per_family: 8,
+            repeats: 3,
+            window: 8,
+            exercise_faults: true,
+            shutdown: true,
+        }
+    }
+}
+
+/// Results of the fault-exercise phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultChecks {
+    /// A queue-full (429) rejection was observed.
+    pub queue_full_exercised: bool,
+    /// A cancellation was acknowledged and its result came back cancelled.
+    pub cancellation_exercised: bool,
+    /// A malformed line was answered with an error response (connection
+    /// stayed usable).
+    pub malformed_line_answered: bool,
+}
+
+/// The service-level measurement written to `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Jobs submitted across all waves (excluding the fault phase).
+    pub submitted: u64,
+    /// Results received with status ok.
+    pub ok: u64,
+    /// Results received with status failed.
+    pub failed: u64,
+    /// Results received with status cancelled.
+    pub cancelled: u64,
+    /// Total rejected submissions observed (all codes, all phases).
+    pub rejections: u64,
+    /// Rejections with the queue-full code.
+    pub queue_full_rejections: u64,
+    /// Median submit-to-result latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile submit-to-result latency in milliseconds.
+    pub p99_ms: f64,
+    /// Mean submit-to-result latency in milliseconds.
+    pub mean_ms: f64,
+    /// Wall-clock seconds of the measured waves.
+    pub wall_seconds: f64,
+    /// Completed jobs per second over the measured waves.
+    pub graphs_per_sec: f64,
+    /// Dedup hit rate (`hits / (hits + misses)`, 0 when dedup never ran).
+    pub dedup_hit_rate: f64,
+    /// Jobs reported drained by the graceful shutdown (0 when `shutdown`
+    /// was off).
+    pub drained: u64,
+    /// Fault-phase observations.
+    pub faults: FaultChecks,
+    /// The server's own final statistics snapshot.
+    pub server: StatsSnapshot,
+}
+
+impl LoadReport {
+    /// Renders the schema-stable `BENCH_serve.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let s = &self.server;
+        format!(
+            "{{\n  \"schema\": \"mwl_serve_loadgen/v1\",\n  \"jobs\": {{\"submitted\": {}, \"ok\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}}}\n}}\n",
+            self.submitted,
+            self.ok,
+            self.failed,
+            self.cancelled,
+            self.p50_ms,
+            self.p99_ms,
+            self.mean_ms,
+            self.wall_seconds,
+            self.graphs_per_sec,
+            s.dedup_hits,
+            s.dedup_misses,
+            self.dedup_hit_rate,
+            self.rejections,
+            self.queue_full_rejections,
+            self.faults.queue_full_exercised,
+            self.faults.cancellation_exercised,
+            self.faults.malformed_line_answered,
+            self.drained > 0,
+            self.drained,
+            s.accepted,
+            s.completed,
+            s.failed,
+            s.cancelled,
+            s.rejected,
+            s.dedup_hits,
+            s.dedup_misses,
+            s.workers,
+        )
+    }
+}
+
+/// Nearest-rank percentile of a sorted sample (ms).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Converts one batch job to a wire submission.
+fn to_submit(id: u64, job: &BatchJob, priority: i64) -> SubmitRequest {
+    SubmitRequest {
+        id,
+        label: Some(job.label.clone()),
+        priority,
+        graph: WireGraph::from_graph(&job.graph),
+        latency: job.latency,
+        // Scenario jobs run the allocator defaults; JobConfig::default()
+        // lowers to exactly AllocConfig::new (asserted in the wire tests).
+        config: JobConfig::default(),
+    }
+}
+
+/// State of the submit/collect pipeline.
+struct Pipeline {
+    pending: HashMap<u64, Instant>,
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    failed: u64,
+    cancelled: u64,
+    rejections: u64,
+    queue_full: u64,
+}
+
+impl Pipeline {
+    fn record(&mut self, id: u64, outcome: &WireOutcome) {
+        if let Some(sent) = self.pending.remove(&id) {
+            self.latencies_ms
+                .push(sent.elapsed().as_secs_f64() * 1000.0);
+        }
+        match outcome {
+            WireOutcome::Ok(_) => self.ok += 1,
+            WireOutcome::Failed { .. } => self.failed += 1,
+            WireOutcome::Cancelled => self.cancelled += 1,
+        }
+    }
+
+    /// Submits with bounded retries on queue-full back-pressure.
+    fn submit_with_retry(
+        &mut self,
+        client: &mut Client,
+        submit: SubmitRequest,
+    ) -> Result<bool, ClientError> {
+        for _ in 0..10_000 {
+            match client.submit(submit.clone())? {
+                SubmitAck::Accepted => {
+                    self.pending.insert(submit.id, Instant::now());
+                    return Ok(true);
+                }
+                SubmitAck::Rejected { code, .. } => {
+                    self.rejections += 1;
+                    if code == CODE_QUEUE_FULL {
+                        self.queue_full += 1;
+                        // Explicit back-pressure: drain one result (freeing
+                        // a slot) instead of spinning.
+                        if self.pending.is_empty() {
+                            std::thread::sleep(Duration::from_millis(2));
+                        } else {
+                            let (id, outcome) = client.next_result()?;
+                            self.record(id, &outcome);
+                        }
+                    } else {
+                        return Ok(false); // non-retryable rejection
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Runs the load generation and returns the report (without writing files).
+///
+/// # Errors
+///
+/// Propagates client/transport failures; individual job failures are counted
+/// in the report instead.
+pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
+    let mut client = Client::connect(config.addr)?;
+    client.ping()?;
+
+    let sweep = BatchSweepConfig::smoke().with_graphs(config.graphs_per_family.max(1));
+    let jobs = scenario_jobs(&sweep);
+    let mut pipeline = Pipeline {
+        pending: HashMap::new(),
+        latencies_ms: Vec::new(),
+        ok: 0,
+        failed: 0,
+        cancelled: 0,
+        rejections: 0,
+        queue_full: 0,
+    };
+
+    let mut next_id: u64 = 0;
+    let mut submitted: u64 = 0;
+    let started = Instant::now();
+    for _wave in 0..config.repeats.max(1) {
+        for job in &jobs {
+            let id = next_id;
+            next_id += 1;
+            if pipeline.submit_with_retry(&mut client, to_submit(id, job, 0))? {
+                submitted += 1;
+            }
+            while pipeline.pending.len() >= config.window.max(1) {
+                let (id, outcome) = client.next_result()?;
+                pipeline.record(id, &outcome);
+            }
+        }
+    }
+    while !pipeline.pending.is_empty() {
+        let (id, outcome) = client.next_result()?;
+        pipeline.record(id, &outcome);
+    }
+    let wall_seconds = started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut faults = FaultChecks::default();
+    if config.exercise_faults {
+        faults = exercise_faults(&mut client, &mut pipeline, &mut next_id)?;
+    }
+
+    let mut drained = 0;
+    let server = if config.shutdown {
+        // Pipeline a few more jobs and shut down while they are
+        // outstanding: the drain must complete them all before the ack.
+        // Fresh-seed jobs solve cold (dedup cannot shortcut them), so they
+        // are still in flight when the shutdown line lands.
+        let drain_jobs = scenario_jobs(&BatchSweepConfig {
+            graphs_per_family: 1,
+            sizes: vec![28], // slow enough to still be in flight at drain
+            seed: 770_000,   // distinct from the waves and the fault bursts
+            worker_counts: vec![1],
+        });
+        let stats_before = client.stats()?;
+        for job in drain_jobs.iter().take(4) {
+            let id = next_id;
+            next_id += 1;
+            if pipeline.submit_with_retry(&mut client, to_submit(id, job, 0))? {
+                submitted += 1;
+            }
+        }
+        drained = client.shutdown()?;
+        // Every accepted job's result was written before the shutdown ack
+        // (the drain completes outstanding work first), so these pops never
+        // block.
+        while !pipeline.pending.is_empty() {
+            let (id, outcome) = client.next_result()?;
+            pipeline.record(id, &outcome);
+        }
+        stats_before
+    } else {
+        client.stats()?
+    };
+
+    let mut sorted = pipeline.latencies_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mean_ms = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    let denominator = server.dedup_hits + server.dedup_misses;
+    Ok(LoadReport {
+        submitted,
+        ok: pipeline.ok,
+        failed: pipeline.failed,
+        cancelled: pipeline.cancelled,
+        rejections: pipeline.rejections,
+        queue_full_rejections: pipeline.queue_full,
+        p50_ms: percentile(&sorted, 50.0),
+        p99_ms: percentile(&sorted, 99.0),
+        mean_ms,
+        wall_seconds,
+        graphs_per_sec: sorted.len() as f64 / wall_seconds,
+        dedup_hit_rate: if denominator == 0 {
+            0.0
+        } else {
+            server.dedup_hits as f64 / denominator as f64
+        },
+        drained,
+        faults,
+        server,
+    })
+}
+
+/// Drives the deterministic fault checks: a pipelined burst that overruns
+/// the queue (back-pressure), a cancellation of a deeply queued job, and a
+/// malformed line.
+fn exercise_faults(
+    client: &mut Client,
+    pipeline: &mut Pipeline,
+    next_id: &mut u64,
+) -> Result<FaultChecks, ClientError> {
+    let mut checks = FaultChecks::default();
+
+    // Burst: distinct slow graphs sent without reading acks, so the
+    // bounded queue must refuse some of them.  112 jobs overruns any
+    // queue up to ~100 deep (the default capacity is 64); a server
+    // configured far deeper than that simply cannot be driven into
+    // back-pressure by this client, and the check reports false.
+    let burst_jobs = scenario_jobs(&BatchSweepConfig {
+        graphs_per_family: 16,
+        sizes: vec![24, 28],
+        seed: 990_000, // distinct from the measured waves: no dedup hits
+        worker_counts: vec![1],
+    });
+    let first_id = *next_id;
+    for job in &burst_jobs {
+        let id = *next_id;
+        *next_id += 1;
+        client.send(&crate::wire::Request::Submit(to_submit(id, job, 0)))?;
+    }
+    let mut accepted_ids = Vec::new();
+    for _ in first_id..*next_id {
+        match client.read_control()? {
+            crate::wire::Response::Accepted { id } => accepted_ids.push(id),
+            crate::wire::Response::Rejected { code, .. } => {
+                pipeline.rejections += 1;
+                if code == CODE_QUEUE_FULL {
+                    pipeline.queue_full += 1;
+                    checks.queue_full_exercised = true;
+                }
+            }
+            other => return Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    for &id in &accepted_ids {
+        // Results stream in submission order; collect them all.
+        let (got, outcome) = client.next_result()?;
+        debug_assert_eq!(got, id);
+        match &outcome {
+            WireOutcome::Ok(_) => pipeline.ok += 1,
+            WireOutcome::Failed { .. } => pipeline.failed += 1,
+            WireOutcome::Cancelled => pipeline.cancelled += 1,
+        }
+    }
+
+    // Cancellation: occupy the workers and the queue with slow filler
+    // jobs, then submit a lowest-priority victim — the heap pops it only
+    // once everything else is running — and cancel it the moment its ack
+    // arrives.  Retried with fresh (cold, so never dedup-shortcut) graphs
+    // in the unlikely event the whole backlog drained within the cancel's
+    // round trip.
+    for attempt in 0..5u64 {
+        let jobs = scenario_jobs(&BatchSweepConfig {
+            graphs_per_family: 1,
+            sizes: vec![28],
+            seed: 880_000 + 31 * attempt,
+            worker_counts: vec![1],
+        });
+        let (victim_job, fillers) = jobs.split_last().expect("seven families");
+        let mut ids = Vec::new();
+        for job in fillers.iter().take(6) {
+            let id = *next_id;
+            *next_id += 1;
+            client.send(&crate::wire::Request::Submit(to_submit(id, job, 0)))?;
+            ids.push(id);
+        }
+        let victim = *next_id;
+        *next_id += 1;
+        client.send(&crate::wire::Request::Submit(to_submit(
+            victim,
+            victim_job,
+            i64::MIN,
+        )))?;
+        ids.push(victim);
+
+        let mut accepted = Vec::new();
+        for &id in &ids {
+            match client.read_control()? {
+                crate::wire::Response::Accepted { id: got } => {
+                    debug_assert_eq!(got, id);
+                    accepted.push(got);
+                }
+                crate::wire::Response::Rejected { code, .. } => {
+                    pipeline.rejections += 1;
+                    if code == CODE_QUEUE_FULL {
+                        pipeline.queue_full += 1;
+                    }
+                }
+                other => return Err(ClientError::Unexpected(other)),
+            }
+        }
+        let cancelled_now =
+            accepted.contains(&victim) && client.cancel(victim)? != CancelOutcome::Unknown;
+        for &id in &accepted {
+            let (got, outcome) = client.next_result()?;
+            debug_assert_eq!(got, id);
+            match &outcome {
+                WireOutcome::Ok(_) => pipeline.ok += 1,
+                WireOutcome::Failed { .. } => pipeline.failed += 1,
+                WireOutcome::Cancelled => pipeline.cancelled += 1,
+            }
+        }
+        if cancelled_now {
+            checks.cancellation_exercised = true;
+            break;
+        }
+    }
+
+    // Malformed line: answered with an error, connection stays usable.
+    client.send_raw("{this is not json")?;
+    if let crate::wire::Response::Error { .. } = client.read_control()? {
+        checks.malformed_line_answered = true;
+    }
+    client.ping()?;
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[42.0], 50.0), 42.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+    }
+
+    #[test]
+    fn report_json_is_schema_stable() {
+        let report = LoadReport {
+            submitted: 10,
+            ok: 9,
+            failed: 0,
+            cancelled: 1,
+            rejections: 3,
+            queue_full_rejections: 3,
+            p50_ms: 1.5,
+            p99_ms: 9.25,
+            mean_ms: 2.0,
+            wall_seconds: 0.5,
+            graphs_per_sec: 20.0,
+            dedup_hit_rate: 0.5,
+            drained: 4,
+            faults: FaultChecks {
+                queue_full_exercised: true,
+                cancellation_exercised: true,
+                malformed_line_answered: true,
+            },
+            server: StatsSnapshot {
+                accepted: 10,
+                completed: 10,
+                failed: 0,
+                cancelled: 1,
+                rejected: 3,
+                dedup_hits: 5,
+                dedup_misses: 5,
+                queue_depth: 0,
+                in_flight: 0,
+                workers: 2,
+            },
+        };
+        let json = report.to_json();
+        for key in [
+            "\"schema\": \"mwl_serve_loadgen/v1\"",
+            "\"p50\"",
+            "\"p99\"",
+            "\"graphs_per_sec\"",
+            "\"hit_rate\"",
+            "\"queue_full\"",
+            "\"cancellation_exercised\"",
+            "\"drained\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The document parses with the crate's own JSON parser.
+        assert!(crate::json::Json::parse(&json).is_ok());
+    }
+}

@@ -1,0 +1,968 @@
+//! The wire protocol of the allocation service.
+//!
+//! Clients and server exchange newline-delimited JSON objects over a plain
+//! TCP stream: every line is one complete [`Request`] or [`Response`].  The
+//! protocol is deliberately small — submit / cancel / stats / ping /
+//! shutdown — and every message type round-trips byte-losslessly through
+//! [`crate::json`] (property-tested in `tests/wire_roundtrip.rs`).
+//!
+//! Numbers on the wire are integers only; the encoder is canonical (fixed
+//! field order, optional fields omitted rather than `null`), so re-encoding
+//! a parsed message reproduces the original line.
+
+use mwl_core::AllocConfig;
+use mwl_driver::{JobStats, LatencySpec};
+use mwl_model::{Cycles, ModelError, OpKind, OpShape, ResourceClass, SequencingGraph};
+use mwl_sched::SchedulePriority;
+
+use crate::json::{Json, JsonError, ObjectBuilder};
+
+/// Rejection code: the submitted graph is not a valid sequencing graph.
+pub const CODE_INVALID_GRAPH: u32 = 400;
+/// Rejection code: the submitted graph exceeds the server's size limit.
+pub const CODE_GRAPH_TOO_LARGE: u32 = 413;
+/// Rejection code: the bounded job queue is full (back-pressure; retry
+/// later).
+pub const CODE_QUEUE_FULL: u32 = 429;
+/// Rejection code: the server is draining and no longer accepts work.
+pub const CODE_SHUTTING_DOWN: u32 = 503;
+
+/// A parse failure for a protocol message: either invalid JSON or a
+/// structurally invalid message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError(e.to_string())
+    }
+}
+
+fn missing(field: &str) -> WireError {
+    WireError(format!("missing or invalid field '{field}'"))
+}
+
+/// A sequencing graph in wire form: operation shapes in id order plus
+/// dependence edges as index pairs.
+///
+/// Unlike [`SequencingGraph`] this type carries *unvalidated* structure —
+/// converting to a real graph via [`WireGraph::to_graph`] can fail (cycles,
+/// zero widths, dangling edge endpoints), which the server maps to a
+/// [`CODE_INVALID_GRAPH`] rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireGraph {
+    /// Operation shapes in id order.
+    pub ops: Vec<OpShape>,
+    /// Dependence edges `(from, to)` as operation indices.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl WireGraph {
+    /// Captures an existing graph (names are dropped; they do not affect
+    /// allocation).
+    #[must_use]
+    pub fn from_graph(graph: &SequencingGraph) -> Self {
+        WireGraph {
+            ops: graph.operations().iter().map(|o| o.shape()).collect(),
+            edges: graph
+                .edges()
+                .iter()
+                .map(|e| (e.from.index() as u32, e.to.index() as u32))
+                .collect(),
+        }
+    }
+
+    /// Validates and builds the sequencing graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ModelError`] (empty graph, invalid wordlength,
+    /// unknown edge endpoint, duplicate edge, self-dependency or cycle).
+    pub fn to_graph(&self) -> Result<SequencingGraph, ModelError> {
+        let mut b = mwl_model::SequencingGraphBuilder::new();
+        let ids: Vec<_> = self
+            .ops
+            .iter()
+            .map(|&shape| b.add_operation(shape))
+            .collect();
+        for &(from, to) in &self.edges {
+            let get = |i: u32| {
+                ids.get(i as usize)
+                    .copied()
+                    .ok_or(ModelError::UnknownOperation(mwl_model::OpId::new(i)))
+            };
+            b.add_dependency(get(from)?, get(to)?)?;
+        }
+        b.build()
+    }
+
+    fn to_json(&self) -> Json {
+        let ops = self
+            .ops
+            .iter()
+            .map(|shape| match *shape {
+                OpShape::Additive { kind, width } => ObjectBuilder::new()
+                    .str("op", if kind == OpKind::Add { "add" } else { "sub" })
+                    .int("width", i64::from(width))
+                    .build(),
+                OpShape::Multiplicative { a, b } => ObjectBuilder::new()
+                    .str("op", "mul")
+                    .int("a", i64::from(a))
+                    .int("b", i64::from(b))
+                    .build(),
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|&(from, to)| {
+                Json::Array(vec![Json::Int(i64::from(from)), Json::Int(i64::from(to))])
+            })
+            .collect();
+        ObjectBuilder::new()
+            .field("ops", Json::Array(ops))
+            .field("edges", Json::Array(edges))
+            .build()
+    }
+
+    fn from_json(v: &Json) -> Result<Self, WireError> {
+        let width_of = |obj: &Json, key: &str| -> Result<u32, WireError> {
+            let raw = obj
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing(key))?;
+            u32::try_from(raw).map_err(|_| missing(key))
+        };
+        let mut ops = Vec::new();
+        for op in v
+            .get("ops")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("ops"))?
+        {
+            let kind = op
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("op"))?;
+            ops.push(match kind {
+                "add" => OpShape::adder(width_of(op, "width")?),
+                "sub" => OpShape::subtractor(width_of(op, "width")?),
+                "mul" => OpShape::multiplier(width_of(op, "a")?, width_of(op, "b")?),
+                other => return Err(WireError(format!("unknown op kind '{other}'"))),
+            });
+        }
+        let mut edges = Vec::new();
+        for edge in v
+            .get("edges")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("edges"))?
+        {
+            let pair = edge.as_array().ok_or_else(|| missing("edges"))?;
+            if pair.len() != 2 {
+                return Err(WireError("edge must be a [from, to] pair".into()));
+            }
+            let index = |v: &Json| -> Result<u32, WireError> {
+                v.as_u64()
+                    .and_then(|raw| u32::try_from(raw).ok())
+                    .ok_or_else(|| missing("edges"))
+            };
+            edges.push((index(&pair[0])?, index(&pair[1])?));
+        }
+        Ok(WireGraph { ops, edges })
+    }
+}
+
+/// Allocator options in wire form.
+///
+/// The defaults mirror [`AllocConfig::new`], so an omitted `config` object
+/// submits the job exactly as [`mwl_driver::BatchJob::new`] would run it —
+/// the property the serve-vs-`run_batch` parity tests rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobConfig {
+    /// Run the post-bind instance-merging pass (default `true`).
+    pub instance_merging: bool,
+    /// Grow cliques during binding (default `true`).
+    pub grow_cliques: bool,
+    /// Use input-order scheduling priority instead of critical-path
+    /// (default `false`).
+    pub input_order_priority: bool,
+    /// Use the first-refinable refinement policy instead of
+    /// bound-critical-path (default `false`).
+    pub first_refinable: bool,
+    /// Explicit adder-instance bound `N_add` (default: allocator searches).
+    pub adder_bound: Option<u64>,
+    /// Explicit multiplier-instance bound `N_mul` (default: allocator
+    /// searches).
+    pub multiplier_bound: Option<u64>,
+    /// Override of the allocator's iteration safety budget.
+    pub max_iterations: Option<u64>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            instance_merging: true,
+            grow_cliques: true,
+            input_order_priority: false,
+            first_refinable: false,
+            adder_bound: None,
+            multiplier_bound: None,
+            max_iterations: None,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Lowers the wire form to a real [`AllocConfig`] (the latency
+    /// constraint is filled in from the job's [`LatencySpec`] at run time).
+    #[must_use]
+    pub fn to_alloc_config(&self) -> AllocConfig {
+        let mut config = AllocConfig::new(0)
+            .with_instance_merging(self.instance_merging)
+            .with_clique_growth(self.grow_cliques)
+            .with_priority(if self.input_order_priority {
+                SchedulePriority::InputOrder
+            } else {
+                SchedulePriority::CriticalPath
+            })
+            .with_refinement(if self.first_refinable {
+                mwl_core::RefinementPolicy::FirstRefinable
+            } else {
+                mwl_core::RefinementPolicy::BoundCriticalPath
+            });
+        if self.adder_bound.is_some() || self.multiplier_bound.is_some() {
+            let mut bounds = std::collections::BTreeMap::new();
+            if let Some(n) = self.adder_bound {
+                bounds.insert(ResourceClass::Adder, n as usize);
+            }
+            if let Some(n) = self.multiplier_bound {
+                bounds.insert(ResourceClass::Multiplier, n as usize);
+            }
+            config = config.with_resource_bounds(bounds);
+        }
+        if let Some(n) = self.max_iterations {
+            config.max_iterations = n as usize;
+        }
+        config
+    }
+
+    fn to_json(&self) -> Json {
+        let mut b = ObjectBuilder::new()
+            .bool("instance_merging", self.instance_merging)
+            .bool("grow_cliques", self.grow_cliques)
+            .bool("input_order_priority", self.input_order_priority)
+            .bool("first_refinable", self.first_refinable);
+        if let Some(n) = self.adder_bound {
+            b = b.uint("adder_bound", n);
+        }
+        if let Some(n) = self.multiplier_bound {
+            b = b.uint("multiplier_bound", n);
+        }
+        if let Some(n) = self.max_iterations {
+            b = b.uint("max_iterations", n);
+        }
+        b.build()
+    }
+
+    fn from_json(v: &Json) -> Result<Self, WireError> {
+        let defaults = JobConfig::default();
+        let flag = |key: &str, default: bool| match v.get(key) {
+            None => Ok(default),
+            Some(j) => j.as_bool().ok_or_else(|| missing(key)),
+        };
+        let opt = |key: &str| match v.get(key) {
+            None => Ok(None),
+            Some(j) => j.as_u64().map(Some).ok_or_else(|| missing(key)),
+        };
+        Ok(JobConfig {
+            instance_merging: flag("instance_merging", defaults.instance_merging)?,
+            grow_cliques: flag("grow_cliques", defaults.grow_cliques)?,
+            input_order_priority: flag("input_order_priority", defaults.input_order_priority)?,
+            first_refinable: flag("first_refinable", defaults.first_refinable)?,
+            adder_bound: opt("adder_bound")?,
+            multiplier_bound: opt("multiplier_bound")?,
+            max_iterations: opt("max_iterations")?,
+        })
+    }
+}
+
+fn latency_to_json(latency: &LatencySpec) -> Json {
+    let (kind, value) = match *latency {
+        LatencySpec::Absolute(v) => ("absolute", v),
+        LatencySpec::RelaxSteps(v) => ("relax_steps", v),
+        LatencySpec::RelaxPercent(v) => ("relax_percent", v),
+    };
+    ObjectBuilder::new()
+        .str("kind", kind)
+        .int("value", i64::from(value))
+        .build()
+}
+
+fn latency_from_json(v: &Json) -> Result<LatencySpec, WireError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| missing("kind"))?;
+    let value: Cycles = v
+        .get("value")
+        .and_then(Json::as_u64)
+        .and_then(|raw| u32::try_from(raw).ok())
+        .ok_or_else(|| missing("value"))?;
+    match kind {
+        "absolute" => Ok(LatencySpec::Absolute(value)),
+        "relax_steps" => Ok(LatencySpec::RelaxSteps(value)),
+        "relax_percent" => Ok(LatencySpec::RelaxPercent(value)),
+        other => Err(WireError(format!("unknown latency kind '{other}'"))),
+    }
+}
+
+/// One job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen job identifier, unique per connection.  Results and
+    /// cancellations refer to it.
+    pub id: u64,
+    /// Optional human-readable label echoed into logs.
+    pub label: Option<String>,
+    /// Scheduling priority: higher runs earlier; ties run in submission
+    /// order.  Default 0.
+    pub priority: i64,
+    /// The graph to allocate.
+    pub graph: WireGraph,
+    /// The latency budget.
+    pub latency: LatencySpec,
+    /// Allocator options.
+    pub config: JobConfig,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job.
+    Submit(SubmitRequest),
+    /// Cancel a previously submitted job (by its client-chosen id).
+    Cancel {
+        /// The id used at submission.
+        id: u64,
+    },
+    /// Request a server statistics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain all outstanding jobs, then stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as one protocol line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit(s) => {
+                let mut b = ObjectBuilder::new().str("type", "submit").uint("id", s.id);
+                if let Some(label) = &s.label {
+                    b = b.str("label", label);
+                }
+                b.int("priority", s.priority)
+                    .field("graph", s.graph.to_json())
+                    .field("latency", latency_to_json(&s.latency))
+                    .field("config", s.config.to_json())
+                    .build()
+                    .encode()
+            }
+            Request::Cancel { id } => ObjectBuilder::new()
+                .str("type", "cancel")
+                .uint("id", *id)
+                .build()
+                .encode(),
+            Request::Stats => ObjectBuilder::new().str("type", "stats").build().encode(),
+            Request::Ping => ObjectBuilder::new().str("type", "ping").build().encode(),
+            Request::Shutdown => ObjectBuilder::new()
+                .str("type", "shutdown")
+                .build()
+                .encode(),
+        }
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first syntactic or structural
+    /// problem; the server answers these with a `type: "error"` response and
+    /// keeps the connection open.
+    pub fn parse(line: &str) -> Result<Request, WireError> {
+        let v = Json::parse(line)?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("type"))?;
+        match kind {
+            "submit" => {
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("id"))?;
+                let label = match v.get("label") {
+                    None => None,
+                    Some(j) => Some(j.as_str().ok_or_else(|| missing("label"))?.to_string()),
+                };
+                let priority = match v.get("priority") {
+                    None => 0,
+                    Some(j) => j.as_i64().ok_or_else(|| missing("priority"))?,
+                };
+                let graph = WireGraph::from_json(v.get("graph").ok_or_else(|| missing("graph"))?)?;
+                let latency =
+                    latency_from_json(v.get("latency").ok_or_else(|| missing("latency"))?)?;
+                let config = match v.get("config") {
+                    None => JobConfig::default(),
+                    Some(j) => JobConfig::from_json(j)?,
+                };
+                Ok(Request::Submit(SubmitRequest {
+                    id,
+                    label,
+                    priority,
+                    graph,
+                    latency,
+                    config,
+                }))
+            }
+            "cancel" => Ok(Request::Cancel {
+                id: v
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("id"))?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(WireError(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+/// The statistics of one successfully allocated job, in wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStats {
+    /// Resolved latency budget λ.
+    pub lambda: Cycles,
+    /// Total datapath area.
+    pub area: u64,
+    /// Achieved latency.
+    pub latency: Cycles,
+    /// Resource instances in the datapath.
+    pub instances: u64,
+    /// Wordlength-refinement iterations.
+    pub refinements: u64,
+    /// Resource-bound escalations.
+    pub escalations: u64,
+    /// Accepted instance merges.
+    pub merges: u64,
+}
+
+impl From<&JobStats> for WireStats {
+    fn from(s: &JobStats) -> Self {
+        WireStats {
+            lambda: s.lambda,
+            area: s.area,
+            latency: s.latency,
+            instances: s.instances as u64,
+            refinements: s.refinements as u64,
+            escalations: s.bound_escalations as u64,
+            merges: s.merges as u64,
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// The job produced a datapath.
+    Ok(WireStats),
+    /// The allocator failed (e.g. an infeasible absolute latency).
+    Failed {
+        /// Human-readable allocation error.
+        error: String,
+    },
+    /// The job was cancelled before or during execution.
+    Cancelled,
+}
+
+/// What the server found when asked to cancel a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued; it will be skipped.
+    Queued,
+    /// The job was executing; its result will be reported as cancelled.
+    InFlight,
+    /// No such outstanding job on this connection (unknown id, already
+    /// completed, or already cancelled).
+    Unknown,
+}
+
+impl CancelOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            CancelOutcome::Queued => "queued",
+            CancelOutcome::InFlight => "in_flight",
+            CancelOutcome::Unknown => "unknown",
+        }
+    }
+}
+
+/// A server statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Jobs admitted into the queue.
+    pub accepted: u64,
+    /// Jobs whose result was produced (ok or failed, including cancelled
+    /// deliveries).
+    pub completed: u64,
+    /// Completed jobs that failed with an allocation error.
+    pub failed: u64,
+    /// Completed jobs that were cancelled.
+    pub cancelled: u64,
+    /// Submissions rejected (queue full, shutting down, invalid or oversized
+    /// graphs).
+    pub rejected: u64,
+    /// Dedup-cache hits.
+    pub dedup_hits: u64,
+    /// Dedup-cache misses (jobs actually solved).
+    pub dedup_misses: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Jobs currently executing.
+    pub in_flight: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The submission was admitted; a `result` for the same id will follow.
+    Accepted {
+        /// The client-chosen job id.
+        id: u64,
+    },
+    /// The submission was refused; no result will follow.
+    Rejected {
+        /// The client-chosen job id.
+        id: u64,
+        /// One of the `CODE_*` constants.
+        code: u32,
+        /// Machine-readable reason (`"queue_full"`, `"shutting_down"`,
+        /// `"graph_too_large"`, `"invalid_graph"`).
+        reason: String,
+    },
+    /// A job finished.  Results stream back in submission order per
+    /// connection, regardless of completion order.
+    Result {
+        /// The client-chosen job id.
+        id: u64,
+        /// How the job ended.
+        outcome: WireOutcome,
+    },
+    /// Answer to a cancellation request.
+    CancelAck {
+        /// The id the client asked to cancel.
+        id: u64,
+        /// What the server found.
+        outcome: CancelOutcome,
+    },
+    /// Answer to a stats request.
+    Stats(StatsSnapshot),
+    /// Answer to a ping.
+    Pong,
+    /// All outstanding jobs have drained; the server is stopping.
+    ShutdownAck {
+        /// Jobs that were still outstanding when the drain began.
+        drained: u64,
+    },
+    /// The previous line could not be parsed; the connection stays open.
+    Error {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response as one protocol line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Accepted { id } => ObjectBuilder::new()
+                .str("type", "accepted")
+                .uint("id", *id)
+                .build()
+                .encode(),
+            Response::Rejected { id, code, reason } => ObjectBuilder::new()
+                .str("type", "rejected")
+                .uint("id", *id)
+                .int("code", i64::from(*code))
+                .str("reason", reason)
+                .build()
+                .encode(),
+            Response::Result { id, outcome } => {
+                let b = ObjectBuilder::new().str("type", "result").uint("id", *id);
+                match outcome {
+                    WireOutcome::Ok(s) => b
+                        .str("status", "ok")
+                        .field(
+                            "stats",
+                            ObjectBuilder::new()
+                                .int("lambda", i64::from(s.lambda))
+                                .uint("area", s.area)
+                                .int("latency", i64::from(s.latency))
+                                .uint("instances", s.instances)
+                                .uint("refinements", s.refinements)
+                                .uint("escalations", s.escalations)
+                                .uint("merges", s.merges)
+                                .build(),
+                        )
+                        .build()
+                        .encode(),
+                    WireOutcome::Failed { error } => b
+                        .str("status", "failed")
+                        .str("error", error)
+                        .build()
+                        .encode(),
+                    WireOutcome::Cancelled => b.str("status", "cancelled").build().encode(),
+                }
+            }
+            Response::CancelAck { id, outcome } => ObjectBuilder::new()
+                .str("type", "cancel_ack")
+                .uint("id", *id)
+                .str("outcome", outcome.as_str())
+                .build()
+                .encode(),
+            Response::Stats(s) => ObjectBuilder::new()
+                .str("type", "stats")
+                .uint("accepted", s.accepted)
+                .uint("completed", s.completed)
+                .uint("failed", s.failed)
+                .uint("cancelled", s.cancelled)
+                .uint("rejected", s.rejected)
+                .uint("dedup_hits", s.dedup_hits)
+                .uint("dedup_misses", s.dedup_misses)
+                .uint("queue_depth", s.queue_depth)
+                .uint("in_flight", s.in_flight)
+                .uint("workers", s.workers)
+                .build()
+                .encode(),
+            Response::Pong => ObjectBuilder::new().str("type", "pong").build().encode(),
+            Response::ShutdownAck { drained } => ObjectBuilder::new()
+                .str("type", "shutdown_ack")
+                .uint("drained", *drained)
+                .build()
+                .encode(),
+            Response::Error { message } => ObjectBuilder::new()
+                .str("type", "error")
+                .str("message", message)
+                .build()
+                .encode(),
+        }
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the line is not a valid response.
+    pub fn parse(line: &str) -> Result<Response, WireError> {
+        let v = Json::parse(line)?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("type"))?;
+        let id_of = |v: &Json| {
+            v.get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("id"))
+        };
+        match kind {
+            "accepted" => Ok(Response::Accepted { id: id_of(&v)? }),
+            "rejected" => Ok(Response::Rejected {
+                id: id_of(&v)?,
+                code: v
+                    .get("code")
+                    .and_then(Json::as_u64)
+                    .and_then(|raw| u32::try_from(raw).ok())
+                    .ok_or_else(|| missing("code"))?,
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("reason"))?
+                    .to_string(),
+            }),
+            "result" => {
+                let id = id_of(&v)?;
+                let status = v
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("status"))?;
+                let outcome = match status {
+                    "ok" => {
+                        let s = v.get("stats").ok_or_else(|| missing("stats"))?;
+                        let u = |key: &str| {
+                            s.get(key)
+                                .and_then(Json::as_u64)
+                                .ok_or_else(|| missing(key))
+                        };
+                        let c = |key: &str| {
+                            u(key).and_then(|raw| u32::try_from(raw).map_err(|_| missing(key)))
+                        };
+                        WireOutcome::Ok(WireStats {
+                            lambda: c("lambda")?,
+                            area: u("area")?,
+                            latency: c("latency")?,
+                            instances: u("instances")?,
+                            refinements: u("refinements")?,
+                            escalations: u("escalations")?,
+                            merges: u("merges")?,
+                        })
+                    }
+                    "failed" => WireOutcome::Failed {
+                        error: v
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| missing("error"))?
+                            .to_string(),
+                    },
+                    "cancelled" => WireOutcome::Cancelled,
+                    other => return Err(WireError(format!("unknown result status '{other}'"))),
+                };
+                Ok(Response::Result { id, outcome })
+            }
+            "cancel_ack" => Ok(Response::CancelAck {
+                id: id_of(&v)?,
+                outcome: match v
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("outcome"))?
+                {
+                    "queued" => CancelOutcome::Queued,
+                    "in_flight" => CancelOutcome::InFlight,
+                    "unknown" => CancelOutcome::Unknown,
+                    other => return Err(WireError(format!("unknown cancel outcome '{other}'"))),
+                },
+            }),
+            "stats" => {
+                let u = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| missing(key))
+                };
+                Ok(Response::Stats(StatsSnapshot {
+                    accepted: u("accepted")?,
+                    completed: u("completed")?,
+                    failed: u("failed")?,
+                    cancelled: u("cancelled")?,
+                    rejected: u("rejected")?,
+                    dedup_hits: u("dedup_hits")?,
+                    dedup_misses: u("dedup_misses")?,
+                    queue_depth: u("queue_depth")?,
+                    in_flight: u("in_flight")?,
+                    workers: u("workers")?,
+                }))
+            }
+            "pong" => Ok(Response::Pong),
+            "shutdown_ack" => Ok(Response::ShutdownAck {
+                drained: v
+                    .get("drained")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("drained"))?,
+            }),
+            "error" => Ok(Response::Error {
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("message"))?
+                    .to_string(),
+            }),
+            other => Err(WireError(format!("unknown response type '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> WireGraph {
+        WireGraph {
+            ops: vec![
+                OpShape::multiplier(8, 12),
+                OpShape::adder(16),
+                OpShape::subtractor(9),
+            ],
+            edges: vec![(0, 1), (1, 2)],
+        }
+    }
+
+    #[test]
+    fn submit_round_trips() {
+        let request = Request::Submit(SubmitRequest {
+            id: 3,
+            label: Some("fir/8".into()),
+            priority: -2,
+            graph: sample_graph(),
+            latency: LatencySpec::RelaxPercent(25),
+            config: JobConfig {
+                adder_bound: Some(2),
+                max_iterations: Some(500),
+                ..JobConfig::default()
+            },
+        });
+        let line = request.encode();
+        assert_eq!(Request::parse(&line).unwrap(), request);
+        // Canonical: re-encoding a parsed message reproduces the line.
+        assert_eq!(Request::parse(&line).unwrap().encode(), line);
+    }
+
+    #[test]
+    fn optional_submit_fields_default() {
+        let line = r#"{"type":"submit","id":1,"graph":{"ops":[{"op":"add","width":4}],"edges":[]},"latency":{"kind":"relax_steps","value":1}}"#;
+        let Request::Submit(s) = Request::parse(line).unwrap() else {
+            panic!("not a submit")
+        };
+        assert_eq!(s.label, None);
+        assert_eq!(s.priority, 0);
+        assert_eq!(s.config, JobConfig::default());
+    }
+
+    #[test]
+    fn wire_graph_converts_both_ways() {
+        let graph = sample_graph().to_graph().unwrap();
+        assert_eq!(WireGraph::from_graph(&graph), sample_graph());
+        // Structural problems surface as ModelErrors.
+        let dangling = WireGraph {
+            ops: vec![OpShape::adder(4)],
+            edges: vec![(0, 7)],
+        };
+        assert!(dangling.to_graph().is_err());
+        let cyclic = WireGraph {
+            ops: vec![OpShape::adder(4), OpShape::adder(4)],
+            edges: vec![(0, 1), (1, 0)],
+        };
+        assert!(cyclic.to_graph().is_err());
+        let empty = WireGraph {
+            ops: vec![],
+            edges: vec![],
+        };
+        assert!(empty.to_graph().is_err());
+    }
+
+    #[test]
+    fn default_job_config_matches_batch_defaults() {
+        let lowered = JobConfig::default().to_alloc_config();
+        let reference = AllocConfig::new(0);
+        assert_eq!(lowered.instance_merging, reference.instance_merging);
+        assert_eq!(lowered.max_iterations, reference.max_iterations);
+        assert_eq!(lowered.resource_bounds, reference.resource_bounds);
+        assert_eq!(
+            mwl_core::config_fingerprint(&lowered),
+            mwl_core::config_fingerprint(&reference)
+        );
+    }
+
+    #[test]
+    fn job_config_bounds_lower_to_btreemap() {
+        let config = JobConfig {
+            adder_bound: Some(2),
+            multiplier_bound: Some(3),
+            ..JobConfig::default()
+        };
+        let lowered = config.to_alloc_config();
+        let bounds = lowered.resource_bounds.unwrap();
+        assert_eq!(bounds.get(&ResourceClass::Adder), Some(&2));
+        assert_eq!(bounds.get(&ResourceClass::Multiplier), Some(&3));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Accepted { id: 9 },
+            Response::Rejected {
+                id: 1,
+                code: CODE_QUEUE_FULL,
+                reason: "queue_full".into(),
+            },
+            Response::Result {
+                id: 2,
+                outcome: WireOutcome::Ok(WireStats {
+                    lambda: 10,
+                    area: 12345,
+                    latency: 9,
+                    instances: 4,
+                    refinements: 2,
+                    escalations: 1,
+                    merges: 1,
+                }),
+            },
+            Response::Result {
+                id: 3,
+                outcome: WireOutcome::Failed {
+                    error: "latency constraint 1 is below 4".into(),
+                },
+            },
+            Response::Result {
+                id: 4,
+                outcome: WireOutcome::Cancelled,
+            },
+            Response::CancelAck {
+                id: 4,
+                outcome: CancelOutcome::InFlight,
+            },
+            Response::Stats(StatsSnapshot {
+                accepted: 10,
+                completed: 8,
+                failed: 1,
+                cancelled: 1,
+                rejected: 2,
+                dedup_hits: 3,
+                dedup_misses: 5,
+                queue_depth: 1,
+                in_flight: 1,
+                workers: 2,
+            }),
+            Response::Pong,
+            Response::ShutdownAck { drained: 3 },
+            Response::Error {
+                message: "bad \"line\"".into(),
+            },
+        ];
+        for response in responses {
+            let line = response.encode();
+            assert_eq!(Response::parse(&line).unwrap(), response, "{line}");
+            assert_eq!(Response::parse(&line).unwrap().encode(), line);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"type":"warp"}"#,
+            r#"{"type":"submit","id":1}"#,
+            r#"{"type":"submit","id":1,"graph":{"ops":[{"op":"div","width":4}],"edges":[]},"latency":{"kind":"relax_steps","value":1}}"#,
+            r#"{"type":"submit","id":1,"graph":{"ops":[],"edges":[[1]]},"latency":{"kind":"absolute","value":1}}"#,
+            r#"{"type":"submit","id":1,"graph":{"ops":[],"edges":[]},"latency":{"kind":"sometime","value":1}}"#,
+            r#"{"type":"cancel"}"#,
+            r#"{"type":"result","id":1,"status":"great"}"#,
+        ] {
+            assert!(
+                Request::parse(bad).is_err() && Response::parse(bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Helpers shared by the service-level test suites: a TGFF-backed wire-job
+//! strategy (the same generator idiom as the batch driver's determinism
+//! suite) and a small client-drive harness.
+
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+
+use mwl_driver::LatencySpec;
+use mwl_serve::wire::{JobConfig, SubmitRequest, WireGraph};
+use mwl_serve::{Client, Response, ServerConfig, SpawnedServer, StatsSnapshot, SubmitAck};
+use mwl_tgff::{GraphShape, TgffConfig, TgffGenerator, WidthProfile};
+
+/// One job in wire form, ready to submit or to lower into a [`BatchJob`].
+///
+/// [`BatchJob`]: mwl_driver::BatchJob
+#[derive(Debug, Clone)]
+pub struct WireJob {
+    pub graph: WireGraph,
+    pub latency: LatencySpec,
+    pub config: JobConfig,
+}
+
+impl WireJob {
+    /// The submission for this job under the given client id and priority.
+    pub fn submit(&self, id: u64, priority: i64) -> SubmitRequest {
+        SubmitRequest {
+            id,
+            label: None,
+            priority,
+            graph: self.graph.clone(),
+            latency: self.latency,
+            config: self.config.clone(),
+        }
+    }
+}
+
+/// A random job: shape family, size, seed, λ budget and allocator options —
+/// the batch driver's proptest generator, lifted to the wire.
+pub fn wire_job_strategy() -> impl Strategy<Value = WireJob> {
+    (
+        prop_oneof![
+            Just(GraphShape::Layered),
+            Just(GraphShape::Wide),
+            Just(GraphShape::Deep),
+            Just(GraphShape::Diamond),
+        ],
+        2usize..=12,
+        0u64..=1000,
+        prop_oneof![
+            (0u32..=8).prop_map(LatencySpec::RelaxSteps),
+            (0u32..=40).prop_map(LatencySpec::RelaxPercent),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(shape, ops, seed, latency, merging, mixed)| {
+            let mut config = TgffConfig::with_ops(ops).shape(shape);
+            if mixed {
+                config = config.width_profile(WidthProfile::Mixed { high_fraction: 0.5 });
+            }
+            let graph = TgffGenerator::new(config, seed).generate();
+            WireJob {
+                graph: WireGraph::from_graph(&graph),
+                latency,
+                config: JobConfig {
+                    instance_merging: merging,
+                    ..JobConfig::default()
+                },
+            }
+        })
+}
+
+/// Runs the given jobs (ids `0..jobs.len()`, given priorities) on a fresh
+/// server and returns the canonically encoded result line of every job in
+/// submission order, plus the server's final statistics.
+///
+/// Panics on any rejection, transport error or out-of-order delivery.
+pub fn run_jobs_on_server(
+    jobs: &[WireJob],
+    priorities: &[i64],
+    config: ServerConfig,
+) -> (Vec<String>, StatsSnapshot) {
+    let server = SpawnedServer::start(config).expect("server start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for (i, job) in jobs.iter().enumerate() {
+        let priority = priorities.get(i).copied().unwrap_or(0);
+        let ack = client
+            .submit(job.submit(i as u64, priority))
+            .expect("submit");
+        assert_eq!(ack, SubmitAck::Accepted, "job {i} not admitted");
+    }
+    let mut lines = Vec::with_capacity(jobs.len());
+    for i in 0..jobs.len() as u64 {
+        let (id, outcome) = client.next_result().expect("result");
+        assert_eq!(id, i, "results must stream in submission order");
+        lines.push(Response::Result { id, outcome }.encode());
+    }
+    client.shutdown().expect("shutdown");
+    (lines, server.join())
+}

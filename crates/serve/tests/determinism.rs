@@ -1,0 +1,97 @@
+//! Property tests of the service's determinism guarantee: the result
+//! payloads of a job set are byte-identical at every worker count, with and
+//! without the dedup cache, under arbitrary priorities — and bit-identical
+//! to a direct [`run_batch`] over the same jobs.
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::{run_jobs_on_server, wire_job_strategy, WireJob};
+use mwl_driver::{run_batch, BatchJob, BatchOptions};
+use mwl_model::SonicCostModel;
+use mwl_serve::wire::{WireOutcome, WireStats};
+use mwl_serve::{Response, ServerConfig};
+
+/// The result lines a direct, sequential batch run would produce for the
+/// same jobs — the reference the serve path must reproduce byte for byte.
+fn reference_lines(jobs: &[WireJob]) -> Vec<String> {
+    let batch_jobs: Vec<BatchJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let graph = j.graph.to_graph().expect("generated graphs are valid");
+            BatchJob::new(format!("job-{i}"), graph, j.latency)
+                .with_config(j.config.to_alloc_config())
+        })
+        .collect();
+    let report = run_batch(
+        &batch_jobs,
+        &SonicCostModel::default(),
+        &BatchOptions::sequential(),
+    );
+    report
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let outcome = match &o.result {
+                Ok(stats) => WireOutcome::Ok(WireStats::from(stats)),
+                Err(e) => WireOutcome::Failed {
+                    error: e.to_string(),
+                },
+            };
+            Response::Result {
+                id: i as u64,
+                outcome,
+            }
+            .encode()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    /// The core guarantee, end to end over real sockets: 1, 2 and 4 server
+    /// workers produce byte-identical result payloads per job, equal to the
+    /// direct `run_batch` reference; enabling dedup or scrambling priorities
+    /// changes neither the payloads nor the per-connection delivery order.
+    #[test]
+    fn payloads_invariant_across_worker_counts(
+        jobs in proptest::collection::vec(wire_job_strategy(), 1..8),
+        priorities in proptest::collection::vec(-3i64..=3, 8),
+    ) {
+        let expected = reference_lines(&jobs);
+        let zero = vec![0i64; jobs.len()];
+        let base = ServerConfig::default().with_dedup(false);
+
+        for workers in [1usize, 2, 4] {
+            let (lines, stats) =
+                run_jobs_on_server(&jobs, &zero, base.clone().with_workers(workers));
+            prop_assert_eq!(&lines, &expected, "payload drift at {} workers", workers);
+            prop_assert_eq!(stats.completed, jobs.len() as u64);
+            prop_assert_eq!(stats.accepted, jobs.len() as u64);
+        }
+
+        // Dedup on: identical submissions inside the set may be answered
+        // from the cache — the payloads must not change, and every job
+        // consults the cache exactly once.
+        let (lines, stats) = run_jobs_on_server(
+            &jobs,
+            &zero,
+            ServerConfig::default().with_workers(2).with_dedup(true),
+        );
+        prop_assert_eq!(&lines, &expected);
+        prop_assert_eq!(stats.dedup_hits + stats.dedup_misses, jobs.len() as u64);
+
+        // Arbitrary priorities reorder *execution*, never payloads or the
+        // per-connection delivery order.
+        let (lines, _) = run_jobs_on_server(
+            &jobs,
+            &priorities,
+            base.clone().with_workers(2),
+        );
+        prop_assert_eq!(&lines, &expected);
+    }
+}

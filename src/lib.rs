@@ -18,7 +18,10 @@
 //! * [`baselines`] — the two-stage \[4\], wordlength-sorted \[14\] and
 //!   uniform-wordlength baselines ([`mwl_baselines`]);
 //! * [`tgff`] — the TGFF-style random graph generator ([`mwl_tgff`]);
-//! * [`driver`] — the parallel batch-allocation engine ([`mwl_driver`]).
+//! * [`driver`] — the parallel batch-allocation engine ([`mwl_driver`]);
+//! * [`serve`] — the allocation daemon: TCP wire protocol, bounded job queue
+//!   with back-pressure, dedup cache, client and load generator
+//!   ([`mwl_serve`]).
 //!
 //! A paper-to-module map with data-flow diagrams lives in
 //! `docs/ARCHITECTURE.md`.
@@ -517,6 +520,55 @@ pub mod rtl {
     pub use mwl_rtl::*;
 }
 
+/// Allocation-as-a-service: a TCP daemon over the batch engine.
+///
+/// A [`serve::Server`] accepts newline-delimited JSON requests, admits jobs
+/// into a bounded priority queue with explicit back-pressure, solves them on
+/// persistent workers through the exact batch-engine path (results are
+/// byte-identical to [`driver::run_batch`]), memoises completed results
+/// under a content hash, and streams results back in submission order.  The
+/// `serve` and `loadgen` binaries wrap it for deployment and measurement.
+///
+/// # Examples
+///
+/// Run a server on an OS-assigned port, round-trip one job and shut down
+/// gracefully:
+///
+/// ```
+/// use mwl::prelude::*;
+/// use mwl::serve::wire::{JobConfig, SubmitRequest, WireGraph, WireOutcome};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let server = SpawnedServer::start(ServerConfig::default())?;
+/// let mut client = Client::connect(server.addr())?;
+///
+/// let mut builder = SequencingGraphBuilder::new();
+/// let m = builder.add_operation(OpShape::multiplier(8, 8));
+/// let a = builder.add_operation(OpShape::adder(16));
+/// builder.add_dependency(m, a)?;
+/// let graph = builder.build()?;
+///
+/// let ack = client.submit(SubmitRequest {
+///     id: 1,
+///     label: None,
+///     priority: 0,
+///     graph: WireGraph::from_graph(&graph),
+///     latency: LatencySpec::RelaxSteps(2),
+///     config: JobConfig::default(),
+/// })?;
+/// assert_eq!(ack, SubmitAck::Accepted);
+/// let (id, outcome) = client.next_result()?;
+/// assert_eq!(id, 1);
+/// assert!(matches!(outcome, WireOutcome::Ok(_)));
+/// client.shutdown()?;
+/// assert_eq!(server.join().completed, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub mod serve {
+    pub use mwl_serve::*;
+}
+
 /// Reference workloads shared by the examples, integration tests and
 /// golden-file regressions.
 pub mod workloads {
@@ -615,6 +667,7 @@ pub mod prelude {
         simulate, EquivalenceReport, Netlist, NetlistStats, RtlError,
     };
     pub use mwl_sched::{asap, critical_path_length, OpLatencies, Schedule};
+    pub use mwl_serve::{Client, ServerConfig, SpawnedServer, StatsSnapshot, SubmitAck};
     pub use mwl_tgff::{TgffConfig, TgffGenerator};
     pub use mwl_wcg::WordlengthCompatibilityGraph;
 }
