@@ -1,0 +1,46 @@
+//! Throughput of the certified interval-packing register binder against the
+//! left-edge fallback oracle, over TGFF graphs of increasing size.
+//!
+//! The binder runs once per job on the driver's hot path (it supplies the
+//! area breakdown and the optimality certificate in `JobStats`), so its cost
+//! must stay negligible next to allocation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwl_bench::{lambda_min, relax_constraint};
+use mwl_core::storage::{clique_lower_bound, left_edge_registers, pack_registers, result_widths};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::SonicCostModel;
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn bench_register_binding(c: &mut Criterion) {
+    let cost = SonicCostModel::default();
+    let mut group = c.benchmark_group("register_binding");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &ops in &[16usize, 64, 256] {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(ops), 7).generate();
+        let lambda = relax_constraint(lambda_min(&graph, &cost), 20);
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap();
+        let widths = result_widths(&graph);
+        let lifetimes = datapath.value_lifetimes(&graph, &cost);
+        group.bench_with_input(BenchmarkId::new("lifetimes", ops), &ops, |b, _| {
+            b.iter(|| datapath.value_lifetimes(&graph, &cost))
+        });
+        group.bench_with_input(BenchmarkId::new("pack", ops), &ops, |b, _| {
+            b.iter(|| pack_registers(&widths, &lifetimes))
+        });
+        group.bench_with_input(BenchmarkId::new("left_edge", ops), &ops, |b, _| {
+            b.iter(|| left_edge_registers(&widths, &lifetimes))
+        });
+        group.bench_with_input(BenchmarkId::new("clique_bound", ops), &ops, |b, _| {
+            b.iter(|| clique_lower_bound(&widths, &lifetimes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_register_binding);
+criterion_main!(benches);

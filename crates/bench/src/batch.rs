@@ -249,6 +249,13 @@ impl BatchSweepResults {
             summary.failed,
             self.all_identical()
         ));
+        out.push_str(&format!(
+            "  \"total_area\": {},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n",
+            summary.total_area,
+            summary.area_breakdown.fu,
+            summary.area_breakdown.register,
+            summary.area_breakdown.mux
+        ));
         out.push_str("  \"families\": [\n");
         for (i, f) in self.families.iter().enumerate() {
             out.push_str(&format!(
@@ -377,6 +384,7 @@ mod tests {
         let results = run_batch_sweep(&BatchSweepConfig::smoke());
         let json = results.to_json();
         assert!(json.contains("\"all_identical\": true"));
+        assert!(json.contains("\"area_breakdown\": {\"fu\": "));
         for family in scenario_families() {
             assert!(json.contains(&format!("\"name\": \"{}\"", family.name)));
         }

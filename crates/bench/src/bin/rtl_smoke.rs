@@ -11,6 +11,7 @@
 
 use std::process::ExitCode;
 
+use mwl_core::BindingCertificate;
 use mwl_driver::{run_batch, BatchJob, BatchOptions, LatencySpec};
 use mwl_model::SonicCostModel;
 use mwl_tgff::{GraphShape, TgffConfig, TgffGenerator, WidthProfile};
@@ -67,12 +68,36 @@ fn main() -> ExitCode {
     let summary = report.summary();
     println!("{report}");
 
+    // Every solved job must carry the binder's optimality certificate, both
+    // model-side (JobStats) and through the lowered netlist (RtlCheck).
+    let all_optimal = report.outcomes.iter().all(|o| match &o.result {
+        Ok(stats) => {
+            stats.certificate == BindingCertificate::Optimal
+                && stats
+                    .rtl
+                    .as_ref()
+                    .is_none_or(|r| r.certificate == Some(BindingCertificate::Optimal))
+        }
+        Err(_) => true,
+    });
+    let certificate = if all_optimal {
+        BindingCertificate::Optimal
+    } else {
+        BindingCertificate::Heuristic
+    };
+
     let json = format!(
-        "{{\n  \"jobs\": {}, \"failed\": {}, \"rtl_checked\": {}, \"rtl_passed\": {},\n  \"report\": {}}}\n",
+        "{{\n  \"jobs\": {}, \"failed\": {}, \"rtl_checked\": {}, \"rtl_passed\": {},\n  \
+         \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}}, \"certificate\": \"{}\",\n  \
+         \"report\": {}}}\n",
         summary.jobs,
         summary.failed,
         summary.rtl_checked,
         summary.rtl_passed,
+        summary.area_breakdown.fu,
+        summary.area_breakdown.register,
+        summary.area_breakdown.mux,
+        certificate.as_str(),
         report.to_json()
     );
     std::fs::create_dir_all("results").expect("create results dir");
@@ -103,8 +128,13 @@ fn main() -> ExitCode {
         }
         return ExitCode::FAILURE;
     }
+    if !all_optimal {
+        eprintln!("FAIL: a register binding missed its optimality certificate");
+        return ExitCode::FAILURE;
+    }
     println!(
-        "OK: {} jobs, all netlists bit-identical to the reference evaluation",
+        "OK: {} jobs, all netlists bit-identical to the reference evaluation, \
+         all register bindings certified optimal",
         summary.jobs
     );
     ExitCode::SUCCESS

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use mwl_core::{reference, AllocError, AllocOutcome, AllocScratch, CachedCostModel, DpAllocator};
 use mwl_driver::{run_batch, BatchJob, BatchOptions};
-use mwl_model::SonicCostModel;
+use mwl_model::{AreaBreakdown, SonicCostModel};
 
 use crate::batch::{scenario_jobs, BatchSweepConfig};
 
@@ -120,6 +120,11 @@ pub struct PerfGateResults {
     pub optimized_graphs_per_sec: f64,
     /// `optimized / reference`.
     pub speedup: f64,
+    /// Total FU area of the mix (from the 1-worker reference report).
+    pub total_area: u64,
+    /// Per-component area of the mix (fu equals `total_area`; register and
+    /// mux are zero under the default zero storage coefficients).
+    pub area_breakdown: AreaBreakdown,
     /// Optimized results equal the reference bit for bit, merging enabled.
     pub identical_merging_on: bool,
     /// Same with the merging pass disabled.
@@ -191,6 +196,13 @@ impl PerfGateResults {
         out.push_str(&format!(
             "  \"scenario\": \"{}\",\n  \"jobs\": {},\n  \"cores\": {},\n  \"repetitions\": {},\n",
             self.scenario, self.jobs, self.cores, self.repetitions
+        ));
+        out.push_str(&format!(
+            "  \"total_area\": {},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n",
+            self.total_area,
+            self.area_breakdown.fu,
+            self.area_breakdown.register,
+            self.area_breakdown.mux,
         ));
         out.push_str(&format!(
             "  \"single_thread\": {{\"reference_graphs_per_sec\": {:.3}, \"optimized_graphs_per_sec\": {:.3}, \"speedup\": {:.3}, \"target_speedup\": {SINGLE_THREAD_TARGET:.1}, \"meets_target\": {}}},\n",
@@ -336,6 +348,7 @@ pub fn run_perf_gate(config: &PerfGateConfig) -> PerfGateResults {
         }
     };
 
+    let summary = reference_report.summary();
     PerfGateResults {
         scenario: config.scenario,
         jobs: jobs.len(),
@@ -344,6 +357,8 @@ pub fn run_perf_gate(config: &PerfGateConfig) -> PerfGateResults {
         reference_graphs_per_sec,
         optimized_graphs_per_sec,
         speedup: optimized_graphs_per_sec / reference_graphs_per_sec,
+        total_area: summary.total_area,
+        area_breakdown: summary.area_breakdown,
         identical_merging_on,
         identical_merging_off,
         workers,
@@ -382,6 +397,7 @@ mod tests {
         for key in [
             "\"schema\": \"mwl_perf_gate_v1\"",
             "\"scenario\": \"test_tiny\"",
+            "\"area_breakdown\": {\"fu\": ",
             "\"single_thread\"",
             "\"bit_identical\"",
             "\"throughput\"",

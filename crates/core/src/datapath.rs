@@ -5,10 +5,11 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use mwl_model::{Area, CostModel, Cycles, OpId, ResourceType, SequencingGraph};
+use mwl_model::{Area, AreaBreakdown, CostModel, Cycles, OpId, ResourceType, SequencingGraph};
 use mwl_sched::{OpLatencies, Schedule};
 
 use crate::error::ValidateError;
+use crate::storage::{self, RegisterBinding};
 
 /// One allocated functional unit together with the operations bound to it.
 ///
@@ -347,6 +348,68 @@ impl Datapath {
             })
             .collect()
     }
+
+    /// Packs this datapath's value lifetimes onto registers with the
+    /// certified interval-packing binder (see [`crate::storage`]): one
+    /// register class per result wordlength, register count provably equal
+    /// to the max-overlap lower bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph does not match the allocated datapath.
+    #[must_use]
+    pub fn register_binding(
+        &self,
+        graph: &SequencingGraph,
+        cost: &dyn CostModel,
+    ) -> RegisterBinding {
+        let widths = storage::result_widths(graph);
+        let lifetimes = self.value_lifetimes(graph, cost);
+        storage::pack_registers(&widths, &lifetimes)
+    }
+
+    /// Total multiplexer input bits implied by the binding: every instance
+    /// shared by `k ≥ 2` operations steers both operand ports through
+    /// `k`-arm muxes at the instance's port widths; unshared instances need
+    /// no muxes (their "mux" is a wire).  This mirrors the structural
+    /// netlist `mwl_rtl` builds, so the model-level and netlist-level mux
+    /// areas agree exactly.
+    #[must_use]
+    pub fn mux_input_bits(&self) -> u64 {
+        self.instances
+            .iter()
+            .filter(|inst| inst.sharing_factor() >= 2)
+            .map(|inst| {
+                let (a, b) = inst.resource().widths();
+                (u64::from(a) + u64::from(b)) * inst.sharing_factor() as u64
+            })
+            .sum()
+    }
+
+    /// Splits the implementation area into functional-unit, register and
+    /// mux components using the cost model's [`mwl_model::StorageCosts`].
+    ///
+    /// Under the default zero storage coefficients this is exactly
+    /// [`AreaBreakdown::fu_only`]`(self.area())` — the paper's FU-only
+    /// number — and the (potentially costly) lifetime analysis is skipped,
+    /// so oracle and baseline paths stay bit-identical and fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph does not match the allocated datapath.
+    #[must_use]
+    pub fn area_breakdown(&self, graph: &SequencingGraph, cost: &dyn CostModel) -> AreaBreakdown {
+        let storage_costs = cost.storage_costs();
+        if storage_costs.is_zero() {
+            return AreaBreakdown::fu_only(self.area);
+        }
+        let binding = self.register_binding(graph, cost);
+        AreaBreakdown {
+            fu: self.area,
+            register: binding.register_bits() * storage_costs.register_area_per_bit,
+            mux: self.mux_input_bits() * storage_costs.mux_area_per_input_bit,
+        }
+    }
 }
 
 impl fmt::Display for Datapath {
@@ -532,6 +595,44 @@ mod tests {
         assert!(lifetimes[1].overlaps(&lifetimes[2]));
         assert!(!lifetimes[0].overlaps(&lifetimes[2]));
         assert!(lifetimes[0].overlaps(&lifetimes[0]));
+    }
+
+    #[test]
+    fn area_breakdown_prices_registers_and_muxes() {
+        use mwl_model::{AreaBreakdown, StorageCosts};
+
+        let (g, dp, cost) = valid_datapath();
+        // Zero storage coefficients collapse the breakdown to FU area.
+        assert_eq!(dp.area_breakdown(&g, &cost), AreaBreakdown::fu_only(160));
+
+        // Result widths: mul(8x8) -> 16, add(16) -> 16, mul(12x12) -> 24.
+        // The 16-bit lifetimes (3..4 and 5..6) are disjoint and share one
+        // register; the 24-bit value gets its own: 40 register bits.
+        let binding = dp.register_binding(&g, &cost);
+        assert_eq!(binding.registers(), 2);
+        assert_eq!(binding.register_bits(), 40);
+        assert_eq!(
+            binding.certificate,
+            crate::storage::BindingCertificate::Optimal
+        );
+
+        // Only the shared 12x12 multiplier needs muxes: (12+12) bits x 2 arms
+        // on its two ports combined.
+        assert_eq!(dp.mux_input_bits(), 48);
+
+        let priced = SonicCostModel::default().with_storage_costs(StorageCosts::new(2, 1));
+        let breakdown = dp.area_breakdown(&g, &priced);
+        assert_eq!(
+            breakdown,
+            AreaBreakdown {
+                fu: 160,
+                register: 80,
+                mux: 48,
+            }
+        );
+        assert_eq!(breakdown.total(), 288);
+        // Storage pricing never perturbs the allocator's objective.
+        assert_eq!(dp.area(), 160);
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod reference;
 mod refine;
 mod report;
 mod scratch;
+pub mod storage;
 
 pub use bind::{bind_select, BindSelectOptions};
 pub use cost_cache::CachedCostModel;
@@ -92,3 +93,7 @@ pub use merge::{merge_instances, MergeStats};
 pub use refine::{bound_critical_path, select_refinement_op};
 pub use report::{render_report, DatapathReport, InstanceUtilisation};
 pub use scratch::AllocScratch;
+pub use storage::{
+    clique_lower_bound, left_edge_registers, pack_registers, result_widths, BindingCertificate,
+    RegisterBinding,
+};

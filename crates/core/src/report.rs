@@ -8,9 +8,10 @@
 
 use std::fmt::Write as _;
 
-use mwl_model::{Area, CostModel, Cycles, ResourceClass, SequencingGraph};
+use mwl_model::{Area, AreaBreakdown, CostModel, Cycles, ResourceClass, SequencingGraph};
 
 use crate::datapath::Datapath;
+use crate::storage::BindingCertificate;
 
 /// Utilisation of one resource instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +46,16 @@ pub struct DatapathReport {
     pub area: Area,
     /// Mean instance utilisation (0.0–1.0).
     pub mean_utilisation: f64,
+    /// Per-component area under the model's storage coefficients (`fu`
+    /// equals [`area`](Self::area); `register` and `mux` are zero under the
+    /// default free-storage configuration).
+    pub area_breakdown: AreaBreakdown,
+    /// Number of result registers after certified interval packing.
+    pub registers: usize,
+    /// Total register storage in bits.
+    pub register_bits: u64,
+    /// Optimality certificate of the register packing.
+    pub certificate: BindingCertificate,
 }
 
 impl DatapathReport {
@@ -83,7 +94,13 @@ impl DatapathReport {
         } else {
             instances.iter().map(|i| i.utilisation).sum::<f64>() / instances.len() as f64
         };
-        let _ = graph;
+        let binding = datapath.register_binding(graph, cost);
+        let storage_costs = cost.storage_costs();
+        let area_breakdown = AreaBreakdown {
+            fu: datapath.area(),
+            register: binding.register_bits() * storage_costs.register_area_per_bit,
+            mux: datapath.mux_input_bits() * storage_costs.mux_area_per_input_bit,
+        };
         DatapathReport {
             instances,
             area_by_class,
@@ -91,6 +108,10 @@ impl DatapathReport {
             latency: datapath.latency(),
             area: datapath.area(),
             mean_utilisation,
+            area_breakdown,
+            registers: binding.registers(),
+            register_bits: binding.register_bits(),
+            certificate: binding.certificate,
         }
     }
 
@@ -110,6 +131,18 @@ impl DatapathReport {
             self.area,
             self.latency,
             self.mean_utilisation * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  area breakdown: fu {} + registers {} + muxes {} = {} units \
+             ({} registers, {} bits, binding {})",
+            self.area_breakdown.fu,
+            self.area_breakdown.register,
+            self.area_breakdown.mux,
+            self.area_breakdown.total(),
+            self.registers,
+            self.register_bits,
+            self.certificate.as_str()
         );
         for (class, area) in &self.area_by_class {
             let instances = self
@@ -203,6 +236,15 @@ mod tests {
         assert_eq!(instance_total, dp.area());
         let instance_count: usize = report.instances_by_class.iter().map(|&(_, n)| n).sum();
         assert_eq!(instance_count, dp.num_instances());
+        // Default storage costs are zero: the breakdown is FU-only and the
+        // register packing is certified optimal.
+        assert_eq!(report.area_breakdown.fu, dp.area());
+        assert_eq!(report.area_breakdown.register, 0);
+        assert_eq!(report.area_breakdown.mux, 0);
+        assert_eq!(report.area_breakdown.total(), dp.area());
+        assert_eq!(report.certificate, BindingCertificate::Optimal);
+        assert!(report.registers >= 1);
+        assert!(report.register_bits >= u64::from(report.registers as u32));
         assert_eq!(
             report
                 .area_by_class
@@ -240,6 +282,8 @@ mod tests {
         let (g, dp, cost) = allocated();
         let text = render_report(&dp, &g, &cost);
         assert!(text.contains("datapath report"));
+        assert!(text.contains("area breakdown"));
+        assert!(text.contains("binding optimal"));
         assert!(text.contains("gantt"));
         for inst in dp.instances() {
             assert!(text.contains(&inst.resource().to_string()));

@@ -10,7 +10,7 @@
 //! (regression-tested in `mwl_serve`'s parity suite).
 
 use mwl_core::{AllocScratch, CachedCostModel, DpAllocator};
-use mwl_model::{CostModel, ResourceType};
+use mwl_model::{AreaBreakdown, CostModel, ResourceType};
 
 use crate::job::BatchJob;
 use crate::report::{JobOutcome, JobStats, RtlCheck};
@@ -38,17 +38,30 @@ pub fn solve_job(
     config.latency_constraint = lambda;
     let result = DpAllocator::new(cost, config)
         .allocate_with_scratch(&job.graph, scratch)
-        .map(|outcome| JobStats {
-            lambda,
-            area: outcome.datapath.area(),
-            latency: outcome.datapath.latency(),
-            instances: outcome.datapath.num_instances(),
-            refinements: outcome.refinements,
-            bound_escalations: outcome.bound_escalations,
-            merges: outcome.merges,
-            rtl: job
-                .verify_rtl
-                .then(|| rtl_check(index, job, &outcome.datapath, cost, rtl_vectors)),
+        .map(|outcome| {
+            // One register binding serves both the certificate and the
+            // breakdown (Datapath::area_breakdown would bind a second time
+            // under non-zero storage coefficients).
+            let binding = outcome.datapath.register_binding(&job.graph, cost);
+            let storage = cost.storage_costs();
+            JobStats {
+                lambda,
+                area: outcome.datapath.area(),
+                area_breakdown: AreaBreakdown {
+                    fu: outcome.datapath.area(),
+                    register: binding.register_bits() * storage.register_area_per_bit,
+                    mux: outcome.datapath.mux_input_bits() * storage.mux_area_per_input_bit,
+                },
+                certificate: binding.certificate,
+                latency: outcome.datapath.latency(),
+                instances: outcome.datapath.num_instances(),
+                refinements: outcome.refinements,
+                bound_escalations: outcome.bound_escalations,
+                merges: outcome.merges,
+                rtl: job
+                    .verify_rtl
+                    .then(|| rtl_check(index, job, &outcome.datapath, cost, rtl_vectors)),
+            }
         });
     JobOutcome {
         index,
@@ -109,6 +122,7 @@ fn rtl_check(
             registers: report.stats.registers,
             mux_arms: report.stats.mux_arms,
             adapters: report.stats.adapters,
+            certificate: Some(report.certificate),
             failure: None,
         },
         Err(e) => RtlCheck {
@@ -117,6 +131,7 @@ fn rtl_check(
             registers: 0,
             mux_arms: 0,
             adapters: 0,
+            certificate: None,
             failure: Some(e.to_string()),
         },
     }

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use mwl_core::AllocError;
-use mwl_model::{Area, Cycles};
+use mwl_core::{AllocError, BindingCertificate};
+use mwl_model::{Area, AreaBreakdown, Cycles};
 
 /// The outcome of the opt-in RTL equivalence oracle for one job
 /// (see [`crate::BatchJob::verify_rtl`]).
@@ -11,7 +11,8 @@ use mwl_model::{Area, Cycles};
 pub struct RtlCheck {
     /// `true` when every stimulus vector was bit-identical between the
     /// netlist simulation and the reference evaluation, and the netlist
-    /// area matched the datapath area.
+    /// area accounting matched the datapath's (FU component and full
+    /// breakdown alike).
     pub passed: bool,
     /// Number of stimulus vectors simulated.
     pub vectors: usize,
@@ -21,6 +22,9 @@ pub struct RtlCheck {
     pub mux_arms: usize,
     /// Width-adapter cells in the lowered netlist.
     pub adapters: usize,
+    /// Optimality certificate of the netlist's register binding; `None`
+    /// when the check failed before a netlist was produced.
+    pub certificate: Option<BindingCertificate>,
     /// Human-readable description of the first failure, when `!passed`.
     pub failure: Option<String>,
 }
@@ -30,8 +34,15 @@ pub struct RtlCheck {
 pub struct JobStats {
     /// Resolved latency budget `λ` the job ran with.
     pub lambda: Cycles,
-    /// Total datapath area.
+    /// Datapath area (the functional-unit component; the allocator's
+    /// objective).
     pub area: Area,
+    /// Per-component area under the cost model's storage coefficients.
+    /// With zero coefficients (the default) this collapses to
+    /// `AreaBreakdown::fu_only(area)`.
+    pub area_breakdown: AreaBreakdown,
+    /// Optimality certificate of the datapath's register binding.
+    pub certificate: BindingCertificate,
     /// Achieved overall latency (`<= lambda`).
     pub latency: Cycles,
     /// Number of resource instances in the datapath.
@@ -71,8 +82,11 @@ pub struct BatchSummary {
     pub succeeded: usize,
     /// Jobs that failed with an [`AllocError`].
     pub failed: usize,
-    /// Sum of datapath areas over the successful jobs.
+    /// Sum of datapath (FU) areas over the successful jobs.
     pub total_area: Area,
+    /// Component-wise sum of per-job area breakdowns over the successful
+    /// jobs (`area_breakdown.fu == total_area` always holds).
+    pub area_breakdown: AreaBreakdown,
     /// Sum of achieved latencies over the successful jobs.
     pub total_latency: u64,
     /// Sum of resource instances over the successful jobs.
@@ -113,6 +127,9 @@ impl BatchReport {
                 Ok(stats) => {
                     s.succeeded += 1;
                     s.total_area += stats.area;
+                    s.area_breakdown.fu += stats.area_breakdown.fu;
+                    s.area_breakdown.register += stats.area_breakdown.register;
+                    s.area_breakdown.mux += stats.area_breakdown.mux;
                     s.total_latency += u64::from(stats.latency);
                     s.total_instances += stats.instances;
                     s.total_refinements += stats.refinements;
@@ -144,6 +161,7 @@ impl BatchReport {
         let mut out = String::from("{\n  \"summary\": {");
         out.push_str(&format!(
             "\"jobs\": {}, \"succeeded\": {}, \"failed\": {}, \"total_area\": {}, \
+             \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}}, \
              \"total_latency\": {}, \"total_instances\": {}, \"total_refinements\": {}, \
              \"total_escalations\": {}, \"total_merges\": {}, \"rtl_checked\": {}, \
              \"rtl_passed\": {}",
@@ -151,6 +169,9 @@ impl BatchReport {
             s.succeeded,
             s.failed,
             s.total_area,
+            s.area_breakdown.fu,
+            s.area_breakdown.register,
+            s.area_breakdown.mux,
             s.total_latency,
             s.total_instances,
             s.total_refinements,
@@ -170,11 +191,17 @@ impl BatchReport {
             match &o.result {
                 Ok(st) => {
                     out.push_str(&format!(
-                        ", \"ok\": true, \"lambda\": {}, \"area\": {}, \"latency\": {}, \
-                         \"instances\": {}, \"refinements\": {}, \"escalations\": {}, \
-                         \"merges\": {}",
+                        ", \"ok\": true, \"lambda\": {}, \"area\": {}, \
+                         \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}}, \
+                         \"certificate\": \"{}\", \
+                         \"latency\": {}, \"instances\": {}, \"refinements\": {}, \
+                         \"escalations\": {}, \"merges\": {}",
                         st.lambda,
                         st.area,
+                        st.area_breakdown.fu,
+                        st.area_breakdown.register,
+                        st.area_breakdown.mux,
+                        st.certificate.as_str(),
                         st.latency,
                         st.instances,
                         st.refinements,
@@ -187,6 +214,9 @@ impl BatchReport {
                              \"registers\": {}, \"mux_arms\": {}, \"adapters\": {}",
                             rtl.passed, rtl.vectors, rtl.registers, rtl.mux_arms, rtl.adapters
                         ));
+                        if let Some(cert) = rtl.certificate {
+                            out.push_str(&format!(", \"certificate\": \"{}\"", cert.as_str()));
+                        }
                         if let Some(failure) = &rtl.failure {
                             out.push_str(&format!(", \"failure\": {}", json_string(failure)));
                         }
@@ -273,6 +303,12 @@ mod tests {
                     result: Ok(JobStats {
                         lambda: 10,
                         area: 100,
+                        area_breakdown: AreaBreakdown {
+                            fu: 100,
+                            register: 24,
+                            mux: 12,
+                        },
+                        certificate: BindingCertificate::Optimal,
                         latency: 9,
                         instances: 3,
                         refinements: 2,
@@ -284,6 +320,7 @@ mod tests {
                             registers: 3,
                             mux_arms: 6,
                             adapters: 2,
+                            certificate: Some(BindingCertificate::Optimal),
                             failure: None,
                         }),
                     }),
@@ -308,6 +345,15 @@ mod tests {
         assert_eq!(s.succeeded, 1);
         assert_eq!(s.failed, 1);
         assert_eq!(s.total_area, 100);
+        assert_eq!(
+            s.area_breakdown,
+            AreaBreakdown {
+                fu: 100,
+                register: 24,
+                mux: 12
+            }
+        );
+        assert_eq!(s.area_breakdown.fu, s.total_area);
         assert_eq!(s.total_merges, 1);
         assert_eq!(s.rtl_checked, 1);
         assert_eq!(s.rtl_passed, 1);
@@ -323,6 +369,8 @@ mod tests {
         assert!(json.contains("\"ok\": false"));
         assert!(json.contains("\"rtl_checked\": 1"));
         assert!(json.contains("\"rtl\": {\"passed\": true"));
+        assert!(json.contains("\"area_breakdown\": {\"fu\": 100, \"register\": 24, \"mux\": 12}"));
+        assert!(json.contains("\"certificate\": \"optimal\""));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -348,6 +396,7 @@ mod tests {
                 registers: 3,
                 mux_arms: 6,
                 adapters: 2,
+                certificate: None,
                 failure: Some("vector 1 diverged".into()),
             });
         }

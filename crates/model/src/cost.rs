@@ -15,6 +15,92 @@ use std::fmt::Debug;
 use crate::resource::{ResourceClass, ResourceType};
 use crate::{Area, Cycles};
 
+/// Per-bit cost coefficients for storage and steering logic.
+///
+/// The paper's area model counts functional units only, but in real
+/// multiple-wordlength datapaths registers and multiplexers are a
+/// first-order cost: resource sharing that saves an FU pays for it in
+/// lifetimes held across control steps and in wider input muxes.  These
+/// coefficients let a [`CostModel`] price that storage dimension.
+///
+/// The default is [`StorageCosts::ZERO`], which reproduces the paper's
+/// FU-only numbers bit-for-bit — the oracle and baseline paths rely on
+/// that equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StorageCosts {
+    /// Area units per bit of register storage.
+    pub register_area_per_bit: Area,
+    /// Area units per input bit of a multiplexer (a `w`-bit mux with `k`
+    /// selectable arms costs `w · k` input bits; single-arm muxes are
+    /// wires and cost nothing).
+    pub mux_area_per_input_bit: Area,
+}
+
+impl StorageCosts {
+    /// Free storage: registers and muxes cost nothing (the paper's model).
+    pub const ZERO: StorageCosts = StorageCosts {
+        register_area_per_bit: 0,
+        mux_area_per_input_bit: 0,
+    };
+
+    /// Creates coefficients from explicit per-bit costs.
+    #[must_use]
+    pub const fn new(register_area_per_bit: Area, mux_area_per_input_bit: Area) -> Self {
+        StorageCosts {
+            register_area_per_bit,
+            mux_area_per_input_bit,
+        }
+    }
+
+    /// Whether both coefficients are zero (storage is free).
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
+        self.register_area_per_bit == 0 && self.mux_area_per_input_bit == 0
+    }
+}
+
+impl Default for StorageCosts {
+    fn default() -> Self {
+        StorageCosts::ZERO
+    }
+}
+
+/// A datapath's area split into its three physical components.
+///
+/// `fu` is the paper's objective (the sum of bound functional-unit areas);
+/// `register` and `mux` price the storage and steering that resource
+/// sharing implies, using the active model's [`StorageCosts`].  Under
+/// [`StorageCosts::ZERO`] the breakdown degenerates to `fu` alone and
+/// `total()` equals the classic area number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AreaBreakdown {
+    /// Functional-unit area (the allocator's objective).
+    pub fu: Area,
+    /// Register storage area: `register_area_per_bit · Σ register widths`.
+    pub register: Area,
+    /// Steering area: `mux_area_per_input_bit · Σ (mux width · arms)` over
+    /// muxes with at least two arms.
+    pub mux: Area,
+}
+
+impl AreaBreakdown {
+    /// A breakdown with only a functional-unit component.
+    #[must_use]
+    pub const fn fu_only(fu: Area) -> Self {
+        AreaBreakdown {
+            fu,
+            register: 0,
+            mux: 0,
+        }
+    }
+
+    /// Total area across all three components.
+    #[must_use]
+    pub const fn total(&self) -> Area {
+        self.fu + self.register + self.mux
+    }
+}
+
 /// Maps resource-wordlength types to implementation area and latency.
 ///
 /// Implementations must be deterministic: repeated calls with the same
@@ -35,6 +121,13 @@ pub trait CostModel: Debug {
     /// latency-lower-bound computations.
     fn native_latency(&self, shape: crate::OpShape) -> Cycles {
         self.latency(&ResourceType::for_shape(shape))
+    }
+
+    /// Per-bit coefficients for register and mux area.  The default is
+    /// [`StorageCosts::ZERO`] (storage is free), which keeps the classic
+    /// FU-only area numbers bit-for-bit for models that do not opt in.
+    fn storage_costs(&self) -> StorageCosts {
+        StorageCosts::ZERO
     }
 }
 
@@ -66,11 +159,14 @@ pub struct SonicCostModel {
     /// Number of operand-width bits a multiplier retires per pipeline cycle
     /// (`⌈(n+m)/bits_per_cycle⌉`).
     pub multiplier_bits_per_cycle: u32,
+    /// Per-bit register and mux coefficients; [`StorageCosts::ZERO`] by
+    /// default so the paper's FU-only numbers are preserved bit-for-bit.
+    pub storage: StorageCosts,
 }
 
 impl SonicCostModel {
     /// Creates the model with the paper's published latency parameters and
-    /// unit area scale factors.
+    /// unit area scale factors.  Storage is free by default.
     #[must_use]
     pub fn new() -> Self {
         SonicCostModel {
@@ -78,7 +174,15 @@ impl SonicCostModel {
             multiplier_area_per_bit_product: 1,
             adder_latency: 2,
             multiplier_bits_per_cycle: 8,
+            storage: StorageCosts::ZERO,
         }
+    }
+
+    /// Returns the model with the given storage coefficients.
+    #[must_use]
+    pub fn with_storage_costs(mut self, storage: StorageCosts) -> Self {
+        self.storage = storage;
+        self
     }
 }
 
@@ -108,6 +212,10 @@ impl CostModel for SonicCostModel {
                 total.div_ceil(bpc).max(1)
             }
         }
+    }
+
+    fn storage_costs(&self) -> StorageCosts {
+        self.storage
     }
 }
 
@@ -259,9 +367,50 @@ mod tests {
             multiplier_area_per_bit_product: 1,
             adder_latency: 0,
             multiplier_bits_per_cycle: 0,
+            storage: StorageCosts::ZERO,
         };
         assert!(m.latency(&ResourceType::adder(4)) >= 1);
         assert!(m.latency(&ResourceType::multiplier(4, 4)) >= 1);
+    }
+
+    #[test]
+    fn storage_costs_default_to_free() {
+        assert_eq!(StorageCosts::default(), StorageCosts::ZERO);
+        assert!(StorageCosts::ZERO.is_zero());
+        assert!(!StorageCosts::new(1, 0).is_zero());
+        assert!(!StorageCosts::new(0, 2).is_zero());
+        // Every bundled model is storage-free out of the box, so the
+        // paper's FU-only numbers are preserved bit-for-bit.
+        assert_eq!(
+            SonicCostModel::default().storage_costs(),
+            StorageCosts::ZERO
+        );
+        assert_eq!(
+            LinearCostModel::default().storage_costs(),
+            StorageCosts::ZERO
+        );
+        assert_eq!(UnitCostModel.storage_costs(), StorageCosts::ZERO);
+    }
+
+    #[test]
+    fn storage_costs_are_configurable() {
+        let m = SonicCostModel::default().with_storage_costs(StorageCosts::new(2, 1));
+        assert_eq!(m.storage_costs(), StorageCosts::new(2, 1));
+        // The FU area and latency tables are untouched by storage pricing.
+        assert_eq!(m.area(&ResourceType::adder(16)), 16);
+        assert_eq!(m.latency(&ResourceType::adder(16)), 2);
+    }
+
+    #[test]
+    fn area_breakdown_totals() {
+        let b = AreaBreakdown {
+            fu: 100,
+            register: 30,
+            mux: 7,
+        };
+        assert_eq!(b.total(), 137);
+        assert_eq!(AreaBreakdown::fu_only(42).total(), 42);
+        assert_eq!(AreaBreakdown::default().total(), 0);
     }
 
     #[test]

@@ -59,7 +59,9 @@ mod graph;
 mod op;
 mod resource;
 
-pub use cost::{CostModel, LinearCostModel, SonicCostModel, UnitCostModel};
+pub use cost::{
+    AreaBreakdown, CostModel, LinearCostModel, SonicCostModel, StorageCosts, UnitCostModel,
+};
 pub use error::ModelError;
 pub use graph::{DependencyEdge, SequencingGraph, SequencingGraphBuilder};
 pub use op::{OpId, OpKind, OpShape, Operation};

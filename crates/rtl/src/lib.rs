@@ -25,9 +25,12 @@
 //! The headline property — proptested in `tests/equivalence.rs` across
 //! random TGFF graphs, every graph shape and width profile, and heuristic
 //! and baseline allocators alike — is that (2) and (3) agree **bit-exactly**
-//! on every stimulus vector, and that the netlist's functional-unit area
-//! equals the allocator's reported area.  [`check_equivalence`] bundles
-//! that check for use by tests and the batch driver (`mwl_driver`).
+//! on every stimulus vector, and that the netlist's *functional-unit* area
+//! component equals the allocator's reported (FU-only) area, with the full
+//! [`Netlist::area_breakdown`] agreeing with
+//! [`mwl_core::Datapath::area_breakdown`] component by component.
+//! [`check_equivalence`] bundles those checks for use by tests and the
+//! batch driver (`mwl_driver`).
 //!
 //! *Pipeline position:* downstream of `mwl_core`; used by `mwl_driver` for
 //! opt-in per-job verification and by the `rtl_smoke` harness in
@@ -56,7 +59,11 @@
 //! let vectors = random_vectors(&graph, 42, 8);
 //! let report = check_equivalence(&graph, &datapath, &cost, &vectors)?;
 //! assert_eq!(report.vectors, 8);
+//! // The FU component of the netlist equals the allocator's (FU-only)
+//! // objective; registers and muxes are priced on top by the breakdown.
 //! assert_eq!(report.netlist_area, datapath.area());
+//! assert_eq!(report.area_breakdown.fu, datapath.area());
+//! assert_eq!(report.certificate, mwl_core::BindingCertificate::Optimal);
 //!
 //! // Emit synthesisable Verilog.
 //! let netlist = lower_datapath(&graph, &datapath, &cost, "mac")?;
@@ -91,8 +98,8 @@ pub use verilog::emit_verilog;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use mwl_core::Datapath;
-use mwl_model::{Area, CostModel, SequencingGraph};
+use mwl_core::{BindingCertificate, Datapath};
+use mwl_model::{Area, AreaBreakdown, CostModel, SequencingGraph};
 
 use crate::dataflow::DataflowMap;
 
@@ -104,8 +111,13 @@ pub struct EquivalenceReport {
     /// Number of primary outputs compared per vector.
     pub outputs: usize,
     /// Summed functional-unit area of the netlist (equals the datapath's
-    /// reported area; checked).
+    /// FU-only reported area; checked).
     pub netlist_area: Area,
+    /// Per-component area of the netlist under the model's storage
+    /// coefficients (equals the datapath's breakdown; checked).
+    pub area_breakdown: AreaBreakdown,
+    /// Optimality certificate of the netlist's register binding.
+    pub certificate: BindingCertificate,
     /// Cell statistics of the lowered netlist.
     pub stats: NetlistStats,
 }
@@ -127,8 +139,11 @@ pub fn random_vectors(graph: &SequencingGraph, seed: u64, count: usize) -> Vec<V
 
 /// Lowers the datapath, simulates every stimulus vector and compares the
 /// primary outputs bit-exactly against the reference fixed-point evaluation
-/// of the sequencing graph; also cross-checks the netlist's functional-unit
-/// area against the datapath's reported area.
+/// of the sequencing graph; also cross-checks the netlist's area accounting
+/// against the datapath's: the *FU component* of the netlist must equal the
+/// datapath's FU-only [`Datapath::area`], and the full per-component
+/// [`Netlist::area_breakdown`] must equal
+/// [`Datapath::area_breakdown`](mwl_core::Datapath::area_breakdown).
 ///
 /// # Errors
 ///
@@ -144,11 +159,22 @@ pub fn check_equivalence(
     vectors: &[Vec<i64>],
 ) -> Result<EquivalenceReport, RtlError> {
     let netlist = lower_datapath(graph, datapath, cost, "dut")?;
-    let netlist_area = netlist.fu_area(cost);
+    // Compare the FU *component* explicitly: `Datapath::area` counts
+    // functional units only, so it must match the netlist's FU sum — not
+    // the netlist's total once registers and muxes are priced.
+    let area_breakdown = netlist.area_breakdown(cost);
+    let netlist_area = area_breakdown.fu;
     if netlist_area != datapath.area() {
         return Err(RtlError::AreaMismatch {
             netlist: netlist_area,
             datapath: datapath.area(),
+        });
+    }
+    let datapath_breakdown = datapath.area_breakdown(graph, cost);
+    if area_breakdown != datapath_breakdown {
+        return Err(RtlError::AreaMismatch {
+            netlist: area_breakdown.total(),
+            datapath: datapath_breakdown.total(),
         });
     }
     let map = DataflowMap::new(graph);
@@ -174,6 +200,8 @@ pub fn check_equivalence(
         vectors: vectors.len(),
         outputs: netlist.outputs.len(),
         netlist_area,
+        area_breakdown,
+        certificate: netlist.binding_certificate,
         stats: netlist.stats(),
     })
 }
@@ -204,6 +232,11 @@ mod tests {
         assert_eq!(report.vectors, 16);
         assert_eq!(report.outputs, 1);
         assert_eq!(report.netlist_area, dp.area());
+        assert_eq!(report.area_breakdown.fu, dp.area());
+        // Default SonicCostModel prices storage at zero, so the breakdown
+        // collapses to the FU component.
+        assert_eq!(report.area_breakdown.total(), dp.area());
+        assert_eq!(report.certificate, BindingCertificate::Optimal);
         assert!(report.stats.fus >= 1);
     }
 

@@ -12,8 +12,12 @@
 //! 2. **Registers.**  Every result value is registered at the clock edge
 //!    closing its final execution step ([`mwl_core::ValueLifetime::born`]).
 //!    Registers are shared: same-width values whose lifetimes do not overlap
-//!    are packed onto one register by a left-edge pass over the lifetime
-//!    intervals from [`mwl_core::Datapath::value_lifetimes`].
+//!    are packed onto one register by the certified interval-packing binder
+//!    ([`mwl_core::pack_registers`]) over the lifetime intervals from
+//!    [`mwl_core::Datapath::value_lifetimes`].  The binder proves its own
+//!    optimality — packed register count equals the max-overlap (clique)
+//!    lower bound per width class — and the certificate is carried on the
+//!    netlist ([`Netlist::binding_certificate`]).
 //! 3. **Adapters.**  Each operand passes through at most two explicit width
 //!    adapters: producer result width → the *operation's* operand width
 //!    (multiple-wordlength semantics: truncate or sign-extend), then the
@@ -27,9 +31,9 @@
 
 use std::collections::BTreeMap;
 
-use mwl_core::{Datapath, ValueLifetime};
+use mwl_core::{pack_registers, Datapath};
 use mwl_model::fixedpoint::MAX_SIM_WORDLENGTH;
-use mwl_model::{CostModel, OpId, OpKind, ResourceClass, SequencingGraph};
+use mwl_model::{CostModel, OpKind, ResourceClass, SequencingGraph};
 
 use crate::dataflow::{DataflowMap, PortSource};
 use crate::error::RtlError;
@@ -108,9 +112,12 @@ pub fn lower_datapath(
         fu.activations.sort_by_key(|a| (a.start, a.op));
     }
 
-    // --- Registers: left-edge sharing among same-width values. ---
-    let (registers_spec, reg_of) = allocate_registers(graph, &map, &lifetimes);
-    let mut registers: Vec<Register> = registers_spec
+    // --- Registers: certified interval packing per width class. ---
+    let value_widths: Vec<u32> = graph.op_ids().map(|op| map.result_width(op)).collect();
+    let binding = pack_registers(&value_widths, &lifetimes);
+    let reg_of = &binding.reg_of;
+    let mut registers: Vec<Register> = binding
+        .widths
         .iter()
         .enumerate()
         .map(|(idx, &width)| Register {
@@ -259,6 +266,7 @@ pub fn lower_datapath(
         fus,
         muxes,
         adapters,
+        binding_certificate: binding.certificate,
     })
 }
 
@@ -290,56 +298,11 @@ fn check_widths(
     Ok(())
 }
 
-/// Left-edge register allocation: packs same-width values with disjoint
-/// lifetimes onto shared registers.
-///
-/// Returns the register widths and, per operation, the register its value is
-/// stored in.
-fn allocate_registers(
-    graph: &SequencingGraph,
-    map: &DataflowMap,
-    lifetimes: &[ValueLifetime],
-) -> (Vec<u32>, Vec<usize>) {
-    // Values sorted by (width, born, id): the classic left-edge order, with
-    // a width-major grouping because a register only stores values of its
-    // exact width (sharing across widths would silently re-interpret bits).
-    let mut order: Vec<OpId> = graph.op_ids().collect();
-    order.sort_by_key(|&op| (map.result_width(op), lifetimes[op.index()].born, op));
-
-    let mut widths: Vec<u32> = Vec::new();
-    let mut last_dies: Vec<ValueLifetime> = Vec::new();
-    let mut reg_of = vec![usize::MAX; graph.len()];
-    for op in order {
-        let width = map.result_width(op);
-        let life = lifetimes[op.index()];
-        // First compatible register: same width, previous tenant dead
-        // strictly before this value is born (the write edge at `born - 1`
-        // must not clobber a value still being read at `born - 1`).
-        let slot = widths
-            .iter()
-            .zip(last_dies.iter())
-            .position(|(&w, prev)| w == width && prev.dies < life.born);
-        let idx = match slot {
-            Some(idx) => {
-                last_dies[idx] = life;
-                idx
-            }
-            None => {
-                widths.push(width);
-                last_dies.push(life);
-                widths.len() - 1
-            }
-        };
-        reg_of[op.index()] = idx;
-    }
-    (widths, reg_of)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use mwl_core::{AllocConfig, DpAllocator};
-    use mwl_model::{OpShape, SequencingGraphBuilder, SonicCostModel};
+    use mwl_model::{OpId, OpShape, SequencingGraphBuilder, SonicCostModel};
 
     fn chain_graph() -> SequencingGraph {
         let mut b = SequencingGraphBuilder::new();
@@ -363,7 +326,12 @@ mod tests {
         let netlist = lower_datapath(&g, &dp, &cost, "dut").unwrap();
         assert_eq!(netlist.fus.len(), dp.num_instances());
         assert_eq!(netlist.muxes.len(), 2 * dp.num_instances());
+        // The netlist's *FU component* equals the datapath's FU-only area
+        // (the allocator's objective); the full breakdown adds registers
+        // and muxes on top when the model prices them.
         assert_eq!(netlist.fu_area(&cost), dp.area());
+        assert_eq!(netlist.area_breakdown(&cost).fu, dp.area());
+        assert_eq!(netlist.area_breakdown(&cost), dp.area_breakdown(&g, &cost));
         // Every operation appears exactly once as an activation.
         let total: usize = netlist.fus.iter().map(|f| f.activations.len()).sum();
         assert_eq!(total, g.len());
@@ -400,6 +368,59 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn register_packing_is_certified_and_matches_the_core_binder() {
+        use mwl_core::{clique_lower_bound, left_edge_registers, BindingCertificate};
+        use mwl_model::StorageCosts;
+
+        let g = chain_graph();
+        let cost = SonicCostModel::default();
+        let dp = DpAllocator::new(&cost, AllocConfig::new(40))
+            .allocate(&g)
+            .unwrap();
+        let netlist = lower_datapath(&g, &dp, &cost, "dut").unwrap();
+        assert_eq!(netlist.binding_certificate, BindingCertificate::Optimal);
+
+        // The netlist registers are exactly the core binder's packing.
+        let binding = dp.register_binding(&g, &cost);
+        assert_eq!(netlist.registers.len(), binding.registers());
+        assert_eq!(netlist.stats().register_bits, binding.register_bits());
+
+        // Packed count meets the clique lower bound and never loses to the
+        // left-edge fallback oracle.
+        let widths = mwl_core::result_widths(&g);
+        let lifetimes = dp.value_lifetimes(&g, &cost);
+        assert_eq!(
+            netlist.registers.len(),
+            clique_lower_bound(&widths, &lifetimes)
+        );
+        let (left_edge, _) = left_edge_registers(&widths, &lifetimes);
+        assert!(netlist.registers.len() <= left_edge.len());
+
+        // Under priced storage the netlist-level and datapath-level
+        // breakdowns agree component by component.
+        let priced = SonicCostModel::default().with_storage_costs(StorageCosts::new(3, 2));
+        let nb = netlist.area_breakdown(&priced);
+        assert_eq!(nb, dp.area_breakdown(&g, &priced));
+        assert_eq!(nb.fu, dp.area());
+        assert!(nb.register > 0);
+        assert_eq!(nb.total(), nb.fu + nb.register + nb.mux);
+    }
+
+    #[test]
+    fn result_width_agrees_between_dataflow_and_core_storage() {
+        for shape in [
+            OpShape::adder(7),
+            OpShape::subtractor(13),
+            OpShape::multiplier(9, 5),
+        ] {
+            assert_eq!(
+                crate::dataflow::output_width(shape),
+                mwl_core::storage::result_width(shape)
+            );
         }
     }
 

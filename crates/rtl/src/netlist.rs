@@ -22,7 +22,8 @@
 
 use std::fmt;
 
-use mwl_model::{Area, CostModel, Cycles, OpId, ResourceType};
+use mwl_core::BindingCertificate;
+use mwl_model::{Area, AreaBreakdown, CostModel, Cycles, OpId, ResourceType};
 
 /// A combinational value source inside the netlist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -239,6 +240,10 @@ pub struct Netlist {
     pub muxes: Vec<Mux>,
     /// Width adapters.
     pub adapters: Vec<Adapter>,
+    /// Optimality certificate of the register binding: whether the packed
+    /// register count provably equals the max-overlap lower bound of the
+    /// lifetime interval graph, per width class.
+    pub binding_certificate: BindingCertificate,
 }
 
 impl Netlist {
@@ -269,13 +274,43 @@ impl Netlist {
         }
     }
 
-    /// Total implementation area of the functional units under the given
-    /// cost model.  By construction this equals the area of the datapath the
-    /// netlist was lowered from ([`mwl_core::Datapath::area`]); the
-    /// equivalence checker asserts exactly that.
+    /// Total implementation area of the *functional units* under the given
+    /// cost model — one component of [`area_breakdown`](Self::area_breakdown).
+    /// By construction this equals the FU component of the datapath the
+    /// netlist was lowered from ([`mwl_core::Datapath::area`], which counts
+    /// functional units only); the equivalence checker asserts exactly that.
     #[must_use]
     pub fn fu_area(&self, cost: &dyn CostModel) -> Area {
         self.fus.iter().map(|f| cost.area(&f.resource)).sum()
+    }
+
+    /// Total multiplexer input bits: the sum of `width × arms` over muxes
+    /// with at least two arms (a single-arm mux is a wire and costs
+    /// nothing).
+    #[must_use]
+    pub fn mux_input_bits(&self) -> u64 {
+        self.muxes
+            .iter()
+            .filter(|m| m.arms.len() >= 2)
+            .map(|m| u64::from(m.width) * m.arms.len() as u64)
+            .sum()
+    }
+
+    /// Splits the netlist's area into functional-unit, register and mux
+    /// components using the cost model's [`mwl_model::StorageCosts`].
+    ///
+    /// Because the lowering and [`mwl_core::Datapath::area_breakdown`] use
+    /// the same certified register packing and the same mux structure, the
+    /// two breakdowns agree exactly; the equivalence checker asserts that.
+    #[must_use]
+    pub fn area_breakdown(&self, cost: &dyn CostModel) -> AreaBreakdown {
+        let storage = cost.storage_costs();
+        let register_bits: u64 = self.registers.iter().map(|r| u64::from(r.width)).sum();
+        AreaBreakdown {
+            fu: self.fu_area(cost),
+            register: register_bits * storage.register_area_per_bit,
+            mux: self.mux_input_bits() * storage.mux_area_per_input_bit,
+        }
     }
 
     /// Aggregate cell statistics.

@@ -75,8 +75,7 @@ impl Client {
     ///
     /// Propagates connection failures.
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
-        let writer = TcpStream::connect(addr)?;
-        writer.set_nodelay(true).ok();
+        let writer = crate::net::connect(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client {
             writer,

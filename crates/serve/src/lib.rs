@@ -78,6 +78,7 @@ pub mod client;
 pub mod dedup;
 pub mod json;
 pub mod loadgen;
+pub mod net;
 pub mod server;
 pub mod wire;
 

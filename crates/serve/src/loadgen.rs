@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use mwl_bench::{scenario_jobs, BatchSweepConfig};
 use mwl_driver::BatchJob;
+use mwl_model::AreaBreakdown;
 
 use crate::client::{Client, ClientError, SubmitAck};
 use crate::wire::{
@@ -76,11 +77,20 @@ impl LoadgenConfig {
     }
 }
 
+/// Queue capacities above this are not driven into back-pressure: the burst
+/// needed to overrun them would dominate the whole run, so the check is
+/// explicitly skipped (and reported as such) instead of silently failing.
+const MAX_BURST_CAPACITY: u64 = 1024;
+
 /// Results of the fault-exercise phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultChecks {
     /// A queue-full (429) rejection was observed.
     pub queue_full_exercised: bool,
+    /// The queue-full burst was skipped because the server reported a queue
+    /// deeper than [`MAX_BURST_CAPACITY`]; `queue_full_exercised` is
+    /// legitimately false in that case.
+    pub skipped_large_queue: bool,
     /// A cancellation was acknowledged and its result came back cancelled.
     pub cancellation_exercised: bool,
     /// A malformed line was answered with an error response (connection
@@ -115,6 +125,11 @@ pub struct LoadReport {
     pub graphs_per_sec: f64,
     /// Dedup hit rate (`hits / (hits + misses)`, 0 when dedup never ran).
     pub dedup_hit_rate: f64,
+    /// Component-wise sum of the area breakdowns of all ok results.
+    pub area_breakdown: AreaBreakdown,
+    /// `"optimal"` when every ok result carried an optimal register-binding
+    /// certificate, `"heuristic"` otherwise.
+    pub certificate: String,
     /// Jobs reported drained by the graceful shutdown (0 when `shutdown`
     /// was off).
     pub drained: u64,
@@ -130,11 +145,15 @@ impl LoadReport {
     pub fn to_json(&self) -> String {
         let s = &self.server;
         format!(
-            "{{\n  \"schema\": \"mwl_serve_loadgen/v1\",\n  \"jobs\": {{\"submitted\": {}, \"ok\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}}}\n}}\n",
+            "{{\n  \"schema\": \"mwl_serve_loadgen/v2\",\n  \"jobs\": {{\"submitted\": {}, \"ok\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n  \"certificate\": \"{}\",\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"skipped_large_queue\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}, \"queue_capacity\": {}}}\n}}\n",
             self.submitted,
             self.ok,
             self.failed,
             self.cancelled,
+            self.area_breakdown.fu,
+            self.area_breakdown.register,
+            self.area_breakdown.mux,
+            self.certificate,
             self.p50_ms,
             self.p99_ms,
             self.mean_ms,
@@ -146,6 +165,7 @@ impl LoadReport {
             self.rejections,
             self.queue_full_rejections,
             self.faults.queue_full_exercised,
+            self.faults.skipped_large_queue,
             self.faults.cancellation_exercised,
             self.faults.malformed_line_answered,
             self.drained > 0,
@@ -158,6 +178,7 @@ impl LoadReport {
             s.dedup_hits,
             s.dedup_misses,
             s.workers,
+            s.queue_capacity,
         )
     }
 }
@@ -194,19 +215,33 @@ struct Pipeline {
     cancelled: u64,
     rejections: u64,
     queue_full: u64,
+    area: AreaBreakdown,
+    all_optimal: bool,
 }
 
 impl Pipeline {
+    /// Counts one result, accumulating per-component area and the
+    /// certificate conjunction for ok outcomes.
+    fn tally(&mut self, outcome: &WireOutcome) {
+        match outcome {
+            WireOutcome::Ok(stats) => {
+                self.ok += 1;
+                self.area.fu += stats.area_breakdown.fu;
+                self.area.register += stats.area_breakdown.register;
+                self.area.mux += stats.area_breakdown.mux;
+                self.all_optimal &= stats.certificate == mwl_core::BindingCertificate::Optimal;
+            }
+            WireOutcome::Failed { .. } => self.failed += 1,
+            WireOutcome::Cancelled => self.cancelled += 1,
+        }
+    }
+
     fn record(&mut self, id: u64, outcome: &WireOutcome) {
         if let Some(sent) = self.pending.remove(&id) {
             self.latencies_ms
                 .push(sent.elapsed().as_secs_f64() * 1000.0);
         }
-        match outcome {
-            WireOutcome::Ok(_) => self.ok += 1,
-            WireOutcome::Failed { .. } => self.failed += 1,
-            WireOutcome::Cancelled => self.cancelled += 1,
-        }
+        self.tally(outcome);
     }
 
     /// Submits with bounded retries on queue-full back-pressure.
@@ -263,6 +298,8 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         cancelled: 0,
         rejections: 0,
         queue_full: 0,
+        area: AreaBreakdown::default(),
+        all_optimal: true,
     };
 
     let mut next_id: u64 = 0;
@@ -350,6 +387,12 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         } else {
             server.dedup_hits as f64 / denominator as f64
         },
+        area_breakdown: pipeline.area,
+        certificate: if pipeline.all_optimal {
+            "optimal".to_string()
+        } else {
+            "heuristic".to_string()
+        },
         drained,
         faults,
         server,
@@ -367,45 +410,52 @@ fn exercise_faults(
     let mut checks = FaultChecks::default();
 
     // Burst: distinct slow graphs sent without reading acks, so the
-    // bounded queue must refuse some of them.  112 jobs overruns any
-    // queue up to ~100 deep (the default capacity is 64); a server
-    // configured far deeper than that simply cannot be driven into
-    // back-pressure by this client, and the check reports false.
-    let burst_jobs = scenario_jobs(&BatchSweepConfig {
-        graphs_per_family: 16,
-        sizes: vec![24, 28],
-        seed: 990_000, // distinct from the measured waves: no dedup hits
-        worker_counts: vec![1],
-    });
-    let first_id = *next_id;
-    for job in &burst_jobs {
-        let id = *next_id;
-        *next_id += 1;
-        client.send(&crate::wire::Request::Submit(to_submit(id, job, 0)))?;
-    }
-    let mut accepted_ids = Vec::new();
-    for _ in first_id..*next_id {
-        match client.read_control()? {
-            crate::wire::Response::Accepted { id } => accepted_ids.push(id),
-            crate::wire::Response::Rejected { code, .. } => {
-                pipeline.rejections += 1;
-                if code == CODE_QUEUE_FULL {
-                    pipeline.queue_full += 1;
-                    checks.queue_full_exercised = true;
-                }
-            }
-            other => return Err(ClientError::Unexpected(other)),
+    // bounded queue must refuse some of them.  The burst is sized from the
+    // server's *reported* queue capacity — a fixed count would silently
+    // stop exercising back-pressure the moment someone deepened the queue.
+    // Capacities beyond MAX_BURST_CAPACITY are not worth flooding; the
+    // skip is reported instead of a silent false.
+    let capacity = client.stats()?.queue_capacity;
+    if capacity > MAX_BURST_CAPACITY {
+        checks.skipped_large_queue = true;
+    } else {
+        // scenario_jobs yields families × graphs_per_family × sizes jobs
+        // (7 × g × 2 here); overshoot the capacity by a margin that covers
+        // the jobs the workers drain while the burst is being written.
+        let margin = 48;
+        let per_family = (capacity + margin).div_ceil(14).max(1) as usize;
+        let burst_jobs = scenario_jobs(&BatchSweepConfig {
+            graphs_per_family: per_family,
+            sizes: vec![24, 28],
+            seed: 990_000, // distinct from the measured waves: no dedup hits
+            worker_counts: vec![1],
+        });
+        let first_id = *next_id;
+        for job in &burst_jobs {
+            let id = *next_id;
+            *next_id += 1;
+            client.send(&crate::wire::Request::Submit(to_submit(id, job, 0)))?;
         }
-    }
+        let mut accepted_ids = Vec::new();
+        for _ in first_id..*next_id {
+            match client.read_control()? {
+                crate::wire::Response::Accepted { id } => accepted_ids.push(id),
+                crate::wire::Response::Rejected { code, .. } => {
+                    pipeline.rejections += 1;
+                    if code == CODE_QUEUE_FULL {
+                        pipeline.queue_full += 1;
+                        checks.queue_full_exercised = true;
+                    }
+                }
+                other => return Err(ClientError::Unexpected(other)),
+            }
+        }
 
-    for &id in &accepted_ids {
-        // Results stream in submission order; collect them all.
-        let (got, outcome) = client.next_result()?;
-        debug_assert_eq!(got, id);
-        match &outcome {
-            WireOutcome::Ok(_) => pipeline.ok += 1,
-            WireOutcome::Failed { .. } => pipeline.failed += 1,
-            WireOutcome::Cancelled => pipeline.cancelled += 1,
+        for &id in &accepted_ids {
+            // Results stream in submission order; collect them all.
+            let (got, outcome) = client.next_result()?;
+            debug_assert_eq!(got, id);
+            pipeline.tally(&outcome);
         }
     }
 
@@ -460,11 +510,7 @@ fn exercise_faults(
         for &id in &accepted {
             let (got, outcome) = client.next_result()?;
             debug_assert_eq!(got, id);
-            match &outcome {
-                WireOutcome::Ok(_) => pipeline.ok += 1,
-                WireOutcome::Failed { .. } => pipeline.failed += 1,
-                WireOutcome::Cancelled => pipeline.cancelled += 1,
-            }
+            pipeline.tally(&outcome);
         }
         if cancelled_now {
             checks.cancellation_exercised = true;
@@ -510,9 +556,16 @@ mod tests {
             wall_seconds: 0.5,
             graphs_per_sec: 20.0,
             dedup_hit_rate: 0.5,
+            area_breakdown: AreaBreakdown {
+                fu: 4200,
+                register: 96,
+                mux: 30,
+            },
+            certificate: "optimal".to_string(),
             drained: 4,
             faults: FaultChecks {
                 queue_full_exercised: true,
+                skipped_large_queue: false,
                 cancellation_exercised: true,
                 malformed_line_answered: true,
             },
@@ -527,18 +580,23 @@ mod tests {
                 queue_depth: 0,
                 in_flight: 0,
                 workers: 2,
+                queue_capacity: 64,
             },
         };
         let json = report.to_json();
         for key in [
-            "\"schema\": \"mwl_serve_loadgen/v1\"",
+            "\"schema\": \"mwl_serve_loadgen/v2\"",
+            "\"area_breakdown\": {\"fu\": 4200, \"register\": 96, \"mux\": 30}",
+            "\"certificate\": \"optimal\"",
             "\"p50\"",
             "\"p99\"",
             "\"graphs_per_sec\"",
             "\"hit_rate\"",
             "\"queue_full\"",
+            "\"skipped_large_queue\": false",
             "\"cancellation_exercised\"",
             "\"drained\"",
+            "\"queue_capacity\": 64",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

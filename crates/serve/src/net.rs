@@ -1,0 +1,53 @@
+//! Socket setup shared by every connect and accept site.
+//!
+//! The protocol is newline-delimited request/response lines of a few hundred
+//! bytes, flushed eagerly.  With Nagle's algorithm enabled, each such write
+//! can sit in the kernel until the peer's delayed ACK arrives — a ~40 ms
+//! stall per round trip that dwarfs the allocator itself.  Every socket the
+//! crate touches therefore goes through these two helpers, which set
+//! `TCP_NODELAY` in exactly one place; the server's accept loop, the
+//! client's connect path and both binaries use them.
+
+use std::net::{SocketAddr, TcpStream};
+
+/// Connects to `addr` and disables Nagle's algorithm on the new stream.
+///
+/// A failure to set the option is ignored: the connection still works, just
+/// possibly with delayed-ACK latency, which is never worth refusing a
+/// connection over.
+///
+/// # Errors
+///
+/// Propagates the connection failure.
+pub fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    Ok(stream)
+}
+
+/// Prepares a freshly accepted stream: disables Nagle's algorithm and hands
+/// the stream back.
+///
+/// Like [`connect`], a failure to set the option is deliberately ignored.
+#[must_use]
+pub fn accepted(stream: TcpStream) -> TcpStream {
+    stream.set_nodelay(true).ok();
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn both_ends_get_nodelay() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let server = accepted(server);
+        assert!(client.nodelay().unwrap());
+        assert!(server.nodelay().unwrap());
+    }
+}

@@ -235,6 +235,7 @@ impl Shared {
             queue_depth,
             in_flight,
             workers: self.config.workers as u64,
+            queue_capacity: self.config.queue_capacity as u64,
         }
     }
 }
@@ -377,10 +378,7 @@ impl Server {
             while !shared.stopped() {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        // Nagle + delayed-ACK adds ~40ms to every small
-                        // line write; a line-delimited RPC protocol must
-                        // flush eagerly.
-                        stream.set_nodelay(true).ok();
+                        let stream = crate::net::accepted(stream);
                         scope.spawn(move || connection_loop(shared, stream));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

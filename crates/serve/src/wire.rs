@@ -10,9 +10,11 @@
 //! field order, optional fields omitted rather than `null`), so re-encoding
 //! a parsed message reproduces the original line.
 
-use mwl_core::AllocConfig;
+use mwl_core::{AllocConfig, BindingCertificate};
 use mwl_driver::{JobStats, LatencySpec};
-use mwl_model::{Cycles, ModelError, OpKind, OpShape, ResourceClass, SequencingGraph};
+use mwl_model::{
+    AreaBreakdown, Cycles, ModelError, OpKind, OpShape, ResourceClass, SequencingGraph,
+};
 use mwl_sched::SchedulePriority;
 
 use crate::json::{Json, JsonError, ObjectBuilder};
@@ -453,8 +455,13 @@ impl Request {
 pub struct WireStats {
     /// Resolved latency budget λ.
     pub lambda: Cycles,
-    /// Total datapath area.
+    /// Datapath area (the functional-unit component).
     pub area: u64,
+    /// Per-component area (functional units, registers, muxes) under the
+    /// server's storage coefficients.
+    pub area_breakdown: AreaBreakdown,
+    /// Optimality certificate of the datapath's register binding.
+    pub certificate: BindingCertificate,
     /// Achieved latency.
     pub latency: Cycles,
     /// Resource instances in the datapath.
@@ -472,6 +479,8 @@ impl From<&JobStats> for WireStats {
         WireStats {
             lambda: s.lambda,
             area: s.area,
+            area_breakdown: s.area_breakdown,
+            certificate: s.certificate,
             latency: s.latency,
             instances: s.instances as u64,
             refinements: s.refinements as u64,
@@ -542,6 +551,10 @@ pub struct StatsSnapshot {
     pub in_flight: u64,
     /// Worker threads serving the queue.
     pub workers: u64,
+    /// Capacity of the bounded job queue: submissions beyond it are
+    /// rejected with [`CODE_QUEUE_FULL`].  Clients use this to size
+    /// back-pressure experiments instead of guessing.
+    pub queue_capacity: u64,
 }
 
 /// A server-to-client message.
@@ -620,6 +633,15 @@ impl Response {
                             ObjectBuilder::new()
                                 .int("lambda", i64::from(s.lambda))
                                 .uint("area", s.area)
+                                .field(
+                                    "area_breakdown",
+                                    ObjectBuilder::new()
+                                        .uint("fu", s.area_breakdown.fu)
+                                        .uint("register", s.area_breakdown.register)
+                                        .uint("mux", s.area_breakdown.mux)
+                                        .build(),
+                                )
+                                .str("certificate", s.certificate.as_str())
                                 .int("latency", i64::from(s.latency))
                                 .uint("instances", s.instances)
                                 .uint("refinements", s.refinements)
@@ -655,6 +677,7 @@ impl Response {
                 .uint("queue_depth", s.queue_depth)
                 .uint("in_flight", s.in_flight)
                 .uint("workers", s.workers)
+                .uint("queue_capacity", s.queue_capacity)
                 .build()
                 .encode(),
             Response::Pong => ObjectBuilder::new().str("type", "pong").build().encode(),
@@ -719,9 +742,35 @@ impl Response {
                         let c = |key: &str| {
                             u(key).and_then(|raw| u32::try_from(raw).map_err(|_| missing(key)))
                         };
+                        let breakdown = s
+                            .get("area_breakdown")
+                            .ok_or_else(|| missing("area_breakdown"))?;
+                        let component = |key: &str| {
+                            breakdown
+                                .get(key)
+                                .and_then(Json::as_u64)
+                                .ok_or_else(|| missing(key))
+                        };
+                        let certificate = match s
+                            .get("certificate")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| missing("certificate"))?
+                        {
+                            "optimal" => BindingCertificate::Optimal,
+                            "heuristic" => BindingCertificate::Heuristic,
+                            other => {
+                                return Err(WireError(format!("unknown certificate '{other}'")))
+                            }
+                        };
                         WireOutcome::Ok(WireStats {
                             lambda: c("lambda")?,
                             area: u("area")?,
+                            area_breakdown: AreaBreakdown {
+                                fu: component("fu")?,
+                                register: component("register")?,
+                                mux: component("mux")?,
+                            },
+                            certificate,
                             latency: c("latency")?,
                             instances: u("instances")?,
                             refinements: u("refinements")?,
@@ -771,6 +820,7 @@ impl Response {
                     queue_depth: u("queue_depth")?,
                     in_flight: u("in_flight")?,
                     workers: u("workers")?,
+                    queue_capacity: u("queue_capacity")?,
                 }))
             }
             "pong" => Ok(Response::Pong),
@@ -900,6 +950,12 @@ mod tests {
                 outcome: WireOutcome::Ok(WireStats {
                     lambda: 10,
                     area: 12345,
+                    area_breakdown: AreaBreakdown {
+                        fu: 12345,
+                        register: 96,
+                        mux: 40,
+                    },
+                    certificate: BindingCertificate::Optimal,
                     latency: 9,
                     instances: 4,
                     refinements: 2,
@@ -932,6 +988,7 @@ mod tests {
                 queue_depth: 1,
                 in_flight: 1,
                 workers: 2,
+                queue_capacity: 64,
             }),
             Response::Pong,
             Response::ShutdownAck { drained: 3 },

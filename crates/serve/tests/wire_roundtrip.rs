@@ -5,8 +5,9 @@
 
 use proptest::prelude::*;
 
+use mwl_core::BindingCertificate;
 use mwl_driver::LatencySpec;
-use mwl_model::OpShape;
+use mwl_model::{AreaBreakdown, OpShape};
 use mwl_serve::wire::{
     CancelOutcome, JobConfig, Request, Response, StatsSnapshot, SubmitRequest, WireGraph,
     WireOutcome, WireStats, CODE_GRAPH_TOO_LARGE, CODE_INVALID_GRAPH, CODE_QUEUE_FULL,
@@ -140,11 +141,26 @@ fn stats_strategy() -> impl Strategy<Value = WireStats> {
             0u64..=100_000,
             0u64..=100_000,
         ),
+        (u63(), u63(), any::<bool>()),
     )
         .prop_map(
-            |((lambda, area, latency), (instances, refinements, escalations, merges))| WireStats {
+            |(
+                (lambda, area, latency),
+                (instances, refinements, escalations, merges),
+                (register, mux, optimal),
+            )| WireStats {
                 lambda,
                 area,
+                area_breakdown: AreaBreakdown {
+                    fu: area,
+                    register,
+                    mux,
+                },
+                certificate: if optimal {
+                    BindingCertificate::Optimal
+                } else {
+                    BindingCertificate::Heuristic
+                },
                 latency,
                 instances,
                 refinements,
@@ -166,11 +182,13 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
     (
         (u63(), u63(), u63(), u63(), u63()),
         (u63(), u63(), u63(), u63(), u63()),
+        u63(),
     )
         .prop_map(
             |(
                 (accepted, completed, failed, cancelled, rejected),
                 (dedup_hits, dedup_misses, queue_depth, in_flight, workers),
+                queue_capacity,
             )| StatsSnapshot {
                 accepted,
                 completed,
@@ -182,6 +200,7 @@ fn snapshot_strategy() -> impl Strategy<Value = StatsSnapshot> {
                 queue_depth,
                 in_flight,
                 workers,
+                queue_capacity,
             },
         )
 }

@@ -61,10 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let equivalence = check_equivalence(&graph, &datapath, &cost, &vectors)?;
     let netlist = lower_datapath(&graph, &datapath, &cost, "fir8")?;
     println!(
-        "netlist: {} bit-true vectors checked, FU area {} (= datapath area), \
+        "netlist: {} bit-true vectors checked, {} register binding, \
+         area breakdown fu {} / registers {} / muxes {} \
+         (zero storage coefficients: fu = datapath area = total), \
          {} registers ({} bits), {} mux arms, {} width adapters",
         equivalence.vectors,
-        equivalence.netlist_area,
+        equivalence.certificate.as_str(),
+        equivalence.area_breakdown.fu,
+        equivalence.area_breakdown.register,
+        equivalence.area_breakdown.mux,
         equivalence.stats.registers,
         equivalence.stats.register_bits,
         equivalence.stats.mux_arms,

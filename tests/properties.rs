@@ -9,6 +9,8 @@
 use proptest::prelude::*;
 
 use mwl::prelude::*;
+use mwl_core::storage::{clique_lower_bound, left_edge_registers, result_widths};
+use mwl_tgff::{GraphShape, WidthProfile};
 
 fn cost() -> SonicCostModel {
     SonicCostModel::default()
@@ -28,6 +30,28 @@ fn graph_strategy() -> impl Strategy<Value = SequencingGraph> {
             _ => 0.75,
         };
         let config = TgffConfig::with_ops(ops).mul_fraction(mul_fraction);
+        TgffGenerator::new(config, seed).generate()
+    })
+}
+
+/// Strategy: a random graph drawn from *every* scenario family — the full
+/// [`GraphShape`] × [`WidthProfile`] cross product the batch driver sweeps —
+/// so the register-binder invariants below are checked on each family.
+fn shaped_graph_strategy() -> impl Strategy<Value = SequencingGraph> {
+    let shape = prop_oneof![
+        Just(GraphShape::Layered),
+        Just(GraphShape::Wide),
+        Just(GraphShape::Deep),
+        Just(GraphShape::Diamond),
+    ];
+    let profile = prop_oneof![
+        Just(WidthProfile::Uniform),
+        (0.1f64..=0.9).prop_map(|high_fraction| WidthProfile::Mixed { high_fraction }),
+    ];
+    (2usize..=14, any::<u64>(), shape, profile).prop_map(|(ops, seed, shape, profile)| {
+        let config = TgffConfig::with_ops(ops)
+            .shape(shape)
+            .width_profile(profile);
         TgffGenerator::new(config, seed).generate()
     })
 }
@@ -165,5 +189,123 @@ proptest! {
             .unwrap();
         prop_assert_eq!(outcome.datapath.area(), merged.area());
         prop_assert_eq!(outcome.merges, stats.merges);
+    }
+
+    /// On every scenario family the interval-packing binder is certified
+    /// optimal: its register count equals the max-overlap clique lower bound
+    /// and never exceeds what the left-edge fallback oracle uses.
+    #[test]
+    fn binder_is_certified_and_meets_the_clique_bound(
+        graph in shaped_graph_strategy(),
+        slack in 0u32..8,
+    ) {
+        let cost = cost();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap();
+        let widths = result_widths(&graph);
+        let lifetimes = datapath.value_lifetimes(&graph, &cost);
+        let binding = pack_registers(&widths, &lifetimes);
+        prop_assert_eq!(binding.certificate, BindingCertificate::Optimal);
+        prop_assert_eq!(binding.registers(), binding.clique_bound);
+        prop_assert_eq!(binding.clique_bound, clique_lower_bound(&widths, &lifetimes));
+        let (left_edge_widths, _) = left_edge_registers(&widths, &lifetimes);
+        prop_assert!(binding.registers() <= left_edge_widths.len());
+        // Packing can only save registers, never storage bits per value:
+        // the left-edge oracle shares within exact width classes too.
+        let left_edge_bits: u64 = left_edge_widths.iter().map(|&w| u64::from(w)).sum();
+        prop_assert!(binding.register_bits() <= left_edge_bits);
+    }
+
+    /// No two values with overlapping lifetimes ever share a register, and
+    /// every value sits in a register of exactly its result width.
+    #[test]
+    fn binder_never_overlaps_values_in_a_register(
+        graph in shaped_graph_strategy(),
+        slack in 0u32..8,
+    ) {
+        let cost = cost();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap();
+        let widths = result_widths(&graph);
+        let lifetimes = datapath.value_lifetimes(&graph, &cost);
+        let binding = pack_registers(&widths, &lifetimes);
+        prop_assert_eq!(binding.reg_of.len(), graph.len());
+        for (i, &reg) in binding.reg_of.iter().enumerate() {
+            prop_assert_eq!(binding.widths[reg], widths[i]);
+            for (j, &other) in binding.reg_of.iter().enumerate().skip(i + 1) {
+                if reg == other {
+                    let (a, b) = (lifetimes[i], lifetimes[j]);
+                    let disjoint = a.dies < b.born || b.dies < a.born;
+                    prop_assert!(
+                        disjoint,
+                        "values {i} [{},{}] and {j} [{},{}] share register {reg}",
+                        a.born, a.dies, b.born, b.dies,
+                    );
+                }
+            }
+        }
+    }
+
+    /// After the rebind the RTL simulation stays bit-identical to the
+    /// fixed-point reference on every scenario family, the certificate
+    /// survives lowering, and under the default zero storage coefficients
+    /// the breakdown collapses to the paper's FU-only area bit for bit.
+    #[test]
+    fn rtl_is_bit_identical_after_rebind_on_all_families(
+        graph in shaped_graph_strategy(),
+        slack in 0u32..6,
+        seed in any::<u64>(),
+    ) {
+        let cost = cost();
+        let lambda = lambda_min(&graph, &cost) + slack;
+        let datapath = DpAllocator::new(&cost, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap();
+        let vectors = random_vectors(&graph, seed, 4);
+        let report = check_equivalence(&graph, &datapath, &cost, &vectors)
+            .expect("RTL must match the fixed-point reference");
+        prop_assert_eq!(report.vectors, 4);
+        prop_assert_eq!(report.certificate, BindingCertificate::Optimal);
+        prop_assert_eq!(report.netlist_area, datapath.area());
+        prop_assert_eq!(report.area_breakdown, AreaBreakdown::fu_only(datapath.area()));
+        prop_assert_eq!(report.area_breakdown.total(), datapath.area());
+    }
+
+    /// Pricing storage never changes the FU component or the certificate —
+    /// only adds register/mux terms — and the mux term is zero exactly when
+    /// nothing is shared.
+    #[test]
+    fn storage_costs_only_add_components(
+        graph in shaped_graph_strategy(),
+        slack in 0u32..6,
+        (reg_cost, mux_cost) in (1u64..=4, 1u64..=4),
+    ) {
+        let zero = cost();
+        let priced = SonicCostModel::default().with_storage_costs(StorageCosts {
+            register_area_per_bit: reg_cost,
+            mux_area_per_input_bit: mux_cost,
+        });
+        let lambda = lambda_min(&graph, &zero) + slack;
+        let datapath = DpAllocator::new(&zero, AllocConfig::new(lambda))
+            .allocate(&graph)
+            .unwrap();
+        let plain = datapath.area_breakdown(&graph, &zero);
+        let full = datapath.area_breakdown(&graph, &priced);
+        prop_assert_eq!(plain, AreaBreakdown::fu_only(datapath.area()));
+        prop_assert_eq!(full.fu, plain.fu);
+        let binding = datapath.register_binding(&graph, &priced);
+        prop_assert_eq!(binding.certificate, BindingCertificate::Optimal);
+        prop_assert_eq!(full.register, binding.register_bits() * reg_cost);
+        prop_assert_eq!(full.mux, datapath.mux_input_bits() * mux_cost);
+        let shared = datapath
+            .instances()
+            .iter()
+            .any(|inst| inst.sharing_factor() >= 2);
+        prop_assert_eq!(full.mux > 0, shared);
+        prop_assert_eq!(full.total(), full.fu + full.register + full.mux);
     }
 }
