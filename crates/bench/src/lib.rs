@@ -14,6 +14,7 @@
 //! | Table 2 — execution time vs `λ/λ_min` for 9-operation graphs | [`run_table2`] | `table2` |
 //! | Batch throughput over the TGFF + scenario families (beyond the paper) | [`run_batch_sweep`] | `batch_sweep` |
 //! | Allocation hot-path perf gate: optimized vs frozen reference, bit-identity, committed `BENCH_alloc.json` | [`run_perf_gate`] | `perf_gate` |
+//! | Portfolio gate: racing-allocator determinism, never-worse and ILP gap-closed checks, committed `BENCH_portfolio.json` | [`run_portfolio_gate`] | `portfolio_gate` |
 //!
 //! The paper runs 200 random graphs per data point on a Pentium III 450;
 //! [`SweepConfig::paper`] reproduces those counts, while
@@ -35,6 +36,7 @@ mod fig3;
 mod fig4;
 mod fig5;
 mod perf;
+mod portfolio;
 mod sweep;
 mod table2;
 
@@ -48,6 +50,9 @@ pub use fig5::{run_fig5, Fig5Config, Fig5Results, Fig5Row};
 pub use perf::{
     run_perf_gate, MultiCoreStatus, PerfGateConfig, PerfGateResults, WorkerRow, MULTI_CORE_TARGET,
     SINGLE_THREAD_TARGET,
+};
+pub use portfolio::{
+    run_portfolio_gate, FamilyGateRow, IlpGapRow, PortfolioGateConfig, PortfolioGateResults,
 };
 pub use sweep::{lambda_min, relax_constraint, SweepConfig};
 pub use table2::{run_table2, Table2Config, Table2Results, Table2Row};

@@ -60,6 +60,13 @@ pub struct AllocConfig {
     /// Safety budget on the number of schedule/bind/refine iterations per
     /// resource-bound configuration.
     pub max_iterations: usize,
+    /// Tie-break salt for the instance-merging pass.  `0` (the default)
+    /// keeps the deterministic enumeration order among equal-saving merge
+    /// candidates; any non-zero value deterministically shuffles that tie
+    /// order — the "merge-order shuffle" axis of the portfolio search
+    /// (see [`crate::portfolio`]).  Candidates with distinct savings are
+    /// unaffected, so the pass stays greedy on area either way.
+    pub merge_salt: u64,
 }
 
 impl AllocConfig {
@@ -75,6 +82,7 @@ impl AllocConfig {
             refinement: RefinementPolicy::default(),
             instance_merging: true,
             max_iterations: 10_000,
+            merge_salt: 0,
         }
     }
 
@@ -110,6 +118,14 @@ impl AllocConfig {
     #[must_use]
     pub fn with_instance_merging(mut self, enabled: bool) -> Self {
         self.instance_merging = enabled;
+        self
+    }
+
+    /// Sets the merge-candidate tie-break salt (see
+    /// [`merge_salt`](Self::merge_salt)).
+    #[must_use]
+    pub fn with_merge_salt(mut self, salt: u64) -> Self {
+        self.merge_salt = salt;
         self
     }
 }
@@ -233,6 +249,7 @@ impl<'a> DpAllocator<'a> {
                             graph,
                             self.cost,
                             self.config.latency_constraint,
+                            self.config.merge_salt,
                             &mut scratch.merge,
                         );
                         (merged, stats.merges)

@@ -45,6 +45,14 @@ pub enum AllocError {
         /// Number of bound escalations actually performed.
         escalations: usize,
     },
+    /// Every portfolio variant failed or panicked and the baseline variant
+    /// produced no [`AllocError`] of its own to report (only reachable when
+    /// a fault-injection hook makes variant 0 panic — in normal operation
+    /// the baseline's error is propagated instead).
+    PortfolioExhausted {
+        /// Number of variants attempted.
+        variants: usize,
+    },
 }
 
 impl fmt::Display for AllocError {
@@ -71,6 +79,10 @@ impl fmt::Display for AllocError {
             AllocError::EscalationBudgetExceeded { escalations } => write!(
                 f,
                 "allocation exhausted its escalation budget after {escalations} resource-bound escalations"
+            ),
+            AllocError::PortfolioExhausted { variants } => write!(
+                f,
+                "all {variants} portfolio variants failed or panicked"
             ),
         }
     }

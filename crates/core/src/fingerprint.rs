@@ -12,6 +12,7 @@
 //! graphs differing only in names produce identical datapaths and may share
 //! a cache entry.
 
+use crate::datapath::Datapath;
 use crate::dpalloc::{AllocConfig, RefinementPolicy};
 use mwl_model::{OpShape, ResourceClass, SequencingGraph};
 use mwl_sched::SchedulePriority;
@@ -162,6 +163,42 @@ pub fn config_fingerprint_into(config: &AllocConfig, h: &mut StableHasher) {
     });
     h.write_bool(config.instance_merging);
     h.write_u64(config.max_iterations as u64);
+    h.write_u64(config.merge_salt);
+}
+
+/// Content hash of a produced [`Datapath`]: area, latency, and every
+/// instance's resource type with its bound operations and their start steps.
+/// Two datapaths with equal fingerprints are the same design for all
+/// practical purposes; the portfolio search uses this as the third key of
+/// its winner tie-break so the chosen solution is independent of the order
+/// in which racing variants finish.
+#[must_use]
+pub fn datapath_fingerprint(datapath: &Datapath) -> u64 {
+    let mut h = StableHasher::new();
+    datapath_fingerprint_into(datapath, &mut h);
+    h.finish()
+}
+
+/// Absorbs a datapath into an existing hasher.
+pub fn datapath_fingerprint_into(datapath: &Datapath, h: &mut StableHasher) {
+    h.write_u64(datapath.area());
+    h.write_u32(datapath.latency());
+    h.write_u64(datapath.instances().len() as u64);
+    for inst in datapath.instances() {
+        let resource = inst.resource();
+        h.write_u32(match resource.class() {
+            ResourceClass::Adder => 0,
+            ResourceClass::Multiplier => 1,
+        });
+        let (a, b) = resource.widths();
+        h.write_u32(a);
+        h.write_u32(b);
+        h.write_u64(inst.ops().len() as u64);
+        for &op in inst.ops() {
+            h.write_u64(op.index() as u64);
+            h.write_u32(datapath.schedule().start(op));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +309,39 @@ mod tests {
         let mut budget = AllocConfig::new(10);
         budget.max_iterations = 7;
         assert_ne!(fp, config_fingerprint(&budget));
+        assert_ne!(
+            fp,
+            config_fingerprint(&AllocConfig::new(10).with_merge_salt(0xfeed))
+        );
+    }
+
+    #[test]
+    fn datapath_fingerprint_distinguishes_designs() {
+        use crate::dpalloc::{AllocConfig, DpAllocator};
+        use mwl_model::{CostModel, SonicCostModel};
+
+        let cost = SonicCostModel::default();
+        // Two independent multiplications feeding an adder: a tight budget
+        // needs two multiplier instances, a loose one shares a single unit.
+        let mut b = SequencingGraphBuilder::new();
+        let m1 = b.add_operation(OpShape::multiplier(8, 8));
+        let m2 = b.add_operation(OpShape::multiplier(16, 12));
+        let a = b.add_operation(OpShape::adder(24));
+        b.add_dependency(m1, a).unwrap();
+        b.add_dependency(m2, a).unwrap();
+        let g = b.build().unwrap();
+        let native = mwl_sched::OpLatencies::from_fn(&g, |op| cost.native_latency(op.shape()));
+        let lmin = mwl_sched::critical_path_length(&g, &native);
+        let tight = DpAllocator::new(&cost, AllocConfig::new(lmin))
+            .allocate(&g)
+            .unwrap();
+        let loose = DpAllocator::new(&cost, AllocConfig::new(lmin + 24))
+            .allocate(&g)
+            .unwrap();
+        // Stable across recomputation.
+        assert_eq!(datapath_fingerprint(&tight), datapath_fingerprint(&tight));
+        // The two budgets give different designs here.
+        assert_ne!(tight.area(), loose.area());
+        assert_ne!(datapath_fingerprint(&tight), datapath_fingerprint(&loose));
     }
 }

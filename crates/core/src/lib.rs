@@ -77,6 +77,7 @@ mod dpalloc;
 mod error;
 pub mod fingerprint;
 pub mod merge;
+pub mod portfolio;
 pub mod reference;
 mod refine;
 mod report;
@@ -88,8 +89,11 @@ pub use cost_cache::CachedCostModel;
 pub use datapath::{Datapath, ResourceInstance, ValueLifetime};
 pub use dpalloc::{most_contended_class, AllocConfig, AllocOutcome, DpAllocator, RefinementPolicy};
 pub use error::{AllocError, ValidateError};
-pub use fingerprint::{config_fingerprint, graph_fingerprint, StableHasher};
+pub use fingerprint::{config_fingerprint, datapath_fingerprint, graph_fingerprint, StableHasher};
 pub use merge::{merge_instances, MergeStats};
+pub use portfolio::{
+    run_portfolio, run_portfolio_with_hook, PortfolioOutcome, PortfolioSpec, PortfolioStats,
+};
 pub use refine::{bound_critical_path, select_refinement_op};
 pub use report::{render_report, DatapathReport, InstanceUtilisation};
 pub use scratch::AllocScratch;

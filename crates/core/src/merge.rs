@@ -84,16 +84,19 @@ pub fn merge_instances(
     latency_constraint: Cycles,
 ) -> (Datapath, MergeStats) {
     let mut scratch = MergeScratch::default();
-    merge_instances_with_scratch(datapath, graph, cost, latency_constraint, &mut scratch)
+    merge_instances_with_scratch(datapath, graph, cost, latency_constraint, 0, &mut scratch)
 }
 
 /// The scratch-reusing form of [`merge_instances`] used by the allocator
-/// (one [`crate::AllocScratch`] per driver worker).
+/// (one [`crate::AllocScratch`] per driver worker).  `salt` deterministically
+/// shuffles the tie order among equal-saving candidates; `0` keeps the
+/// enumeration order, making the pass identical to [`merge_instances`].
 pub(crate) fn merge_instances_with_scratch(
     datapath: &Datapath,
     graph: &SequencingGraph,
     cost: &dyn CostModel,
     latency_constraint: Cycles,
+    salt: u64,
     scratch: &mut MergeScratch,
 ) -> (Datapath, MergeStats) {
     let mut current = datapath.clone();
@@ -109,7 +112,7 @@ pub(crate) fn merge_instances_with_scratch(
 
     scratch.topo = graph.topological_order();
     while let Some((next, merged_count)) =
-        best_merge(&current, graph, cost, latency_constraint, scratch)
+        best_merge(&current, graph, cost, latency_constraint, salt, scratch)
     {
         stats.merges += merged_count;
         current = next;
@@ -129,6 +132,7 @@ fn best_merge(
     graph: &SequencingGraph,
     cost: &dyn CostModel,
     latency_constraint: Cycles,
+    salt: u64,
     scratch: &mut MergeScratch,
 ) -> Option<(Datapath, usize)> {
     let instances = current.instances();
@@ -138,8 +142,23 @@ fn best_merge(
     }
     // A stable sort keeps enumeration order among equal savings, so the
     // first feasible candidate below is exactly the maximum-saving feasible
-    // one — without paying a full reschedule for every candidate.
-    candidates.sort_by_key(|c| std::cmp::Reverse(c.saving));
+    // one — without paying a full reschedule for every candidate.  A
+    // non-zero salt replaces the tie order with a deterministic hash of the
+    // candidate's members: still a maximum-saving feasible merge, but a
+    // different one when several savings tie.
+    if salt == 0 {
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.saving));
+    } else {
+        candidates.sort_by_key(|c| {
+            let mut h = crate::fingerprint::StableHasher::new();
+            h.write_u64(salt);
+            h.write_u64(c.members.len() as u64);
+            for &m in &c.members {
+                h.write_u64(m as u64);
+            }
+            (std::cmp::Reverse(c.saving), h.finish())
+        });
+    }
 
     // Per-round tables for the lower-bound precheck.
     let n = graph.len();

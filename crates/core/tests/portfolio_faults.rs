@@ -1,0 +1,163 @@
+//! Fault injection for the portfolio racing machinery.
+//!
+//! A variant that panics or exhausts its iteration budget must be recorded
+//! in its [`VariantReport`] and skipped — without poisoning the best cell or
+//! changing the winner for a fixed `(seed, N)` — and degenerate zero- and
+//! single-variant configurations must behave exactly like the plain
+//! allocator.
+
+use mwl_core::portfolio::{run_portfolio, run_portfolio_with_hook, PortfolioSpec, VariantStatus};
+use mwl_core::{AllocConfig, AllocError, DpAllocator};
+use mwl_model::{CostModel, SequencingGraph, SonicCostModel};
+use mwl_tgff::{TgffConfig, TgffGenerator};
+
+fn cost() -> SonicCostModel {
+    SonicCostModel::default()
+}
+
+fn graph(seed: u64) -> SequencingGraph {
+    TgffGenerator::new(TgffConfig::with_ops(10), seed).generate()
+}
+
+fn lambda(graph: &SequencingGraph, cost: &SonicCostModel, slack: u32) -> u32 {
+    let native = mwl_sched::OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+    mwl_sched::critical_path_length(graph, &native) + slack
+}
+
+/// Runs `body` with the default panic hook silenced, so intentionally
+/// injected panics do not spray backtrace noise into the test output.  The
+/// hook is global; tests that inject panics are kept in this one binary.
+fn with_quiet_panics<T>(body: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = body();
+    std::panic::set_hook(prev);
+    result
+}
+
+#[test]
+fn panicking_variant_is_recorded_and_skipped() {
+    let c = cost();
+    let g = graph(11);
+    let base = AllocConfig::new(lambda(&g, &c, 4));
+    let spec = PortfolioSpec::new(3, 8);
+    let clean = run_portfolio(&c, &g, &base, spec, 2).unwrap();
+
+    // Panic a non-winning variant on every worker count: the reports for
+    // that variant change, nothing else does.
+    let victim = (1..spec.variants).find(|&v| v != clean.winner()).unwrap();
+    for workers in [1usize, 2, 4] {
+        let faulty = with_quiet_panics(|| {
+            run_portfolio_with_hook(&c, &g, &base, spec, workers, &|vs| {
+                assert!(vs.id < spec.variants);
+                if vs.id == victim {
+                    panic!("injected fault in variant {}", vs.id);
+                }
+            })
+        })
+        .unwrap();
+        assert_eq!(faulty.best, clean.best, "workers={workers}");
+        assert_eq!(faulty.winner_key, clean.winner_key);
+        assert_eq!(faulty.variant0_area, clean.variant0_area);
+        match &faulty.reports[victim].status {
+            VariantStatus::Panicked(msg) => assert!(msg.contains("injected fault")),
+            other => panic!("expected a panic record, got {other:?}"),
+        }
+        for (i, (f, cl)) in faulty.reports.iter().zip(&clean.reports).enumerate() {
+            if i != victim {
+                assert_eq!(f, cl);
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_exhausted_variant_is_recorded_and_skipped() {
+    let c = cost();
+    // A tight budget forces refinements, so max_iterations == 1 genuinely
+    // exhausts the iteration budget on this graph.
+    let g = graph(21);
+    let base = AllocConfig::new(lambda(&g, &c, 0));
+    let spec = PortfolioSpec::new(5, 6);
+    let clean = run_portfolio(&c, &g, &base, spec, 2).unwrap();
+    let victim = (1..spec.variants).find(|&v| v != clean.winner()).unwrap();
+
+    let faulty = run_portfolio_with_hook(&c, &g, &base, spec, 2, &|vs| {
+        if vs.id == victim {
+            vs.config.max_iterations = 1;
+            // Keep the victim from sidestepping refinement entirely.
+            vs.config.resource_bounds = None;
+        }
+    })
+    .unwrap();
+    assert_eq!(faulty.best, clean.best);
+    assert_eq!(faulty.winner_key, clean.winner_key);
+    match &faulty.reports[victim].status {
+        VariantStatus::Failed(msg) => {
+            assert!(
+                msg.contains("iteration budget"),
+                "expected a budget failure, got: {msg}"
+            );
+        }
+        VariantStatus::Solved { .. } => {
+            panic!("victim variant solved despite a one-iteration budget")
+        }
+        VariantStatus::Panicked(msg) => panic!("unexpected panic: {msg}"),
+    }
+}
+
+#[test]
+fn all_variants_panicking_reports_portfolio_exhausted() {
+    let c = cost();
+    let g = graph(31);
+    let base = AllocConfig::new(lambda(&g, &c, 2));
+    let err = with_quiet_panics(|| {
+        run_portfolio_with_hook(&c, &g, &base, PortfolioSpec::new(1, 4), 2, &|_| {
+            panic!("everything burns")
+        })
+    })
+    .unwrap_err();
+    assert_eq!(err, AllocError::PortfolioExhausted { variants: 4 });
+}
+
+#[test]
+fn zero_and_single_variant_configs_degrade_to_plain_allocator() {
+    let c = cost();
+    for seed in [41u64, 43] {
+        let g = graph(seed);
+        let base = AllocConfig::new(lambda(&g, &c, 3));
+        let plain = DpAllocator::new(&c, base.clone())
+            .allocate_with_stats(&g)
+            .unwrap();
+        for variants in [0usize, 1] {
+            for workers in [1usize, 4] {
+                let outcome =
+                    run_portfolio(&c, &g, &base, PortfolioSpec::new(seed, variants), workers)
+                        .unwrap();
+                assert_eq!(outcome.best, plain, "variants={variants} workers={workers}");
+                assert_eq!(outcome.winner(), 0);
+                assert_eq!(outcome.reports.len(), 1);
+                assert_eq!(outcome.variant0_area, Some(plain.datapath.area()));
+                assert_eq!(outcome.area_saved(), 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn failed_baseline_propagates_its_own_error() {
+    let c = cost();
+    let g = graph(51);
+    // Explicit bounds far too tight at λ_min: the baseline (and every
+    // variant, since user bounds are never overridden) fails identically.
+    let bounds = std::collections::BTreeMap::from([
+        (mwl_model::ResourceClass::Adder, 1),
+        (mwl_model::ResourceClass::Multiplier, 1),
+    ]);
+    let base = AllocConfig::new(lambda(&g, &c, 0)).with_resource_bounds(bounds);
+    let plain = DpAllocator::new(&c, base.clone())
+        .allocate_with_stats(&g)
+        .unwrap_err();
+    let err = run_portfolio(&c, &g, &base, PortfolioSpec::new(7, 6), 2).unwrap_err();
+    assert_eq!(err, plain);
+}

@@ -1,0 +1,144 @@
+//! Property tests pinning the portfolio search's reproducibility and
+//! never-worse guarantees.
+//!
+//! Across every TGFF `GraphShape`×`WidthProfile` family:
+//!
+//! * the full [`PortfolioOutcome`] is **byte-identical** across worker
+//!   counts 1/2/4 and across two independent runs with the same `(seed, N)`;
+//! * variant 0's recorded result bit-equals the plain allocator's
+//!   `allocate_with_stats` (and when variant 0 wins, the winning outcome
+//!   *is* that outcome);
+//! * the winner's area never exceeds variant 0's area.
+
+use proptest::prelude::*;
+
+use mwl_core::portfolio::{run_portfolio, PortfolioSpec, VariantStatus};
+use mwl_core::{AllocConfig, DpAllocator};
+use mwl_model::{CostModel, SequencingGraph, SonicCostModel};
+use mwl_tgff::{GraphShape, TgffConfig, TgffGenerator, WidthProfile};
+
+#[derive(Debug, Clone)]
+struct Problem {
+    graph: SequencingGraph,
+    lambda_slack: u32,
+    seed: u64,
+    variants: usize,
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (
+        prop_oneof![
+            Just(GraphShape::Layered),
+            Just(GraphShape::Wide),
+            Just(GraphShape::Deep),
+            Just(GraphShape::Diamond),
+        ],
+        prop_oneof![
+            Just(WidthProfile::Uniform),
+            Just(WidthProfile::Mixed { high_fraction: 0.3 }),
+            Just(WidthProfile::Mixed { high_fraction: 0.7 }),
+        ],
+        2usize..=14,
+        0u64..=2000,
+        0u32..=10,
+        0u64..=1000,
+        2usize..=10,
+    )
+        .prop_map(
+            |(shape, widths, ops, graph_seed, lambda_slack, seed, variants)| {
+                let config = TgffConfig::with_ops(ops).shape(shape).width_profile(widths);
+                Problem {
+                    graph: TgffGenerator::new(config, graph_seed).generate(),
+                    lambda_slack,
+                    seed,
+                    variants,
+                }
+            },
+        )
+}
+
+fn lambda(problem: &Problem, cost: &SonicCostModel) -> u32 {
+    let native =
+        mwl_sched::OpLatencies::from_fn(&problem.graph, |op| cost.native_latency(op.shape()));
+    mwl_sched::critical_path_length(&problem.graph, &native) + problem.lambda_slack
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Byte-identical results at every worker count and across repeated
+    /// runs with the same `(seed, N)`.
+    #[test]
+    fn portfolio_is_worker_count_and_rerun_invariant(problem in problem_strategy()) {
+        let cost = SonicCostModel::default();
+        let base = AllocConfig::new(lambda(&problem, &cost));
+        let spec = PortfolioSpec::new(problem.seed, problem.variants);
+        let reference = run_portfolio(&cost, &problem.graph, &base, spec, 1).unwrap();
+        for workers in [1usize, 2, 4] {
+            let again = run_portfolio(&cost, &problem.graph, &base, spec, workers).unwrap();
+            prop_assert_eq!(&again, &reference, "workers={}", workers);
+        }
+        // An independent second run at a racing worker count.
+        let rerun = run_portfolio(&cost, &problem.graph, &base, spec, 4).unwrap();
+        prop_assert_eq!(&rerun, &reference);
+    }
+
+    /// Variant 0 is exactly the plain allocator, and the winner never loses
+    /// to it.
+    #[test]
+    fn variant_zero_matches_plain_allocator_and_never_beats_winner(
+        problem in problem_strategy()
+    ) {
+        let cost = SonicCostModel::default();
+        let base = AllocConfig::new(lambda(&problem, &cost));
+        let spec = PortfolioSpec::new(problem.seed, problem.variants);
+        let plain = DpAllocator::new(&cost, base.clone())
+            .allocate_with_stats(&problem.graph)
+            .unwrap();
+        let outcome = run_portfolio(&cost, &problem.graph, &base, spec, 2).unwrap();
+
+        // Variant 0's recorded summary bit-equals the plain allocator's
+        // result, and when it wins the full outcome is the plain outcome.
+        let v0 = &outcome.reports[0];
+        prop_assert_eq!(v0.id, 0);
+        match &v0.status {
+            VariantStatus::Solved { area, latency, fingerprint } => {
+                prop_assert_eq!(*area, plain.datapath.area());
+                prop_assert_eq!(*latency, plain.datapath.latency());
+                prop_assert_eq!(
+                    *fingerprint,
+                    mwl_core::datapath_fingerprint(&plain.datapath)
+                );
+            }
+            other => prop_assert!(false, "variant 0 did not solve: {:?}", other),
+        }
+        if outcome.winner() == 0 {
+            prop_assert_eq!(&outcome.best, &plain);
+        }
+
+        // Never-worse, and the winner meets the caller's budget.
+        prop_assert!(outcome.best.datapath.area() <= plain.datapath.area());
+        prop_assert!(outcome.best.datapath.latency() <= base.latency_constraint);
+        prop_assert_eq!(outcome.variant0_area, Some(plain.datapath.area()));
+        outcome.best.datapath.validate(&problem.graph, &cost).unwrap();
+
+        // The recorded winner key is the minimum over all solved reports —
+        // the same total order the best cell maintains.
+        let scan = outcome
+            .reports
+            .iter()
+            .filter_map(|r| match r.status {
+                VariantStatus::Solved { area, latency, fingerprint } => {
+                    Some((area, latency, fingerprint, r.id))
+                }
+                _ => None,
+            })
+            .min()
+            .unwrap();
+        let key = outcome.winner_key;
+        prop_assert_eq!(
+            scan,
+            (key.area, key.latency, key.fingerprint, key.variant)
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! place is what makes the two front ends bit-identical for the same jobs
 //! (regression-tested in `mwl_serve`'s parity suite).
 
-use mwl_core::{AllocScratch, CachedCostModel, DpAllocator};
+use mwl_core::{run_portfolio, AllocScratch, CachedCostModel, DpAllocator, PortfolioStats};
 use mwl_model::{AreaBreakdown, CostModel, ResourceType};
 
 use crate::job::BatchJob;
@@ -36,33 +36,44 @@ pub fn solve_job(
     let lambda = job.latency.resolve(&job.graph, cost);
     let mut config = job.config.clone();
     config.latency_constraint = lambda;
-    let result = DpAllocator::new(cost, config)
-        .allocate_with_scratch(&job.graph, scratch)
-        .map(|outcome| {
-            // One register binding serves both the certificate and the
-            // breakdown (Datapath::area_breakdown would bind a second time
-            // under non-zero storage coefficients).
-            let binding = outcome.datapath.register_binding(&job.graph, cost);
-            let storage = cost.storage_costs();
-            JobStats {
-                lambda,
-                area: outcome.datapath.area(),
-                area_breakdown: AreaBreakdown {
-                    fu: outcome.datapath.area(),
-                    register: binding.register_bits() * storage.register_area_per_bit,
-                    mux: outcome.datapath.mux_input_bits() * storage.mux_area_per_input_bit,
-                },
-                certificate: binding.certificate,
-                latency: outcome.datapath.latency(),
-                instances: outcome.datapath.num_instances(),
-                refinements: outcome.refinements,
-                bound_escalations: outcome.bound_escalations,
-                merges: outcome.merges,
-                rtl: job
-                    .verify_rtl
-                    .then(|| rtl_check(index, job, &outcome.datapath, cost, rtl_vectors)),
-            }
-        });
+    // Portfolio jobs race the variants sequentially here (workers = 1): the
+    // batch is already parallel across jobs, and portfolio results are
+    // worker-count-invariant by construction, so nothing observable changes.
+    let solved = match job.portfolio {
+        Some(spec) => run_portfolio(cost, &job.graph, &config, spec, 1).map(|portfolio| {
+            let stats = PortfolioStats::from_outcome(spec.seed, &portfolio);
+            (portfolio.best, Some(stats))
+        }),
+        None => DpAllocator::new(cost, config)
+            .allocate_with_scratch(&job.graph, scratch)
+            .map(|outcome| (outcome, None)),
+    };
+    let result = solved.map(|(outcome, portfolio)| {
+        // One register binding serves both the certificate and the
+        // breakdown (Datapath::area_breakdown would bind a second time
+        // under non-zero storage coefficients).
+        let binding = outcome.datapath.register_binding(&job.graph, cost);
+        let storage = cost.storage_costs();
+        JobStats {
+            lambda,
+            area: outcome.datapath.area(),
+            area_breakdown: AreaBreakdown {
+                fu: outcome.datapath.area(),
+                register: binding.register_bits() * storage.register_area_per_bit,
+                mux: outcome.datapath.mux_input_bits() * storage.mux_area_per_input_bit,
+            },
+            certificate: binding.certificate,
+            latency: outcome.datapath.latency(),
+            instances: outcome.datapath.num_instances(),
+            refinements: outcome.refinements,
+            bound_escalations: outcome.bound_escalations,
+            merges: outcome.merges,
+            rtl: job
+                .verify_rtl
+                .then(|| rtl_check(index, job, &outcome.datapath, cost, rtl_vectors)),
+            portfolio,
+        }
+    });
     JobOutcome {
         index,
         label: job.label.clone(),
@@ -159,6 +170,40 @@ mod tests {
         // Reusing the scratch across calls changes nothing.
         let again = solve_job(5, &job, &cost, 1, &mut scratch);
         assert_eq!(again.result.unwrap(), stats);
+    }
+
+    #[test]
+    fn portfolio_job_reports_winner_stats() {
+        let cost = SonicCostModel::default();
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 77);
+        let graph = generator.generate();
+        let spec = mwl_core::PortfolioSpec::new(9, 8);
+        let job =
+            BatchJob::new("p", graph.clone(), LatencySpec::RelaxSteps(3)).with_portfolio(spec);
+        let mut scratch = AllocScratch::new();
+        let stats = solve_job(0, &job, &cost, 1, &mut scratch)
+            .result
+            .expect("relative budget is feasible");
+
+        // The job result is exactly the portfolio winner, and the stats
+        // block is the outcome's summary.
+        let mut config = job.config.clone();
+        config.latency_constraint = job.latency.resolve(&graph, &cost);
+        let reference = run_portfolio(&cost, &graph, &config, spec, 1).unwrap();
+        assert_eq!(stats.area, reference.best.datapath.area());
+        assert_eq!(stats.latency, reference.best.datapath.latency());
+        assert_eq!(
+            stats.portfolio,
+            Some(PortfolioStats::from_outcome(spec.seed, &reference))
+        );
+
+        // A plain job on the same graph never beats the portfolio.
+        let plain_job = BatchJob::new("q", graph, LatencySpec::RelaxSteps(3));
+        let plain = solve_job(0, &plain_job, &cost, 1, &mut scratch)
+            .result
+            .unwrap();
+        assert!(stats.area <= plain.area);
+        assert!(plain.portfolio.is_none());
     }
 
     #[test]

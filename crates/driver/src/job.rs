@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use mwl_core::AllocConfig;
+use mwl_core::{AllocConfig, PortfolioSpec};
 use mwl_model::{CostModel, Cycles, SequencingGraph};
 use mwl_sched::{critical_path_length, OpLatencies};
 
@@ -70,6 +70,13 @@ pub struct BatchJob {
     /// of the graph, plus a netlist-vs-datapath area cross-check.  Off by
     /// default; results land in [`crate::JobStats::rtl`].
     pub verify_rtl: bool,
+    /// Race a portfolio of deterministic allocator variants instead of the
+    /// single configured trajectory (see [`mwl_core::portfolio`]).  The
+    /// winning variant's datapath becomes the job result — never worse than
+    /// the plain configuration, bit-reproducible for a fixed spec — and
+    /// portfolio statistics land in [`crate::JobStats::portfolio`].  `None`
+    /// (the default) runs the plain allocator.
+    pub portfolio: Option<PortfolioSpec>,
 }
 
 impl BatchJob {
@@ -82,6 +89,7 @@ impl BatchJob {
             latency,
             config: AllocConfig::new(0),
             verify_rtl: false,
+            portfolio: None,
         }
     }
 
@@ -97,6 +105,15 @@ impl BatchJob {
     #[must_use]
     pub fn with_rtl_check(mut self, enabled: bool) -> Self {
         self.verify_rtl = enabled;
+        self
+    }
+
+    /// Enables portfolio racing for this job (see
+    /// [`mwl_core::portfolio`]).  The winning datapath is deterministic for
+    /// a fixed spec regardless of batch worker count.
+    #[must_use]
+    pub fn with_portfolio(mut self, spec: PortfolioSpec) -> Self {
+        self.portfolio = Some(spec);
         self
     }
 }
@@ -207,6 +224,11 @@ mod tests {
         assert_eq!(job.label, "j0");
         assert!(!job.config.instance_merging);
         assert!(!job.verify_rtl);
-        assert!(job.with_rtl_check(true).verify_rtl);
+        assert!(job.portfolio.is_none());
+        let job = job
+            .with_rtl_check(true)
+            .with_portfolio(PortfolioSpec::new(7, 6));
+        assert!(job.verify_rtl);
+        assert_eq!(job.portfolio, Some(PortfolioSpec::new(7, 6)));
     }
 }

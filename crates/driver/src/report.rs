@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use mwl_core::{AllocError, BindingCertificate};
+use mwl_core::{AllocError, BindingCertificate, PortfolioStats};
 use mwl_model::{Area, AreaBreakdown, Cycles};
 
 /// The outcome of the opt-in RTL equivalence oracle for one job
@@ -56,6 +56,12 @@ pub struct JobStats {
     /// RTL equivalence-check outcome; `None` unless the job opted in via
     /// [`crate::BatchJob::verify_rtl`].
     pub rtl: Option<RtlCheck>,
+    /// Portfolio-race statistics; `None` unless the job opted in via
+    /// [`crate::BatchJob::portfolio`].  When present, [`area`](Self::area)
+    /// is the *winning* variant's area and
+    /// [`PortfolioStats::area_saved`] records how much the race improved
+    /// on the plain configuration (variant 0).
+    pub portfolio: Option<PortfolioStats>,
 }
 
 /// The result of one job: its label plus either stats or the allocation
@@ -101,6 +107,12 @@ pub struct BatchSummary {
     pub rtl_checked: usize,
     /// RTL-checked jobs whose netlist was bit-identical to the reference.
     pub rtl_passed: usize,
+    /// Successful jobs that raced a variant portfolio.
+    pub portfolio_jobs: usize,
+    /// Portfolio jobs whose winner was *not* the baseline variant.
+    pub portfolio_improved: usize,
+    /// Total area saved by portfolio winners relative to their baselines.
+    pub portfolio_area_saved: Area,
 }
 
 /// The deterministic result of a batch run.
@@ -139,6 +151,11 @@ impl BatchReport {
                         s.rtl_checked += 1;
                         s.rtl_passed += usize::from(rtl.passed);
                     }
+                    if let Some(p) = &stats.portfolio {
+                        s.portfolio_jobs += 1;
+                        s.portfolio_improved += usize::from(p.winner != 0);
+                        s.portfolio_area_saved += p.area_saved;
+                    }
                 }
                 Err(_) => s.failed += 1,
             }
@@ -164,7 +181,8 @@ impl BatchReport {
              \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}}, \
              \"total_latency\": {}, \"total_instances\": {}, \"total_refinements\": {}, \
              \"total_escalations\": {}, \"total_merges\": {}, \"rtl_checked\": {}, \
-             \"rtl_passed\": {}",
+             \"rtl_passed\": {}, \"portfolio_jobs\": {}, \"portfolio_improved\": {}, \
+             \"portfolio_area_saved\": {}",
             s.jobs,
             s.succeeded,
             s.failed,
@@ -178,7 +196,10 @@ impl BatchReport {
             s.total_escalations,
             s.total_merges,
             s.rtl_checked,
-            s.rtl_passed
+            s.rtl_passed,
+            s.portfolio_jobs,
+            s.portfolio_improved,
+            s.portfolio_area_saved
         ));
         out.push_str("},\n  \"outcomes\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
@@ -222,6 +243,24 @@ impl BatchReport {
                         }
                         out.push('}');
                     }
+                    if let Some(p) = &st.portfolio {
+                        out.push_str(&format!(
+                            ", \"portfolio\": {{\"seed\": {}, \"variants\": {}, \
+                             \"solved\": {}, \"failed\": {}, \"winner\": {}, \
+                             \"winner_label\": {}, \"area_saved\": {}",
+                            p.seed,
+                            p.variants,
+                            p.solved,
+                            p.failed,
+                            p.winner,
+                            json_string(&p.winner_label),
+                            p.area_saved
+                        ));
+                        if let Some(v0) = p.variant0_area {
+                            out.push_str(&format!(", \"variant0_area\": {v0}"));
+                        }
+                        out.push('}');
+                    }
                 }
                 Err(e) => out.push_str(&format!(
                     ", \"ok\": false, \"error\": {}",
@@ -258,9 +297,17 @@ impl fmt::Display for BatchReport {
                         ),
                         None => String::new(),
                     };
+                    let portfolio = match &st.portfolio {
+                        Some(p) if p.winner != 0 => {
+                            format!("  portfolio -{} ({})", p.area_saved, p.winner_label)
+                        }
+                        Some(_) => "  portfolio =baseline".to_string(),
+                        None => String::new(),
+                    };
                     writeln!(
                         f,
-                        "  [{:>3}] {:<28} area {:>8}  latency {:>4}/{:<4} instances {:>3}{rtl}",
+                        "  [{:>3}] {:<28} area {:>8}  latency {:>4}/{:<4} instances \
+                         {:>3}{rtl}{portfolio}",
                         o.index, o.label, st.area, st.latency, st.lambda, st.instances
                     )?;
                 }
@@ -323,6 +370,16 @@ mod tests {
                             certificate: Some(BindingCertificate::Optimal),
                             failure: None,
                         }),
+                        portfolio: Some(PortfolioStats {
+                            seed: 42,
+                            variants: 6,
+                            solved: 5,
+                            failed: 1,
+                            winner: 3,
+                            winner_label: "no_growth+merge_shuffle".into(),
+                            variant0_area: Some(112),
+                            area_saved: 12,
+                        }),
                     }),
                 },
                 JobOutcome {
@@ -357,6 +414,9 @@ mod tests {
         assert_eq!(s.total_merges, 1);
         assert_eq!(s.rtl_checked, 1);
         assert_eq!(s.rtl_passed, 1);
+        assert_eq!(s.portfolio_jobs, 1);
+        assert_eq!(s.portfolio_improved, 1);
+        assert_eq!(s.portfolio_area_saved, 12);
         assert_eq!(r.failures().len(), 1);
     }
 
@@ -371,6 +431,12 @@ mod tests {
         assert!(json.contains("\"rtl\": {\"passed\": true"));
         assert!(json.contains("\"area_breakdown\": {\"fu\": 100, \"register\": 24, \"mux\": 12}"));
         assert!(json.contains("\"certificate\": \"optimal\""));
+        assert!(json.contains("\"portfolio_jobs\": 1"));
+        assert!(json.contains(
+            "\"portfolio\": {\"seed\": 42, \"variants\": 6, \"solved\": 5, \"failed\": 1, \
+             \"winner\": 3, \"winner_label\": \"no_growth+merge_shuffle\", \"area_saved\": 12, \
+             \"variant0_area\": 112}"
+        ));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -384,6 +450,30 @@ mod tests {
         assert!(text.contains("2 jobs"));
         assert!(text.contains("FAILED"));
         assert!(text.contains("rtl ok"));
+        assert!(text.contains("portfolio -12 (no_growth+merge_shuffle)"));
+    }
+
+    #[test]
+    fn baseline_winning_portfolio_is_not_counted_as_improved() {
+        let mut r = sample_report();
+        if let Ok(st) = &mut r.outcomes[0].result {
+            st.portfolio = Some(PortfolioStats {
+                seed: 1,
+                variants: 4,
+                solved: 4,
+                failed: 0,
+                winner: 0,
+                winner_label: "baseline".into(),
+                variant0_area: Some(100),
+                area_saved: 0,
+            });
+        }
+        let s = r.summary();
+        assert_eq!(s.portfolio_jobs, 1);
+        assert_eq!(s.portfolio_improved, 0);
+        assert_eq!(s.portfolio_area_saved, 0);
+        assert!(r.to_string().contains("portfolio =baseline"));
+        assert!(r.to_json().contains("\"winner_label\": \"baseline\""));
     }
 
     #[test]

@@ -22,8 +22,9 @@ pub enum ClientError {
     Closed,
     /// The server sent a line that is not a valid response.
     Protocol(String),
-    /// The server answered a request with an unexpected response type.
-    Unexpected(Response),
+    /// The server answered a request with an unexpected response type
+    /// (boxed: a `Response` carries full allocation stats).
+    Unexpected(Box<Response>),
 }
 
 impl std::fmt::Display for ClientError {
@@ -153,7 +154,7 @@ impl Client {
                 code,
                 reason,
             } if got == id => Ok(SubmitAck::Rejected { code, reason }),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -183,7 +184,7 @@ impl Client {
         self.send(&Request::Cancel { id })?;
         match self.next_control()? {
             Response::CancelAck { id: got, outcome } if got == id => Ok(outcome),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -196,7 +197,7 @@ impl Client {
         self.send(&Request::Stats)?;
         match self.next_control()? {
             Response::Stats(snapshot) => Ok(snapshot),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -209,7 +210,7 @@ impl Client {
         self.send(&Request::Ping)?;
         match self.next_control()? {
             Response::Pong => Ok(()),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 
@@ -234,7 +235,7 @@ impl Client {
         self.send(&Request::Shutdown)?;
         match self.next_control()? {
             Response::ShutdownAck { drained } => Ok(drained),
-            other => Err(ClientError::Unexpected(other)),
+            other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }
 

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use mwl_core::fingerprint::{config_fingerprint_into, graph_fingerprint_into};
-use mwl_core::{AllocConfig, AllocError, StableHasher};
+use mwl_core::{AllocConfig, AllocError, PortfolioSpec, StableHasher};
 use mwl_driver::{JobStats, LatencySpec};
 use mwl_model::SequencingGraph;
 
@@ -34,8 +34,19 @@ pub type CachedResult = Result<JobStats, AllocError>;
 /// `RelaxSteps(0)` distinct even when they happen to resolve equally for one
 /// graph — a conservative choice that can only cost a duplicate solve, never
 /// a wrong answer.
+///
+/// A portfolio request is part of the identity: racing N variants under seed
+/// S is a different job than the plain allocator (and than any other
+/// `(seed, N)` pair), because the published result is the portfolio winner.
+/// Only the spec's `(seed, effective_variants)` is hashed — worker counts
+/// never reach the key, matching the engine's worker-invariance guarantee.
 #[must_use]
-pub fn job_key(graph: &SequencingGraph, latency: &LatencySpec, config: &AllocConfig) -> u64 {
+pub fn job_key(
+    graph: &SequencingGraph,
+    latency: &LatencySpec,
+    config: &AllocConfig,
+    portfolio: Option<PortfolioSpec>,
+) -> u64 {
     let mut h = StableHasher::new();
     graph_fingerprint_into(graph, &mut h);
     match *latency {
@@ -55,6 +66,13 @@ pub fn job_key(graph: &SequencingGraph, latency: &LatencySpec, config: &AllocCon
     let mut config = config.clone();
     config.latency_constraint = 0;
     config_fingerprint_into(&config, &mut h);
+    match portfolio {
+        None => h.write_u32(0),
+        Some(spec) => {
+            h.write_u32(1);
+            spec.fingerprint_into(&mut h);
+        }
+    }
     h.finish()
 }
 
@@ -146,13 +164,15 @@ mod tests {
             &graph(16),
             &LatencySpec::RelaxSteps(2),
             &AllocConfig::new(0),
+            None,
         );
         assert_eq!(
             base,
             job_key(
                 &graph(16),
                 &LatencySpec::RelaxSteps(2),
-                &AllocConfig::new(0)
+                &AllocConfig::new(0),
+                None,
             )
         );
         assert_ne!(
@@ -160,7 +180,8 @@ mod tests {
             job_key(
                 &graph(17),
                 &LatencySpec::RelaxSteps(2),
-                &AllocConfig::new(0)
+                &AllocConfig::new(0),
+                None,
             )
         );
         assert_ne!(
@@ -168,20 +189,50 @@ mod tests {
             job_key(
                 &graph(16),
                 &LatencySpec::RelaxSteps(3),
-                &AllocConfig::new(0)
+                &AllocConfig::new(0),
+                None,
             )
         );
         assert_ne!(
             base,
-            job_key(&graph(16), &LatencySpec::Absolute(2), &AllocConfig::new(0))
+            job_key(
+                &graph(16),
+                &LatencySpec::Absolute(2),
+                &AllocConfig::new(0),
+                None
+            )
         );
         assert_ne!(
             base,
             job_key(
                 &graph(16),
                 &LatencySpec::RelaxSteps(2),
-                &AllocConfig::new(0).with_instance_merging(false)
+                &AllocConfig::new(0).with_instance_merging(false),
+                None,
             )
+        );
+    }
+
+    #[test]
+    fn portfolio_spec_splits_keys() {
+        let g = graph(16);
+        let latency = LatencySpec::RelaxSteps(2);
+        let config = AllocConfig::new(0);
+        let plain = job_key(&g, &latency, &config, None);
+        let raced = job_key(&g, &latency, &config, Some(PortfolioSpec::new(1, 6)));
+        assert_ne!(plain, raced);
+        assert_ne!(
+            raced,
+            job_key(&g, &latency, &config, Some(PortfolioSpec::new(2, 6)))
+        );
+        assert_ne!(
+            raced,
+            job_key(&g, &latency, &config, Some(PortfolioSpec::new(1, 7)))
+        );
+        // Clamped variant counts are the same job.
+        assert_eq!(
+            job_key(&g, &latency, &config, Some(PortfolioSpec::new(1, 0))),
+            job_key(&g, &latency, &config, Some(PortfolioSpec::new(1, 1))),
         );
     }
 
@@ -193,12 +244,14 @@ mod tests {
             job_key(
                 &graph(16),
                 &LatencySpec::RelaxSteps(2),
-                &AllocConfig::new(5)
+                &AllocConfig::new(5),
+                None,
             ),
             job_key(
                 &graph(16),
                 &LatencySpec::RelaxSteps(2),
-                &AllocConfig::new(9)
+                &AllocConfig::new(9),
+                None,
             ),
         );
     }

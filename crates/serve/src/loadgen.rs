@@ -46,6 +46,11 @@ pub struct LoadgenConfig {
     /// Finish with a graceful `shutdown` request, pipelining a few jobs
     /// first so the drain is observable.
     pub shutdown: bool,
+    /// Variants per job in the portfolio wave (0 disables the wave).  When
+    /// non-zero, the scenario set is replayed once more with a portfolio
+    /// race of this size, measuring the service-level cost and the area the
+    /// winners save.
+    pub portfolio_variants: usize,
 }
 
 impl LoadgenConfig {
@@ -59,6 +64,7 @@ impl LoadgenConfig {
             window: 8,
             exercise_faults: true,
             shutdown: true,
+            portfolio_variants: 5,
         }
     }
 
@@ -73,6 +79,7 @@ impl LoadgenConfig {
             window: 8,
             exercise_faults: true,
             shutdown: true,
+            portfolio_variants: 6,
         }
     }
 }
@@ -130,6 +137,12 @@ pub struct LoadReport {
     /// `"optimal"` when every ok result carried an optimal register-binding
     /// certificate, `"heuristic"` otherwise.
     pub certificate: String,
+    /// Ok results that carried portfolio statistics (the portfolio wave).
+    pub portfolio_jobs: u64,
+    /// Portfolio results whose winner was not the baseline variant.
+    pub portfolio_improved: u64,
+    /// Total area the portfolio winners saved relative to their baselines.
+    pub portfolio_area_saved: u64,
     /// Jobs reported drained by the graceful shutdown (0 when `shutdown`
     /// was off).
     pub drained: u64,
@@ -145,7 +158,7 @@ impl LoadReport {
     pub fn to_json(&self) -> String {
         let s = &self.server;
         format!(
-            "{{\n  \"schema\": \"mwl_serve_loadgen/v2\",\n  \"jobs\": {{\"submitted\": {}, \"ok\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n  \"certificate\": \"{}\",\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"skipped_large_queue\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}, \"queue_capacity\": {}}}\n}}\n",
+            "{{\n  \"schema\": \"mwl_serve_loadgen/v3\",\n  \"jobs\": {{\"submitted\": {}, \"ok\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n  \"certificate\": \"{}\",\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"portfolio\": {{\"jobs\": {}, \"improved\": {}, \"area_saved\": {}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"skipped_large_queue\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}, \"queue_capacity\": {}}}\n}}\n",
             self.submitted,
             self.ok,
             self.failed,
@@ -162,6 +175,9 @@ impl LoadReport {
             s.dedup_hits,
             s.dedup_misses,
             self.dedup_hit_rate,
+            self.portfolio_jobs,
+            self.portfolio_improved,
+            self.portfolio_area_saved,
             self.rejections,
             self.queue_full_rejections,
             self.faults.queue_full_exercised,
@@ -202,7 +218,12 @@ fn to_submit(id: u64, job: &BatchJob, priority: i64) -> SubmitRequest {
         latency: job.latency,
         // Scenario jobs run the allocator defaults; JobConfig::default()
         // lowers to exactly AllocConfig::new (asserted in the wire tests).
-        config: JobConfig::default(),
+        // A portfolio request on the job rides along as the optional pair.
+        config: JobConfig {
+            portfolio_seed: job.portfolio.map(|spec| spec.seed),
+            portfolio_variants: job.portfolio.map(|spec| spec.variants as u64),
+            ..JobConfig::default()
+        },
     }
 }
 
@@ -217,6 +238,9 @@ struct Pipeline {
     queue_full: u64,
     area: AreaBreakdown,
     all_optimal: bool,
+    portfolio_jobs: u64,
+    portfolio_improved: u64,
+    portfolio_area_saved: u64,
 }
 
 impl Pipeline {
@@ -230,6 +254,11 @@ impl Pipeline {
                 self.area.register += stats.area_breakdown.register;
                 self.area.mux += stats.area_breakdown.mux;
                 self.all_optimal &= stats.certificate == mwl_core::BindingCertificate::Optimal;
+                if let Some(p) = &stats.portfolio {
+                    self.portfolio_jobs += 1;
+                    self.portfolio_improved += u64::from(p.winner != 0);
+                    self.portfolio_area_saved += p.area_saved;
+                }
             }
             WireOutcome::Failed { .. } => self.failed += 1,
             WireOutcome::Cancelled => self.cancelled += 1,
@@ -300,6 +329,9 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         queue_full: 0,
         area: AreaBreakdown::default(),
         all_optimal: true,
+        portfolio_jobs: 0,
+        portfolio_improved: 0,
+        portfolio_area_saved: 0,
     };
 
     let mut next_id: u64 = 0;
@@ -310,6 +342,26 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
             let id = next_id;
             next_id += 1;
             if pipeline.submit_with_retry(&mut client, to_submit(id, job, 0))? {
+                submitted += 1;
+            }
+            while pipeline.pending.len() >= config.window.max(1) {
+                let (id, outcome) = client.next_result()?;
+                pipeline.record(id, &outcome);
+            }
+        }
+    }
+    if config.portfolio_variants > 0 {
+        // The portfolio wave: the same scenario set, each job racing a
+        // fixed-seed portfolio.  Distinct dedup keys from the plain waves,
+        // so every job solves cold on its first appearance.
+        for job in &jobs {
+            let raced = job.clone().with_portfolio(mwl_core::PortfolioSpec::new(
+                2001,
+                config.portfolio_variants,
+            ));
+            let id = next_id;
+            next_id += 1;
+            if pipeline.submit_with_retry(&mut client, to_submit(id, &raced, 0))? {
                 submitted += 1;
             }
             while pipeline.pending.len() >= config.window.max(1) {
@@ -393,6 +445,9 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         } else {
             "heuristic".to_string()
         },
+        portfolio_jobs: pipeline.portfolio_jobs,
+        portfolio_improved: pipeline.portfolio_improved,
+        portfolio_area_saved: pipeline.portfolio_area_saved,
         drained,
         faults,
         server,
@@ -447,7 +502,7 @@ fn exercise_faults(
                         checks.queue_full_exercised = true;
                     }
                 }
-                other => return Err(ClientError::Unexpected(other)),
+                other => return Err(ClientError::Unexpected(Box::new(other))),
             }
         }
 
@@ -502,7 +557,7 @@ fn exercise_faults(
                         pipeline.queue_full += 1;
                     }
                 }
-                other => return Err(ClientError::Unexpected(other)),
+                other => return Err(ClientError::Unexpected(Box::new(other))),
             }
         }
         let cancelled_now =
@@ -562,6 +617,9 @@ mod tests {
                 mux: 30,
             },
             certificate: "optimal".to_string(),
+            portfolio_jobs: 14,
+            portfolio_improved: 3,
+            portfolio_area_saved: 120,
             drained: 4,
             faults: FaultChecks {
                 queue_full_exercised: true,
@@ -585,7 +643,8 @@ mod tests {
         };
         let json = report.to_json();
         for key in [
-            "\"schema\": \"mwl_serve_loadgen/v2\"",
+            "\"schema\": \"mwl_serve_loadgen/v3\"",
+            "\"portfolio\": {\"jobs\": 14, \"improved\": 3, \"area_saved\": 120}",
             "\"area_breakdown\": {\"fu\": 4200, \"register\": 96, \"mux\": 30}",
             "\"certificate\": \"optimal\"",
             "\"p50\"",

@@ -698,11 +698,15 @@ fn handle_submit(
 
     let label = submit.label.unwrap_or_else(|| format!("job-{}", submit.id));
     let config = submit.config.to_alloc_config();
+    let portfolio = submit.config.to_portfolio_spec();
     let key = shared
         .dedup
         .as_ref()
-        .map(|_| job_key(&graph, &submit.latency, &config));
-    let job = BatchJob::new(label, graph, submit.latency).with_config(config);
+        .map(|_| job_key(&graph, &submit.latency, &config, portfolio));
+    let mut job = BatchJob::new(label, graph, submit.latency).with_config(config);
+    if let Some(spec) = portfolio {
+        job = job.with_portfolio(spec);
+    }
     let task = Arc::new(Task {
         seq: shared.seq.fetch_add(1, Ordering::Relaxed),
         priority: submit.priority,

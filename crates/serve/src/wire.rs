@@ -10,7 +10,7 @@
 //! field order, optional fields omitted rather than `null`), so re-encoding
 //! a parsed message reproduces the original line.
 
-use mwl_core::{AllocConfig, BindingCertificate};
+use mwl_core::{AllocConfig, BindingCertificate, PortfolioSpec};
 use mwl_driver::{JobStats, LatencySpec};
 use mwl_model::{
     AreaBreakdown, Cycles, ModelError, OpKind, OpShape, ResourceClass, SequencingGraph,
@@ -205,6 +205,14 @@ pub struct JobConfig {
     pub multiplier_bound: Option<u64>,
     /// Override of the allocator's iteration safety budget.
     pub max_iterations: Option<u64>,
+    /// Master seed of a portfolio race (see [`mwl_core::portfolio`]).
+    /// Must be given together with
+    /// [`portfolio_variants`](Self::portfolio_variants); a submission with
+    /// only one of the pair is rejected as malformed.
+    pub portfolio_seed: Option<u64>,
+    /// Number of portfolio variants to race.  Must be given together with
+    /// [`portfolio_seed`](Self::portfolio_seed).
+    pub portfolio_variants: Option<u64>,
 }
 
 impl Default for JobConfig {
@@ -217,6 +225,8 @@ impl Default for JobConfig {
             adder_bound: None,
             multiplier_bound: None,
             max_iterations: None,
+            portfolio_seed: None,
+            portfolio_variants: None,
         }
     }
 }
@@ -255,6 +265,17 @@ impl JobConfig {
         config
     }
 
+    /// The portfolio request carried by this config, when both fields are
+    /// present (the parser rejects half-specified pairs, so `None` here
+    /// always means "plain allocator").
+    #[must_use]
+    pub fn to_portfolio_spec(&self) -> Option<PortfolioSpec> {
+        match (self.portfolio_seed, self.portfolio_variants) {
+            (Some(seed), Some(variants)) => Some(PortfolioSpec::new(seed, variants as usize)),
+            _ => None,
+        }
+    }
+
     fn to_json(&self) -> Json {
         let mut b = ObjectBuilder::new()
             .bool("instance_merging", self.instance_merging)
@@ -270,6 +291,12 @@ impl JobConfig {
         if let Some(n) = self.max_iterations {
             b = b.uint("max_iterations", n);
         }
+        if let Some(n) = self.portfolio_seed {
+            b = b.uint("portfolio_seed", n);
+        }
+        if let Some(n) = self.portfolio_variants {
+            b = b.uint("portfolio_variants", n);
+        }
         b.build()
     }
 
@@ -283,7 +310,7 @@ impl JobConfig {
             None => Ok(None),
             Some(j) => j.as_u64().map(Some).ok_or_else(|| missing(key)),
         };
-        Ok(JobConfig {
+        let config = JobConfig {
             instance_merging: flag("instance_merging", defaults.instance_merging)?,
             grow_cliques: flag("grow_cliques", defaults.grow_cliques)?,
             input_order_priority: flag("input_order_priority", defaults.input_order_priority)?,
@@ -291,7 +318,15 @@ impl JobConfig {
             adder_bound: opt("adder_bound")?,
             multiplier_bound: opt("multiplier_bound")?,
             max_iterations: opt("max_iterations")?,
-        })
+            portfolio_seed: opt("portfolio_seed")?,
+            portfolio_variants: opt("portfolio_variants")?,
+        };
+        if config.portfolio_seed.is_some() != config.portfolio_variants.is_some() {
+            return Err(WireError(
+                "portfolio_seed and portfolio_variants must be given together".into(),
+            ));
+        }
+        Ok(config)
     }
 }
 
@@ -450,8 +485,46 @@ impl Request {
     }
 }
 
+/// Portfolio-race statistics of one job, in wire form (present only when
+/// the submission requested a portfolio via
+/// [`JobConfig::portfolio_seed`]/[`JobConfig::portfolio_variants`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePortfolio {
+    /// The master seed.
+    pub seed: u64,
+    /// Variants raced.
+    pub variants: u64,
+    /// Variants that solved.
+    pub solved: u64,
+    /// Variants that failed or panicked.
+    pub failed: u64,
+    /// Winning variant index (0 = the plain configuration).
+    pub winner: u64,
+    /// The winner's mutation label.
+    pub winner_label: String,
+    /// Variant 0's area when it solved.
+    pub variant0_area: Option<u64>,
+    /// Area saved relative to variant 0.
+    pub area_saved: u64,
+}
+
+impl From<&mwl_core::PortfolioStats> for WirePortfolio {
+    fn from(p: &mwl_core::PortfolioStats) -> Self {
+        WirePortfolio {
+            seed: p.seed,
+            variants: p.variants as u64,
+            solved: p.solved as u64,
+            failed: p.failed as u64,
+            winner: p.winner as u64,
+            winner_label: p.winner_label.clone(),
+            variant0_area: p.variant0_area,
+            area_saved: p.area_saved,
+        }
+    }
+}
+
 /// The statistics of one successfully allocated job, in wire form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireStats {
     /// Resolved latency budget λ.
     pub lambda: Cycles,
@@ -472,6 +545,8 @@ pub struct WireStats {
     pub escalations: u64,
     /// Accepted instance merges.
     pub merges: u64,
+    /// Portfolio-race statistics; `None` for plain jobs.
+    pub portfolio: Option<WirePortfolio>,
 }
 
 impl From<&JobStats> for WireStats {
@@ -486,6 +561,7 @@ impl From<&JobStats> for WireStats {
             refinements: s.refinements as u64,
             escalations: s.bound_escalations as u64,
             merges: s.merges as u64,
+            portfolio: s.portfolio.as_ref().map(WirePortfolio::from),
         }
     }
 }
@@ -626,31 +702,45 @@ impl Response {
             Response::Result { id, outcome } => {
                 let b = ObjectBuilder::new().str("type", "result").uint("id", *id);
                 match outcome {
-                    WireOutcome::Ok(s) => b
-                        .str("status", "ok")
-                        .field(
-                            "stats",
-                            ObjectBuilder::new()
-                                .int("lambda", i64::from(s.lambda))
-                                .uint("area", s.area)
-                                .field(
-                                    "area_breakdown",
-                                    ObjectBuilder::new()
-                                        .uint("fu", s.area_breakdown.fu)
-                                        .uint("register", s.area_breakdown.register)
-                                        .uint("mux", s.area_breakdown.mux)
-                                        .build(),
-                                )
-                                .str("certificate", s.certificate.as_str())
-                                .int("latency", i64::from(s.latency))
-                                .uint("instances", s.instances)
-                                .uint("refinements", s.refinements)
-                                .uint("escalations", s.escalations)
-                                .uint("merges", s.merges)
-                                .build(),
-                        )
-                        .build()
-                        .encode(),
+                    WireOutcome::Ok(s) => {
+                        let mut stats = ObjectBuilder::new()
+                            .int("lambda", i64::from(s.lambda))
+                            .uint("area", s.area)
+                            .field(
+                                "area_breakdown",
+                                ObjectBuilder::new()
+                                    .uint("fu", s.area_breakdown.fu)
+                                    .uint("register", s.area_breakdown.register)
+                                    .uint("mux", s.area_breakdown.mux)
+                                    .build(),
+                            )
+                            .str("certificate", s.certificate.as_str())
+                            .int("latency", i64::from(s.latency))
+                            .uint("instances", s.instances)
+                            .uint("refinements", s.refinements)
+                            .uint("escalations", s.escalations)
+                            .uint("merges", s.merges);
+                        if let Some(p) = &s.portfolio {
+                            let mut portfolio = ObjectBuilder::new()
+                                .uint("seed", p.seed)
+                                .uint("variants", p.variants)
+                                .uint("solved", p.solved)
+                                .uint("failed", p.failed)
+                                .uint("winner", p.winner)
+                                .str("winner_label", &p.winner_label);
+                            if let Some(v0) = p.variant0_area {
+                                portfolio = portfolio.uint("variant0_area", v0);
+                            }
+                            stats = stats.field(
+                                "portfolio",
+                                portfolio.uint("area_saved", p.area_saved).build(),
+                            );
+                        }
+                        b.str("status", "ok")
+                            .field("stats", stats.build())
+                            .build()
+                            .encode()
+                    }
                     WireOutcome::Failed { error } => b
                         .str("status", "failed")
                         .str("error", error)
@@ -762,6 +852,35 @@ impl Response {
                                 return Err(WireError(format!("unknown certificate '{other}'")))
                             }
                         };
+                        let portfolio = match s.get("portfolio") {
+                            None => None,
+                            Some(p) => {
+                                let pu = |key: &str| {
+                                    p.get(key)
+                                        .and_then(Json::as_u64)
+                                        .ok_or_else(|| missing(key))
+                                };
+                                Some(WirePortfolio {
+                                    seed: pu("seed")?,
+                                    variants: pu("variants")?,
+                                    solved: pu("solved")?,
+                                    failed: pu("failed")?,
+                                    winner: pu("winner")?,
+                                    winner_label: p
+                                        .get("winner_label")
+                                        .and_then(Json::as_str)
+                                        .ok_or_else(|| missing("winner_label"))?
+                                        .to_string(),
+                                    variant0_area: match p.get("variant0_area") {
+                                        None => None,
+                                        Some(j) => Some(
+                                            j.as_u64().ok_or_else(|| missing("variant0_area"))?,
+                                        ),
+                                    },
+                                    area_saved: pu("area_saved")?,
+                                })
+                            }
+                        };
                         WireOutcome::Ok(WireStats {
                             lambda: c("lambda")?,
                             area: u("area")?,
@@ -776,6 +895,7 @@ impl Response {
                             refinements: u("refinements")?,
                             escalations: u("escalations")?,
                             merges: u("merges")?,
+                            portfolio,
                         })
                     }
                     "failed" => WireOutcome::Failed {
@@ -868,6 +988,8 @@ mod tests {
             config: JobConfig {
                 adder_bound: Some(2),
                 max_iterations: Some(500),
+                portfolio_seed: Some(42),
+                portfolio_variants: Some(8),
                 ..JobConfig::default()
             },
         });
@@ -924,6 +1046,17 @@ mod tests {
     }
 
     #[test]
+    fn portfolio_pair_lowers_to_spec() {
+        assert_eq!(JobConfig::default().to_portfolio_spec(), None);
+        let config = JobConfig {
+            portfolio_seed: Some(3),
+            portfolio_variants: Some(9),
+            ..JobConfig::default()
+        };
+        assert_eq!(config.to_portfolio_spec(), Some(PortfolioSpec::new(3, 9)));
+    }
+
+    #[test]
     fn job_config_bounds_lower_to_btreemap() {
         let config = JobConfig {
             adder_bound: Some(2),
@@ -961,6 +1094,35 @@ mod tests {
                     refinements: 2,
                     escalations: 1,
                     merges: 1,
+                    portfolio: None,
+                }),
+            },
+            Response::Result {
+                id: 7,
+                outcome: WireOutcome::Ok(WireStats {
+                    lambda: 8,
+                    area: 900,
+                    area_breakdown: AreaBreakdown {
+                        fu: 900,
+                        register: 0,
+                        mux: 0,
+                    },
+                    certificate: BindingCertificate::Optimal,
+                    latency: 8,
+                    instances: 3,
+                    refinements: 1,
+                    escalations: 0,
+                    merges: 0,
+                    portfolio: Some(WirePortfolio {
+                        seed: 42,
+                        variants: 8,
+                        solved: 7,
+                        failed: 1,
+                        winner: 5,
+                        winner_label: "no_growth+merge_shuffle".into(),
+                        variant0_area: Some(940),
+                        area_saved: 40,
+                    }),
                 }),
             },
             Response::Result {
@@ -1015,6 +1177,9 @@ mod tests {
             r#"{"type":"submit","id":1,"graph":{"ops":[],"edges":[]},"latency":{"kind":"sometime","value":1}}"#,
             r#"{"type":"cancel"}"#,
             r#"{"type":"result","id":1,"status":"great"}"#,
+            // Half-specified portfolio pairs are malformed.
+            r#"{"type":"submit","id":1,"graph":{"ops":[{"op":"add","width":4}],"edges":[]},"latency":{"kind":"relax_steps","value":1},"config":{"portfolio_seed":7}}"#,
+            r#"{"type":"submit","id":1,"graph":{"ops":[{"op":"add","width":4}],"edges":[]},"latency":{"kind":"relax_steps","value":1},"config":{"portfolio_variants":6}}"#,
         ] {
             assert!(
                 Request::parse(bad).is_err() && Response::parse(bad).is_err(),

@@ -36,7 +36,9 @@ impl WireJob {
 }
 
 /// A random job: shape family, size, seed, λ budget and allocator options —
-/// the batch driver's proptest generator, lifted to the wire.
+/// the batch driver's proptest generator, lifted to the wire.  Roughly half
+/// the jobs additionally request a portfolio race (2..=6 variants), so every
+/// service-level property is exercised on plain and racing jobs alike.
 pub fn wire_job_strategy() -> impl Strategy<Value = WireJob> {
     (
         prop_oneof![
@@ -53,22 +55,29 @@ pub fn wire_job_strategy() -> impl Strategy<Value = WireJob> {
         ],
         any::<bool>(),
         any::<bool>(),
+        0u64..=500,
+        0u64..=6,
     )
-        .prop_map(|(shape, ops, seed, latency, merging, mixed)| {
-            let mut config = TgffConfig::with_ops(ops).shape(shape);
-            if mixed {
-                config = config.width_profile(WidthProfile::Mixed { high_fraction: 0.5 });
-            }
-            let graph = TgffGenerator::new(config, seed).generate();
-            WireJob {
-                graph: WireGraph::from_graph(&graph),
-                latency,
-                config: JobConfig {
-                    instance_merging: merging,
-                    ..JobConfig::default()
-                },
-            }
-        })
+        .prop_map(
+            |(shape, ops, seed, latency, merging, mixed, pf_seed, pf_variants)| {
+                let mut config = TgffConfig::with_ops(ops).shape(shape);
+                if mixed {
+                    config = config.width_profile(WidthProfile::Mixed { high_fraction: 0.5 });
+                }
+                let graph = TgffGenerator::new(config, seed).generate();
+                let portfolio = pf_variants >= 2;
+                WireJob {
+                    graph: WireGraph::from_graph(&graph),
+                    latency,
+                    config: JobConfig {
+                        instance_merging: merging,
+                        portfolio_seed: portfolio.then_some(pf_seed),
+                        portfolio_variants: portfolio.then_some(pf_variants),
+                        ..JobConfig::default()
+                    },
+                }
+            },
+        )
 }
 
 /// Runs the given jobs (ids `0..jobs.len()`, given priorities) on a fresh

@@ -21,8 +21,12 @@ fn reference_lines(jobs: &[WireJob]) -> Vec<String> {
         .enumerate()
         .map(|(i, j)| {
             let graph = j.graph.to_graph().expect("generated graphs are valid");
-            BatchJob::new(format!("job-{i}"), graph, j.latency)
-                .with_config(j.config.to_alloc_config())
+            let mut job = BatchJob::new(format!("job-{i}"), graph, j.latency)
+                .with_config(j.config.to_alloc_config());
+            if let Some(spec) = j.config.to_portfolio_spec() {
+                job = job.with_portfolio(spec);
+            }
+            job
         })
         .collect();
     let report = run_batch(
@@ -48,6 +52,50 @@ fn reference_lines(jobs: &[WireJob]) -> Vec<String> {
             .encode()
         })
         .collect()
+}
+
+/// A portfolio submission's result line carries the portfolio block, the
+/// winner never loses to the baseline, and a content-duplicate resubmission
+/// (dedup on) is answered byte-identically.
+#[test]
+fn portfolio_wire_results_expose_the_race() {
+    use mwl_serve::wire::JobConfig;
+    use mwl_tgff::{TgffConfig, TgffGenerator};
+
+    let graph = TgffGenerator::new(TgffConfig::with_ops(10), 64).generate();
+    let job = WireJob {
+        graph: mwl_serve::wire::WireGraph::from_graph(&graph),
+        latency: mwl_driver::LatencySpec::RelaxSteps(4),
+        config: JobConfig {
+            portfolio_seed: Some(5),
+            portfolio_variants: Some(6),
+            ..JobConfig::default()
+        },
+    };
+    let jobs = vec![job.clone(), job];
+    let (lines, stats) = run_jobs_on_server(
+        &jobs,
+        &[0, 0],
+        ServerConfig::default().with_workers(2).with_dedup(true),
+    );
+    assert_eq!(lines[0].replace("\"id\":0", "\"id\":1"), lines[1]);
+    assert_eq!(stats.dedup_hits + stats.dedup_misses, 2);
+
+    let Response::Result {
+        outcome: WireOutcome::Ok(wire),
+        ..
+    } = Response::parse(&lines[0]).expect("result line parses")
+    else {
+        panic!("portfolio job must solve: {}", lines[0]);
+    };
+    let portfolio = wire.portfolio.expect("portfolio block present");
+    assert_eq!(portfolio.seed, 5);
+    assert_eq!(portfolio.variants, 6);
+    assert_eq!(portfolio.solved + portfolio.failed, 6);
+    let v0 = portfolio.variant0_area.expect("baseline solves");
+    assert_eq!(wire.area + portfolio.area_saved, v0);
+    // Matches the engine run directly.
+    assert_eq!(lines, reference_lines(&[jobs[0].clone(), jobs[0].clone()]));
 }
 
 proptest! {

@@ -548,7 +548,7 @@ impl ShutdownAckExt for Client {
     fn shutdown_ack(&mut self) -> Result<u64, mwl_serve::ClientError> {
         match self.read_control()? {
             Response::ShutdownAck { drained } => Ok(drained),
-            other => Err(mwl_serve::ClientError::Unexpected(other)),
+            other => Err(mwl_serve::ClientError::Unexpected(Box::new(other))),
         }
     }
 }

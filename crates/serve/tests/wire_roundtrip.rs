@@ -10,8 +10,8 @@ use mwl_driver::LatencySpec;
 use mwl_model::{AreaBreakdown, OpShape};
 use mwl_serve::wire::{
     CancelOutcome, JobConfig, Request, Response, StatsSnapshot, SubmitRequest, WireGraph,
-    WireOutcome, WireStats, CODE_GRAPH_TOO_LARGE, CODE_INVALID_GRAPH, CODE_QUEUE_FULL,
-    CODE_SHUTTING_DOWN,
+    WireOutcome, WirePortfolio, WireStats, CODE_GRAPH_TOO_LARGE, CODE_INVALID_GRAPH,
+    CODE_QUEUE_FULL, CODE_SHUTTING_DOWN,
 };
 
 /// Strings biased towards everything the JSON escaper must handle: quotes,
@@ -80,15 +80,26 @@ fn option_u64() -> impl Strategy<Value = Option<u64>> {
     prop_oneof![Just(None), (0u64..=1_000_000).prop_map(Some)]
 }
 
+/// The optional portfolio request: both fields present or neither (the
+/// parser rejects half-specified pairs, so only whole pairs are wire-legal).
+fn portfolio_pair() -> impl Strategy<Value = Option<(u64, u64)>> {
+    prop_oneof![
+        Just(None),
+        ((0u64..=1_000_000), (0u64..=2048)).prop_map(Some),
+    ]
+}
+
 fn config_strategy() -> impl Strategy<Value = JobConfig> {
     (
         (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
         (option_u64(), option_u64(), option_u64()),
+        portfolio_pair(),
     )
         .prop_map(
             |(
                 (instance_merging, grow_cliques, input_order_priority, first_refinable),
                 (adder_bound, multiplier_bound, max_iterations),
+                portfolio,
             )| JobConfig {
                 instance_merging,
                 grow_cliques,
@@ -97,6 +108,8 @@ fn config_strategy() -> impl Strategy<Value = JobConfig> {
                 adder_bound,
                 multiplier_bound,
                 max_iterations,
+                portfolio_seed: portfolio.map(|(seed, _)| seed),
+                portfolio_variants: portfolio.map(|(_, variants)| variants),
             },
         )
 }
@@ -132,6 +145,28 @@ fn request_strategy() -> impl Strategy<Value = Request> {
     ]
 }
 
+/// Portfolio stat blocks, escape-heavy winner labels included.
+fn wire_portfolio_strategy() -> impl Strategy<Value = WirePortfolio> {
+    (
+        (u63(), 0u64..=1024, 0u64..=1024, 0u64..=1024),
+        (0u64..=1024, string_strategy(), option_u64(), 0u64..=100_000),
+    )
+        .prop_map(
+            |((seed, variants, solved, failed), (winner, winner_label, variant0_area, saved))| {
+                WirePortfolio {
+                    seed,
+                    variants,
+                    solved,
+                    failed,
+                    winner,
+                    winner_label,
+                    variant0_area,
+                    area_saved: saved,
+                }
+            },
+        )
+}
+
 fn stats_strategy() -> impl Strategy<Value = WireStats> {
     (
         (0u32..=100_000, u63(), 0u32..=100_000),
@@ -142,12 +177,14 @@ fn stats_strategy() -> impl Strategy<Value = WireStats> {
             0u64..=100_000,
         ),
         (u63(), u63(), any::<bool>()),
+        prop_oneof![Just(None), wire_portfolio_strategy().prop_map(Some)],
     )
         .prop_map(
             |(
                 (lambda, area, latency),
                 (instances, refinements, escalations, merges),
                 (register, mux, optimal),
+                portfolio,
             )| WireStats {
                 lambda,
                 area,
@@ -166,6 +203,7 @@ fn stats_strategy() -> impl Strategy<Value = WireStats> {
                 refinements,
                 escalations,
                 merges,
+                portfolio,
             },
         )
 }

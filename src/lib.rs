@@ -993,9 +993,9 @@ pub mod workloads {
 pub mod prelude {
     pub use mwl_baselines::{SortedCliqueAllocator, TwoStageAllocator, UniformWordlengthAllocator};
     pub use mwl_core::{
-        merge_instances, pack_registers, AllocConfig, AllocError, AllocScratch, BindingCertificate,
-        CachedCostModel, Datapath, DpAllocator, MergeStats, RegisterBinding, ResourceInstance,
-        ValueLifetime,
+        merge_instances, pack_registers, run_portfolio, AllocConfig, AllocError, AllocScratch,
+        BindingCertificate, CachedCostModel, Datapath, DpAllocator, MergeStats, PortfolioOutcome,
+        PortfolioSpec, PortfolioStats, RegisterBinding, ResourceInstance, ValueLifetime,
     };
     pub use mwl_driver::{
         run_batch, BatchJob, BatchOptions, BatchReport, BatchSummary, JobOutcome, JobStats,

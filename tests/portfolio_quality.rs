@@ -1,0 +1,118 @@
+//! Quality regression for the portfolio race: wherever the ILP proves an
+//! optimum, the portfolio winner is bounded below by it (optimality is a
+//! floor, not a target); the winner never loses to variant 0 (the plain
+//! allocator it always races); and across the sample the race closes a
+//! recorded, non-negative share of the baseline-to-optimal area gap.
+
+use std::time::Duration;
+
+use mwl::prelude::*;
+
+fn cost() -> SonicCostModel {
+    SonicCostModel::default()
+}
+
+fn lambda_min(graph: &SequencingGraph, cost: &SonicCostModel) -> Cycles {
+    let native = OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+    critical_path_length(graph, &native)
+}
+
+/// Portfolio area is sandwiched between the proven ILP optimum and the
+/// plain allocator's area on every graph where the ILP terminates, and the
+/// closed-gap ratio over the sample is well-defined and within [0, 1].
+#[test]
+fn portfolio_never_beats_a_proven_optimum_and_never_loses_to_variant0() {
+    let cost = cost();
+    let spec = PortfolioSpec::new(2001, 10);
+    let mut baseline_gap: u64 = 0;
+    let mut portfolio_gap: u64 = 0;
+    let mut proven = 0usize;
+
+    for ops in [5usize, 7, 8, 9] {
+        let mut generator = TgffGenerator::new(TgffConfig::with_ops(ops), 1900 + ops as u64);
+        for round in 0..3u32 {
+            let graph = generator.generate();
+            let lambda = lambda_min(&graph, &cost) + round % 2;
+
+            let outcome = run_portfolio(&cost, &graph, &AllocConfig::new(lambda), spec, 1)
+                .expect("relaxed budgets are achievable");
+            outcome.best.datapath.validate(&graph, &cost).unwrap();
+            assert!(outcome.best.datapath.latency() <= lambda);
+            let won = outcome.best.datapath.area();
+            let baseline = outcome
+                .variant0_area
+                .expect("the plain allocator solves achievable budgets");
+            assert!(
+                won <= baseline,
+                "portfolio lost to its own baseline variant: {won} > {baseline} \
+                 (ops {ops}, round {round})"
+            );
+
+            let ilp = IlpAllocator::new(&cost, lambda)
+                .with_time_limit(Duration::from_secs(3))
+                .allocate(&graph);
+            let Ok(optimal) = ilp else {
+                continue; // time limit: the graph drops out of the study
+            };
+            if !optimal.stats.proven_optimal {
+                continue;
+            }
+            let floor = optimal.datapath.area();
+            assert!(
+                won >= floor,
+                "portfolio under a proven optimum: {won} < {floor} (ops {ops}, round {round})"
+            );
+            proven += 1;
+            baseline_gap += baseline - floor;
+            portfolio_gap += won - floor;
+        }
+    }
+
+    assert!(
+        proven >= 6,
+        "too few proven optima to regress quality against"
+    );
+    assert!(portfolio_gap <= baseline_gap);
+    let closed = if baseline_gap == 0 {
+        1.0
+    } else {
+        (baseline_gap - portfolio_gap) as f64 / baseline_gap as f64
+    };
+    assert!((0.0..=1.0).contains(&closed));
+    println!(
+        "portfolio quality: {proven} proven optima, baseline gap {baseline_gap}, \
+         portfolio gap {portfolio_gap}, closed {:.1}%",
+        100.0 * closed
+    );
+}
+
+/// The race is not a no-op: over a seeded scenario sample, at least one
+/// winner strictly improves on variant 0 — and the improvement is exactly
+/// what the reported stats claim.
+#[test]
+fn portfolio_improves_somewhere_and_stats_reconcile() {
+    let cost = cost();
+    let spec = PortfolioSpec::new(2001, 10);
+    let mut improved = 0usize;
+
+    for seed in 0..10u64 {
+        let graph = TgffGenerator::new(TgffConfig::with_ops(12), 4242 + seed).generate();
+        let lambda = lambda_min(&graph, &cost) + 3;
+        let outcome = run_portfolio(&cost, &graph, &AllocConfig::new(lambda), spec, 1)
+            .expect("relaxed budgets are achievable");
+        let stats = PortfolioStats::from_outcome(spec.seed, &outcome);
+        let won = outcome.best.datapath.area();
+        let baseline = outcome.variant0_area.expect("baseline solves");
+        assert_eq!(stats.area_saved, baseline - won);
+        assert_eq!(stats.variants, spec.effective_variants());
+        assert_eq!(stats.solved + stats.failed, stats.variants);
+        if stats.area_saved > 0 {
+            assert_ne!(stats.winner, 0, "a saving implies a non-baseline winner");
+            improved += 1;
+        }
+    }
+    assert!(
+        improved > 0,
+        "no graph in the sample improved — the portfolio race is a no-op"
+    );
+}

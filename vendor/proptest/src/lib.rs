@@ -308,6 +308,8 @@ impl_strategy_for_tuples! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
 }
 
 /// Types with a canonical "generate anything" strategy, as used by [`any`].
