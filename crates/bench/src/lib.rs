@@ -15,6 +15,7 @@
 //! | Batch throughput over the TGFF + scenario families (beyond the paper) | [`run_batch_sweep`] | `batch_sweep` |
 //! | Allocation hot-path perf gate: optimized vs frozen reference, bit-identity, committed `BENCH_alloc.json` | [`run_perf_gate`] | `perf_gate` |
 //! | Portfolio gate: racing-allocator determinism, never-worse and ILP gap-closed checks, committed `BENCH_portfolio.json` | [`run_portfolio_gate`] | `portfolio_gate` |
+//! | Observability gate: telemetry non-perturbation and overhead bounds, committed `BENCH_obs.json` | [`run_obs_gate`] | `obs_gate` |
 //!
 //! The paper runs 200 random graphs per data point on a Pentium III 450;
 //! [`SweepConfig::paper`] reproduces those counts, while
@@ -35,6 +36,7 @@ mod batch;
 mod fig3;
 mod fig4;
 mod fig5;
+mod obs;
 mod perf;
 mod portfolio;
 mod sweep;
@@ -47,6 +49,10 @@ pub use batch::{
 pub use fig3::{run_fig3, Fig3Cell, Fig3Config, Fig3Results};
 pub use fig4::{run_fig4, Fig4Config, Fig4Results, Fig4Row};
 pub use fig5::{run_fig5, Fig5Config, Fig5Results, Fig5Row};
+pub use obs::{
+    run_obs_gate, ObsGateConfig, ObsGateResults, ObsGateStatus, DISABLED_NOISE_LIMIT,
+    ENABLED_OVERHEAD_LIMIT, TRACE_OVERHEAD_LIMIT,
+};
 pub use perf::{
     run_perf_gate, MultiCoreStatus, PerfGateConfig, PerfGateResults, WorkerRow, MULTI_CORE_TARGET,
     SINGLE_THREAD_TARGET,

@@ -19,6 +19,7 @@ use crate::merge::merge_instances_with_scratch;
 use crate::refine::select_refinement_op_with_scratch;
 use crate::scratch::AllocScratch;
 use mwl_model::{CostModel, Cycles, OpId, ResourceClass, SequencingGraph};
+use mwl_obs::Stage;
 use mwl_sched::{
     critical_path_length, scheduling_set_with_scratch, ListScheduler, OpLatencies, SchedError,
     SchedulePriority,
@@ -244,6 +245,7 @@ impl<'a> DpAllocator<'a> {
             match self.try_with_bounds(graph, &bounds, &mut total_refinements, scratch) {
                 Ok(datapath) => {
                     let (datapath, merges) = if self.config.instance_merging {
+                        let timer = scratch.obs.start();
                         let (merged, stats) = merge_instances_with_scratch(
                             &datapath,
                             graph,
@@ -252,6 +254,7 @@ impl<'a> DpAllocator<'a> {
                             self.config.merge_salt,
                             &mut scratch.merge,
                         );
+                        scratch.obs.stop(Stage::Merge, timer);
                         (merged, stats.merges)
                     } else {
                         (datapath, 0)
@@ -345,6 +348,7 @@ impl<'a> DpAllocator<'a> {
         let mut last_refined: Option<OpId> = None;
 
         for _ in 0..self.config.max_iterations {
+            let sched_timer = scratch.obs.start();
             scratch
                 .upper
                 .copy_from_slice(scratch.wcg.upper_bound_slice());
@@ -395,18 +399,22 @@ impl<'a> DpAllocator<'a> {
                 }
                 Err(e) => return Err(InnerFailure::Fatal(e.into())),
             };
+            scratch.obs.stop(Stage::Schedule, sched_timer);
 
+            let bind_timer = scratch.obs.start();
             scratch.wcg.attach_schedule(&schedule, &scratch.upper);
             let instances =
                 bind_select_with_scratch(&scratch.wcg, self.config.bind_options, &mut scratch.bind)
                     .map_err(InnerFailure::Fatal)?;
             let datapath = Datapath::assemble(schedule, instances, self.cost);
+            scratch.obs.stop(Stage::Bind, bind_timer);
 
             if datapath.latency() <= self.config.latency_constraint {
                 return Ok(datapath);
             }
 
             // Constraint violated: refine wordlength information.
+            let refine_timer = scratch.obs.start();
             scratch.binding.clear();
             scratch
                 .binding
@@ -433,6 +441,7 @@ impl<'a> DpAllocator<'a> {
                     scratch.wcg.refine_op(op);
                     scratch.wcg.detach_schedule();
                     last_refined = Some(op);
+                    scratch.obs.stop(Stage::Refine, refine_timer);
                 }
                 None => {
                     // Fully refined and still over the constraint: more

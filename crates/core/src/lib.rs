@@ -92,7 +92,8 @@ pub use error::{AllocError, ValidateError};
 pub use fingerprint::{config_fingerprint, datapath_fingerprint, graph_fingerprint, StableHasher};
 pub use merge::{merge_instances, MergeStats};
 pub use portfolio::{
-    run_portfolio, run_portfolio_with_hook, PortfolioOutcome, PortfolioSpec, PortfolioStats,
+    run_portfolio, run_portfolio_with_hook, run_portfolio_with_scratch, PortfolioOutcome,
+    PortfolioSpec, PortfolioStats,
 };
 pub use refine::{bound_critical_path, select_refinement_op};
 pub use report::{render_report, DatapathReport, InstanceUtilisation};

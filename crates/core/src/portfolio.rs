@@ -82,6 +82,7 @@ use crate::error::AllocError;
 use crate::fingerprint::{datapath_fingerprint, StableHasher};
 use crate::scratch::AllocScratch;
 use mwl_model::{Area, CostModel, Cycles, ResourceClass, SequencingGraph};
+use mwl_obs::{ArgValue, Stage};
 use mwl_sched::{critical_path_length, OpLatencies, SchedulePriority};
 
 /// Upper bound on the number of variants a single portfolio run will
@@ -604,22 +605,65 @@ pub fn run_portfolio_with_hook(
     workers: usize,
     hook: &(dyn Fn(&mut VariantSpec) + Sync),
 ) -> Result<PortfolioOutcome, AllocError> {
+    run_portfolio_inner(cost, graph, base, spec, workers, hook, None)
+}
+
+/// [`run_portfolio`] running the inline (`workers <= 1`) path through a
+/// caller-owned [`AllocScratch`], reusing its buffers and — when the
+/// scratch's stage recorder is on — crediting each variant's wall time to
+/// [`Stage::Variant`] (the trace event carries a `variant` argument).  The
+/// returned outcome is bit-identical to [`run_portfolio`]: the recorder is
+/// write-only for the racing variants.
+///
+/// The threaded path (`workers > 1`) still uses fresh per-thread scratches
+/// and records no per-variant timing; the batch driver always races inline
+/// because its jobs already spread across a worker pool.
+///
+/// # Errors
+///
+/// Same conditions as [`run_portfolio`].
+pub fn run_portfolio_with_scratch(
+    cost: &(dyn CostModel + Sync),
+    graph: &SequencingGraph,
+    base: &AllocConfig,
+    spec: PortfolioSpec,
+    workers: usize,
+    scratch: &mut AllocScratch,
+) -> Result<PortfolioOutcome, AllocError> {
+    run_portfolio_inner(cost, graph, base, spec, workers, &|_| {}, Some(scratch))
+}
+
+fn run_portfolio_inner(
+    cost: &(dyn CostModel + Sync),
+    graph: &SequencingGraph,
+    base: &AllocConfig,
+    spec: PortfolioSpec,
+    workers: usize,
+    hook: &(dyn Fn(&mut VariantSpec) + Sync),
+    caller_scratch: Option<&mut AllocScratch>,
+) -> Result<PortfolioOutcome, AllocError> {
     let specs = variant_specs(graph, cost, base, spec);
     let n = specs.len();
     let cell = BestCell::new();
 
     let runs: Vec<VariantRun> = if workers <= 1 || n == 1 {
-        let mut scratch = AllocScratch::new();
-        specs
-            .iter()
-            .map(|vs| {
-                let run = execute(cost, graph, vs, hook, &mut scratch);
-                if let VariantRun::Solved(outcome) = &run {
-                    cell.offer(CandidateKey::of(outcome, vs.id));
-                }
-                run
-            })
-            .collect()
+        let mut own = AllocScratch::new();
+        let scratch = caller_scratch.unwrap_or(&mut own);
+        let mut runs = Vec::with_capacity(n);
+        for vs in &specs {
+            let variant_timer = scratch.obs.start();
+            let run = execute(cost, graph, vs, hook, scratch);
+            scratch.obs.stop_with(
+                Stage::Variant,
+                variant_timer,
+                vec![("variant", ArgValue::Int(vs.id as i64))],
+            );
+            if let VariantRun::Solved(outcome) = &run {
+                cell.offer(CandidateKey::of(outcome, vs.id));
+            }
+            runs.push(run);
+        }
+        runs
     } else {
         let slots: Vec<OnceLock<VariantRun>> = (0..n).map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);

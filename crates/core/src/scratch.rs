@@ -71,6 +71,11 @@ pub struct AllocScratch {
     pub(crate) refine: crate::refine::RefineScratch,
     /// Merge-pass tables.
     pub(crate) merge: MergeScratch,
+    /// Stage-level telemetry recorder.  Off by default; the driving layer
+    /// switches it on and drains it *between* jobs — nothing it measures is
+    /// ever read back by the allocator, so recording cannot perturb results
+    /// (pinned by the observability identity suites).
+    pub obs: mwl_obs::StageRecorder,
 }
 
 impl AllocScratch {

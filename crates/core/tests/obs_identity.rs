@@ -1,0 +1,169 @@
+//! Property tests pinning the telemetry layer's hard invariant: recording
+//! is **non-perturbing**.  For arbitrary allocation problems the full
+//! [`AllocOutcome`] — and hence the datapath fingerprint — must be
+//! bit-identical with observability off (the default), in stage-timing mode
+//! and in trace mode, and a portfolio raced through an instrumented scratch
+//! must produce exactly the winner of the plain portfolio entry point.
+
+use proptest::prelude::*;
+
+use mwl_core::{
+    datapath_fingerprint, run_portfolio, run_portfolio_with_scratch, AllocConfig, AllocScratch,
+    DpAllocator, PortfolioSpec,
+};
+use mwl_model::{CostModel, SequencingGraph, SonicCostModel};
+use mwl_obs::{ObsMode, Stage};
+use mwl_tgff::{GraphShape, TgffConfig, TgffGenerator, WidthProfile};
+
+/// One allocation problem drawn from the scenario space.
+#[derive(Debug, Clone)]
+struct Problem {
+    graph: SequencingGraph,
+    lambda_slack: u32,
+    merging: bool,
+}
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (
+        prop_oneof![
+            Just(GraphShape::Layered),
+            Just(GraphShape::Wide),
+            Just(GraphShape::Deep),
+            Just(GraphShape::Diamond),
+        ],
+        prop_oneof![
+            Just(WidthProfile::Uniform),
+            Just(WidthProfile::Mixed { high_fraction: 0.4 }),
+        ],
+        2usize..=14,
+        0u64..=2000,
+        0u32..=10,
+        any::<bool>(),
+    )
+        .prop_map(|(shape, widths, ops, seed, lambda_slack, merging)| {
+            let config = TgffConfig::with_ops(ops).shape(shape).width_profile(widths);
+            Problem {
+                graph: TgffGenerator::new(config, seed).generate(),
+                lambda_slack,
+                merging,
+            }
+        })
+}
+
+fn lambda_min(graph: &SequencingGraph, cost: &SonicCostModel) -> u32 {
+    let native = mwl_sched::OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+    mwl_sched::critical_path_length(graph, &native)
+}
+
+fn alloc_config(problem: &Problem, cost: &SonicCostModel) -> AllocConfig {
+    let lambda = lambda_min(&problem.graph, cost) + problem.lambda_slack;
+    AllocConfig::new(lambda).with_instance_merging(problem.merging)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The headline guarantee: the outcome is bit-identical at every
+    /// observability mode, so the datapath fingerprints collapse to one.
+    #[test]
+    fn every_obs_mode_is_bit_identical(problem in problem_strategy()) {
+        let cost = SonicCostModel::default();
+        let config = alloc_config(&problem, &cost);
+        let mut outcomes = Vec::new();
+        for mode in [ObsMode::Off, ObsMode::Stages, ObsMode::Trace] {
+            let mut scratch = AllocScratch::new();
+            scratch.obs.set_mode(mode);
+            let outcome = DpAllocator::new(&cost, config.clone())
+                .allocate_with_scratch(&problem.graph, &mut scratch);
+            outcomes.push(outcome);
+        }
+        let (reference, rest) = outcomes.split_first().unwrap();
+        for traced in rest {
+            prop_assert_eq!(reference, traced);
+        }
+        if let Ok(outcome) = reference {
+            let print = datapath_fingerprint(&outcome.datapath);
+            for traced in rest {
+                let traced = traced.as_ref().unwrap();
+                prop_assert_eq!(print, datapath_fingerprint(&traced.datapath));
+            }
+        }
+    }
+
+    /// A recorder left switched on across a whole job sequence (the driver's
+    /// per-worker reuse pattern) changes nothing either.
+    #[test]
+    fn warm_instrumented_scratch_is_invisible(
+        problems in proptest::collection::vec(problem_strategy(), 2..5)
+    ) {
+        let cost = SonicCostModel::default();
+        let mut warm = AllocScratch::new();
+        warm.obs.set_mode(ObsMode::Trace);
+        for problem in &problems {
+            let config = alloc_config(problem, &cost);
+            let instrumented = DpAllocator::new(&cost, config.clone())
+                .allocate_with_scratch(&problem.graph, &mut warm);
+            // Drain between jobs exactly as the driver does.
+            let _ = warm.obs.take_stages();
+            let _ = warm.obs.drain_events();
+            let plain = DpAllocator::new(&cost, config)
+                .allocate_with_scratch(&problem.graph, &mut AllocScratch::new());
+            prop_assert_eq!(instrumented, plain);
+        }
+    }
+
+    /// Racing a portfolio through an instrumented caller scratch yields
+    /// exactly the plain portfolio's winner.
+    #[test]
+    fn instrumented_portfolio_matches_plain(
+        problem in problem_strategy(),
+        seed in 0u64..=500,
+        variants in 2usize..=6,
+    ) {
+        let cost = SonicCostModel::default();
+        let config = alloc_config(&problem, &cost);
+        let spec = PortfolioSpec::new(seed, variants);
+        let plain = run_portfolio(&cost, &problem.graph, &config, spec, 1);
+        let mut scratch = AllocScratch::new();
+        scratch.obs.set_mode(ObsMode::Stages);
+        let traced =
+            run_portfolio_with_scratch(&cost, &problem.graph, &config, spec, 1, &mut scratch);
+        match (plain, traced) {
+            (Ok(p), Ok(t)) => {
+                prop_assert_eq!(&p.best, &t.best);
+                prop_assert_eq!(p.winner_key, t.winner_key);
+                prop_assert_eq!(p.variant0_area, t.variant0_area);
+                prop_assert_eq!(
+                    datapath_fingerprint(&p.best.datapath),
+                    datapath_fingerprint(&t.best.datapath)
+                );
+                // One variant span per raced variant was credited.
+                let stages = scratch.obs.take_stages();
+                prop_assert!(stages.get(Stage::Variant) > 0);
+            }
+            (p, t) => prop_assert_eq!(p.is_err(), t.is_err()),
+        }
+    }
+}
+
+/// In stage mode the recorder actually measures the allocator: a real
+/// problem leaves non-zero schedule/bind time behind (and nothing leaks
+/// into the next take).
+#[test]
+fn stage_mode_records_the_pipeline() {
+    let cost = SonicCostModel::default();
+    let mut generator = TgffGenerator::new(TgffConfig::with_ops(16), 2001);
+    let graph = generator.generate();
+    let lambda = lambda_min(&graph, &cost) + 4;
+    let mut scratch = AllocScratch::new();
+    scratch.obs.set_mode(ObsMode::Stages);
+    DpAllocator::new(&cost, AllocConfig::new(lambda))
+        .allocate_with_scratch(&graph, &mut scratch)
+        .expect("relaxed budget is feasible");
+    let stages = scratch.obs.take_stages();
+    assert!(!stages.is_zero(), "stage mode must record the allocator");
+    assert!(stages.get(Stage::Schedule) > 0);
+    assert!(stages.get(Stage::Bind) > 0);
+    // The take drained the accumulator.
+    assert!(scratch.obs.take_stages().is_zero());
+}

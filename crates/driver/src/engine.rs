@@ -2,9 +2,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::Instant;
 
 use mwl_core::AllocScratch;
 use mwl_model::CostModel;
+use mwl_obs::{ObsMode, TraceSink};
 
 use crate::exec::{batch_cache, solve_job};
 use crate::job::{BatchJob, BatchOptions};
@@ -28,6 +30,25 @@ pub fn run_batch<C: CostModel + Sync>(
     cost: &C,
     options: &BatchOptions,
 ) -> BatchReport {
+    run_batch_traced(jobs, cost, options, None)
+}
+
+/// [`run_batch`] with an optional trace collector.
+///
+/// When [`BatchOptions::obs`] is [`ObsMode::Trace`] and a sink is supplied,
+/// every worker drains its per-job trace events into it; all workers share
+/// one epoch (timestamp zero) taken before the pool starts, and each worker
+/// renders into its own `tid` lane, so [`TraceSink::to_chrome_json`] yields
+/// a coherent multi-lane timeline.  The *report* stays bit-identical to an
+/// untraced run apart from the purely-diagnostic
+/// [`JobStats::stages`](crate::JobStats::stages) blocks — telemetry is
+/// write-only for the allocator (pinned by `tests/obs_determinism.rs`).
+pub fn run_batch_traced<C: CostModel + Sync>(
+    jobs: &[BatchJob],
+    cost: &C,
+    options: &BatchOptions,
+    sink: Option<&TraceSink>,
+) -> BatchReport {
     if jobs.is_empty() {
         return BatchReport {
             outcomes: Vec::new(),
@@ -45,6 +66,7 @@ pub fn run_batch<C: CostModel + Sync>(
 
     let workers = options.workers.max(1).min(jobs.len());
     let cursor = AtomicUsize::new(0);
+    let epoch = Instant::now();
 
     // Each worker drains the shared cursor into a private result list; the
     // lists are concatenated and restored to submission order afterwards, so
@@ -52,12 +74,17 @@ pub fn run_batch<C: CostModel + Sync>(
     let mut collected: Vec<(usize, JobOutcome)> = Vec::with_capacity(jobs.len());
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let cursor = &cursor;
+                scope.spawn(move || {
                     // One allocation workspace per worker, reused across
                     // jobs: the allocator's inner loop is allocation-free
                     // once the scratch buffers have grown to the largest job.
                     let mut scratch = AllocScratch::new();
+                    if options.obs == ObsMode::Trace {
+                        scratch.obs.set_trace_context(worker as u64, epoch);
+                    }
+                    scratch.obs.set_mode(options.obs);
                     let mut local = Vec::new();
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -66,6 +93,9 @@ pub fn run_batch<C: CostModel + Sync>(
                             index,
                             solve_job(index, job, model, options.rtl_vectors, &mut scratch),
                         ));
+                        if let Some(sink) = sink {
+                            sink.append(scratch.obs.drain_events());
+                        }
                     }
                     local
                 })

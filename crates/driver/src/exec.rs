@@ -9,8 +9,13 @@
 //! place is what makes the two front ends bit-identical for the same jobs
 //! (regression-tested in `mwl_serve`'s parity suite).
 
-use mwl_core::{run_portfolio, AllocScratch, CachedCostModel, DpAllocator, PortfolioStats};
+#[cfg(test)]
+use mwl_core::run_portfolio;
+use mwl_core::{
+    run_portfolio_with_scratch, AllocScratch, CachedCostModel, DpAllocator, PortfolioStats,
+};
 use mwl_model::{AreaBreakdown, CostModel, ResourceType};
+use mwl_obs::{ArgValue, Stage};
 
 use crate::job::BatchJob;
 use crate::report::{JobOutcome, JobStats, RtlCheck};
@@ -36,44 +41,72 @@ pub fn solve_job(
     let lambda = job.latency.resolve(&job.graph, cost);
     let mut config = job.config.clone();
     config.latency_constraint = lambda;
+    let solve_timer = scratch.obs.start();
     // Portfolio jobs race the variants sequentially here (workers = 1): the
     // batch is already parallel across jobs, and portfolio results are
     // worker-count-invariant by construction, so nothing observable changes.
+    // Racing through the caller's scratch credits each variant's wall time
+    // to the scratch's stage recorder.
     let solved = match job.portfolio {
-        Some(spec) => run_portfolio(cost, &job.graph, &config, spec, 1).map(|portfolio| {
-            let stats = PortfolioStats::from_outcome(spec.seed, &portfolio);
-            (portfolio.best, Some(stats))
-        }),
+        Some(spec) => run_portfolio_with_scratch(cost, &job.graph, &config, spec, 1, scratch).map(
+            |portfolio| {
+                let stats = PortfolioStats::from_outcome(spec.seed, &portfolio);
+                (portfolio.best, Some(stats))
+            },
+        ),
         None => DpAllocator::new(cost, config)
             .allocate_with_scratch(&job.graph, scratch)
             .map(|outcome| (outcome, None)),
     };
-    let result = solved.map(|(outcome, portfolio)| {
-        // One register binding serves both the certificate and the
-        // breakdown (Datapath::area_breakdown would bind a second time
-        // under non-zero storage coefficients).
-        let binding = outcome.datapath.register_binding(&job.graph, cost);
-        let storage = cost.storage_costs();
-        JobStats {
-            lambda,
-            area: outcome.datapath.area(),
-            area_breakdown: AreaBreakdown {
-                fu: outcome.datapath.area(),
-                register: binding.register_bits() * storage.register_area_per_bit,
-                mux: outcome.datapath.mux_input_bits() * storage.mux_area_per_input_bit,
-            },
-            certificate: binding.certificate,
-            latency: outcome.datapath.latency(),
-            instances: outcome.datapath.num_instances(),
-            refinements: outcome.refinements,
-            bound_escalations: outcome.bound_escalations,
-            merges: outcome.merges,
-            rtl: job
-                .verify_rtl
-                .then(|| rtl_check(index, job, &outcome.datapath, cost, rtl_vectors)),
-            portfolio,
+    let mut result = match solved {
+        Ok((outcome, portfolio)) => {
+            // One register binding serves both the certificate and the
+            // breakdown (Datapath::area_breakdown would bind a second time
+            // under non-zero storage coefficients).
+            let storage_timer = scratch.obs.start();
+            let binding = outcome.datapath.register_binding(&job.graph, cost);
+            scratch.obs.stop(Stage::Storage, storage_timer);
+            let storage = cost.storage_costs();
+            let rtl = job.verify_rtl.then(|| {
+                let rtl_timer = scratch.obs.start();
+                let check = rtl_check(index, job, &outcome.datapath, cost, rtl_vectors);
+                scratch.obs.stop(Stage::Rtl, rtl_timer);
+                check
+            });
+            Ok(JobStats {
+                lambda,
+                area: outcome.datapath.area(),
+                area_breakdown: AreaBreakdown {
+                    fu: outcome.datapath.area(),
+                    register: binding.register_bits() * storage.register_area_per_bit,
+                    mux: outcome.datapath.mux_input_bits() * storage.mux_area_per_input_bit,
+                },
+                certificate: binding.certificate,
+                latency: outcome.datapath.latency(),
+                instances: outcome.datapath.num_instances(),
+                refinements: outcome.refinements,
+                bound_escalations: outcome.bound_escalations,
+                merges: outcome.merges,
+                rtl,
+                portfolio,
+                stages: None,
+            })
         }
-    });
+        Err(e) => Err(e),
+    };
+    scratch.obs.stop_with(
+        Stage::Solve,
+        solve_timer,
+        vec![("job", ArgValue::Int(index as i64))],
+    );
+    // Drain the recorder unconditionally so one job's timing can never leak
+    // into the next; attach it to the stats only when recording was on.
+    let stages = scratch.obs.take_stages();
+    if scratch.obs.enabled() {
+        if let Ok(stats) = &mut result {
+            stats.stages = Some(stages);
+        }
+    }
     JobOutcome {
         index,
         label: job.label.clone(),

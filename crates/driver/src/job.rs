@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use mwl_core::{AllocConfig, PortfolioSpec};
 use mwl_model::{CostModel, Cycles, SequencingGraph};
+use mwl_obs::ObsMode;
 use mwl_sched::{critical_path_length, OpLatencies};
 
 /// A latency budget `λ`, either absolute or relative to the graph's minimum
@@ -131,6 +132,12 @@ pub struct BatchOptions {
     /// Number of random stimulus vectors simulated per job when
     /// [`BatchJob::verify_rtl`] is set (clamped to at least 1 at run time).
     pub rtl_vectors: usize,
+    /// Stage-level telemetry mode (see [`mwl_obs::StageRecorder`]).  Off by
+    /// default; [`ObsMode::Stages`] fills [`crate::JobStats::stages`] per
+    /// job, [`ObsMode::Trace`] additionally emits Chrome trace events
+    /// (collected via [`crate::run_batch_traced`]).  Guaranteed
+    /// non-perturbing: datapath results are bit-identical in every mode.
+    pub obs: ObsMode,
 }
 
 impl BatchOptions {
@@ -162,6 +169,13 @@ impl BatchOptions {
         self.rtl_vectors = vectors.max(1);
         self
     }
+
+    /// Sets the stage-level telemetry mode.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsMode) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 impl Default for BatchOptions {
@@ -172,6 +186,7 @@ impl Default for BatchOptions {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             shared_cost_cache: true,
             rtl_vectors: 4,
+            obs: ObsMode::Off,
         }
     }
 }
@@ -215,6 +230,11 @@ mod tests {
         assert_eq!(BatchOptions::default().rtl_vectors, 4);
         assert_eq!(BatchOptions::default().with_rtl_vectors(0).rtl_vectors, 1);
         assert_eq!(BatchOptions::default().with_rtl_vectors(9).rtl_vectors, 9);
+        assert_eq!(BatchOptions::default().obs, ObsMode::Off);
+        assert_eq!(
+            BatchOptions::sequential().with_obs(ObsMode::Stages).obs,
+            ObsMode::Stages
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ mod exec;
 mod job;
 mod report;
 
-pub use engine::run_batch;
+pub use engine::{run_batch, run_batch_traced};
 pub use exec::{batch_cache, solve_job, width_grid_cache};
 pub use job::{BatchJob, BatchOptions, LatencySpec};
 pub use report::{BatchReport, BatchSummary, JobOutcome, JobStats, RtlCheck};

@@ -4,6 +4,7 @@ use std::fmt;
 
 use mwl_core::{AllocError, BindingCertificate, PortfolioStats};
 use mwl_model::{Area, AreaBreakdown, Cycles};
+use mwl_obs::StageNanos;
 
 /// The outcome of the opt-in RTL equivalence oracle for one job
 /// (see [`crate::BatchJob::verify_rtl`]).
@@ -62,6 +63,11 @@ pub struct JobStats {
     /// [`PortfolioStats::area_saved`] records how much the race improved
     /// on the plain configuration (variant 0).
     pub portfolio: Option<PortfolioStats>,
+    /// Per-stage wall-clock breakdown of the job; `None` unless the batch
+    /// ran with [`crate::BatchOptions::obs`] enabled.  Purely diagnostic:
+    /// two reports that differ only here describe identical datapaths, and
+    /// the obs-off report is byte-identical to pre-telemetry output.
+    pub stages: Option<StageNanos>,
 }
 
 /// The result of one job: its label plus either stats or the allocation
@@ -113,6 +119,9 @@ pub struct BatchSummary {
     pub portfolio_improved: usize,
     /// Total area saved by portfolio winners relative to their baselines.
     pub portfolio_area_saved: Area,
+    /// Element-wise sum of per-job stage breakdowns over jobs that carried
+    /// one (all-zero when the batch ran without telemetry).
+    pub stages: StageNanos,
 }
 
 /// The deterministic result of a batch run.
@@ -155,6 +164,9 @@ impl BatchReport {
                         s.portfolio_jobs += 1;
                         s.portfolio_improved += usize::from(p.winner != 0);
                         s.portfolio_area_saved += p.area_saved;
+                    }
+                    if let Some(stages) = &stats.stages {
+                        s.stages.merge(stages);
                     }
                 }
                 Err(_) => s.failed += 1,
@@ -201,6 +213,9 @@ impl BatchReport {
             s.portfolio_improved,
             s.portfolio_area_saved
         ));
+        if !s.stages.is_zero() {
+            out.push_str(&format!(", \"stages\": {}", stages_json(&s.stages)));
+        }
         out.push_str("},\n  \"outcomes\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
             out.push_str("    {");
@@ -261,6 +276,9 @@ impl BatchReport {
                         }
                         out.push('}');
                     }
+                    if let Some(stages) = &st.stages {
+                        out.push_str(&format!(", \"stages\": {}", stages_json(stages)));
+                    }
                 }
                 Err(e) => out.push_str(&format!(
                     ", \"ok\": false, \"error\": {}",
@@ -316,6 +334,20 @@ impl fmt::Display for BatchReport {
         }
         Ok(())
     }
+}
+
+/// Renders a stage breakdown as a JSON object with `<stage>_ns` keys in
+/// report order.
+fn stages_json(stages: &StageNanos) -> String {
+    let mut out = String::from("{");
+    for (i, (stage, nanos)) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}_ns\": {nanos}", stage.name()));
+    }
+    out.push('}');
+    out
 }
 
 /// Escapes a string as a JSON string literal.
@@ -380,6 +412,7 @@ mod tests {
                             variant0_area: Some(112),
                             area_saved: 12,
                         }),
+                        stages: None,
                     }),
                 },
                 JobOutcome {
@@ -497,6 +530,32 @@ mod tests {
         assert!(r.to_string().contains("rtl FAIL (vector 1 diverged)"));
         assert!(r.to_json().contains("\"passed\": false"));
         assert!(r.to_json().contains("\"failure\": \"vector 1 diverged\""));
+    }
+
+    #[test]
+    fn stage_breakdowns_reach_the_json_report_only_when_present() {
+        let without = sample_report();
+        assert!(!without.to_json().contains("\"stages\""));
+        assert!(without.summary().stages.is_zero());
+
+        let mut with = sample_report();
+        if let Ok(st) = &mut with.outcomes[0].result {
+            let mut stages = StageNanos::default();
+            stages.add(mwl_obs::Stage::Schedule, 1_500);
+            stages.add(mwl_obs::Stage::Solve, 4_000);
+            st.stages = Some(stages);
+        }
+        let summary = with.summary();
+        assert_eq!(summary.stages.get(mwl_obs::Stage::Schedule), 1_500);
+        assert_eq!(summary.stages.get(mwl_obs::Stage::Solve), 4_000);
+        let json = with.to_json();
+        assert!(json.contains("\"stages\": {\"schedule_ns\": 1500, \"bind_ns\": 0"));
+        assert!(json.contains("\"solve_ns\": 4000}"));
+        // Stripping the breakdowns restores the obs-off report exactly.
+        if let Ok(st) = &mut with.outcomes[0].result {
+            st.stages = None;
+        }
+        assert_eq!(with.to_json(), without.to_json());
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Chrome trace-event JSON: the workspace's trace file format.
+//!
+//! [`chrome_trace_json`] renders complete (`"ph":"X"`) duration events in
+//! the [Trace Event Format] consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev).  Timestamps and durations are
+//! written as microseconds with nanosecond precision (three decimals), the
+//! format's native unit.  The output also parses with the strict
+//! hand-rolled JSON parser in `mwl_serve` (`crates/serve/src/json.rs`),
+//! which the round-trip suite pins.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::sync::Mutex;
+
+/// A trace-event argument value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An integer argument.
+    Int(i64),
+    /// A string argument.
+    Str(String),
+}
+
+/// One complete duration event (`"ph":"X"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (a stable span name, e.g. `"schedule"`).
+    pub name: &'static str,
+    /// Event category (e.g. `"alloc"`).
+    pub cat: &'static str,
+    /// Start timestamp in nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Thread id lane the event renders in.
+    pub tid: u64,
+    /// Event arguments, rendered into the `args` object.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A shared, append-only trace collector: workers drain their recorders
+/// into it and the driving layer renders the merged result once at the end.
+///
+/// Events are sorted by `(ts, tid)` at render time, so the file's byte
+/// content depends only on the recorded events, not on append order.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Appends a batch of events.
+    pub fn append(&self, mut events: Vec<TraceEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        self.events
+            .lock()
+            .expect("trace sink poisoned")
+            .append(&mut events);
+    }
+
+    /// Number of events collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// Whether no events have been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sorted copy of the collected events.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut events = self.events.lock().expect("trace sink poisoned").clone();
+        sort_events(&mut events);
+        events
+    }
+
+    /// Renders the collected events as a Chrome trace-event JSON document.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        chrome_trace_json(&self.snapshot())
+    }
+}
+
+fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by(|a, b| {
+        (a.ts_ns, a.tid, a.name, a.dur_ns).cmp(&(b.ts_ns, b.tid, b.name, b.dur_ns))
+    });
+}
+
+/// Microseconds with three decimals (nanosecond precision): the trace
+/// format's native unit, written as an exact decimal so strict parsers read
+/// it back losslessly.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders events as a complete Chrome trace-event JSON document.
+///
+/// The document is an object with a `traceEvents` array of `"ph":"X"`
+/// events — directly loadable in `chrome://tracing` or Perfetto.
+#[must_use]
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape_json(e.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json(e.cat, &mut out);
+        out.push_str("\",\"ph\":\"X\",\"pid\":0,\"tid\":");
+        out.push_str(&e.tid.to_string());
+        out.push_str(",\"ts\":");
+        out.push_str(&micros(e.ts_ns));
+        out.push_str(",\"dur\":");
+        out.push_str(&micros(e.dur_ns));
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (key, value)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(key, &mut out);
+                out.push_str("\":");
+                match value {
+                    ArgValue::Int(v) => out.push_str(&v.to_string()),
+                    ArgValue::Str(s) => {
+                        out.push('"');
+                        escape_json(s, &mut out);
+                        out.push('"');
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str, ts_ns: u64, tid: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: "alloc",
+            ts_ns,
+            dur_ns: 1_234,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_document() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn micros_are_exact_decimals() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn events_render_with_args() {
+        let mut e = event("schedule", 2_500, 3);
+        e.args = vec![
+            ("variant", ArgValue::Int(-2)),
+            ("label", ArgValue::Str("a\"b\\c\n".to_string())),
+        ];
+        let json = chrome_trace_json(&[e]);
+        assert!(json.contains("\"name\":\"schedule\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"ts\":2.500"));
+        assert!(json.contains("\"dur\":1.234"));
+        assert!(json.contains("\"variant\":-2"));
+        assert!(json.contains("\"label\":\"a\\\"b\\\\c\\n\""));
+    }
+
+    #[test]
+    fn sink_merges_and_sorts_deterministically() {
+        let sink = TraceSink::new();
+        sink.append(vec![event("b", 20, 1), event("a", 10, 2)]);
+        sink.append(vec![event("c", 10, 1)]);
+        sink.append(Vec::new());
+        assert_eq!(sink.len(), 3);
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap.iter().map(|e| e.name).collect::<Vec<_>>(),
+            vec!["c", "a", "b"]
+        );
+        // Append order never changes the rendered bytes.
+        let sink2 = TraceSink::new();
+        sink2.append(vec![event("c", 10, 1)]);
+        sink2.append(vec![event("a", 10, 2), event("b", 20, 1)]);
+        assert_eq!(sink.to_chrome_json(), sink2.to_chrome_json());
+    }
+}

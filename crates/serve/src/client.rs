@@ -11,7 +11,9 @@ use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 
-use crate::wire::{CancelOutcome, Request, Response, StatsSnapshot, SubmitRequest, WireOutcome};
+use crate::wire::{
+    CancelOutcome, MetricsReply, Request, Response, StatsSnapshot, SubmitRequest, WireOutcome,
+};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -197,6 +199,20 @@ impl Client {
         self.send(&Request::Stats)?;
         match self.next_control()? {
             Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(ClientError::Unexpected(Box::new(other))),
+        }
+    }
+
+    /// Fetches the server's telemetry snapshot: request-lifecycle latency
+    /// histograms plus dedup counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn metrics(&mut self) -> Result<MetricsReply, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.next_control()? {
+            Response::Metrics(reply) => Ok(reply),
             other => Err(ClientError::Unexpected(Box::new(other))),
         }
     }

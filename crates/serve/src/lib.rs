@@ -86,4 +86,7 @@ pub use client::{Client, ClientError, SubmitAck};
 pub use dedup::{job_key, DedupCache};
 pub use loadgen::{run_loadgen, LoadReport, LoadgenConfig};
 pub use server::{Server, ServerConfig, ServerControl, SpawnedServer};
-pub use wire::{Request, Response, StatsSnapshot, SubmitRequest, WireGraph, WireOutcome};
+pub use wire::{
+    MetricsReply, Request, Response, StatsSnapshot, SubmitRequest, WireGraph, WireHistogram,
+    WireOutcome,
+};

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use mwl_bench::{scenario_jobs, BatchSweepConfig};
 use mwl_driver::BatchJob;
 use mwl_model::AreaBreakdown;
+use mwl_obs::{nearest_rank, Histogram, HistogramSnapshot};
 
 use crate::client::{Client, ClientError, SubmitAck};
 use crate::wire::{
@@ -126,6 +127,12 @@ pub struct LoadReport {
     pub p99_ms: f64,
     /// Mean submit-to-result latency in milliseconds.
     pub mean_ms: f64,
+    /// Log-bucketed digest of the same latency samples in nanoseconds
+    /// (`mwl_obs::Histogram`, ≈3% resolution).  The `latency_ms` block above
+    /// stays the *exact* nearest-rank answer; this block is what a live
+    /// server reports through its `metrics` command, recorded here so the
+    /// two views can be cross-checked.
+    pub latency_hist: HistogramSnapshot,
     /// Wall-clock seconds of the measured waves.
     pub wall_seconds: f64,
     /// Completed jobs per second over the measured waves.
@@ -157,8 +164,9 @@ impl LoadReport {
     #[must_use]
     pub fn to_json(&self) -> String {
         let s = &self.server;
+        let h = &self.latency_hist;
         format!(
-            "{{\n  \"schema\": \"mwl_serve_loadgen/v3\",\n  \"jobs\": {{\"submitted\": {}, \"ok\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n  \"certificate\": \"{}\",\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"portfolio\": {{\"jobs\": {}, \"improved\": {}, \"area_saved\": {}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"skipped_large_queue\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}, \"queue_capacity\": {}}}\n}}\n",
+            "{{\n  \"schema\": \"mwl_serve_loadgen/v4\",\n  \"jobs\": {{\"submitted\": {}, \"ok\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n  \"certificate\": \"{}\",\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"latency_histogram_ns\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"portfolio\": {{\"jobs\": {}, \"improved\": {}, \"area_saved\": {}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"skipped_large_queue\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}, \"queue_capacity\": {}}}\n}}\n",
             self.submitted,
             self.ok,
             self.failed,
@@ -170,6 +178,12 @@ impl LoadReport {
             self.p50_ms,
             self.p99_ms,
             self.mean_ms,
+            h.count,
+            h.min,
+            h.max,
+            h.percentile(50.0),
+            h.percentile(95.0),
+            h.percentile(99.0),
             self.wall_seconds,
             self.graphs_per_sec,
             s.dedup_hits,
@@ -197,15 +211,6 @@ impl LoadReport {
             s.queue_capacity,
         )
     }
-}
-
-/// Nearest-rank percentile of a sorted sample (ms).
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
-    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
 /// Converts one batch job to a wire submission.
@@ -421,6 +426,12 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
     } else {
         sorted.iter().sum::<f64>() / sorted.len() as f64
     };
+    // The same samples, digested the way a live server reports them (the
+    // exact nearest-rank numbers above stay the reference).
+    let hist = Histogram::new();
+    for &ms in &sorted {
+        hist.record((ms * 1e6) as u64);
+    }
     let denominator = server.dedup_hits + server.dedup_misses;
     Ok(LoadReport {
         submitted,
@@ -429,9 +440,10 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         cancelled: pipeline.cancelled,
         rejections: pipeline.rejections,
         queue_full_rejections: pipeline.queue_full,
-        p50_ms: percentile(&sorted, 50.0),
-        p99_ms: percentile(&sorted, 99.0),
+        p50_ms: nearest_rank(&sorted, 50.0),
+        p99_ms: nearest_rank(&sorted, 99.0),
         mean_ms,
+        latency_hist: hist.snapshot(),
         wall_seconds,
         graphs_per_sec: sorted.len() as f64 / wall_seconds,
         dedup_hit_rate: if denominator == 0 {
@@ -588,12 +600,14 @@ mod tests {
 
     #[test]
     fn percentiles_use_nearest_rank() {
+        // The report now leans on the shared helper; these are the exact
+        // semantics the pre-mwl_obs hand-rolled percentile had.
         let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 50.0), 50.0);
-        assert_eq!(percentile(&sorted, 99.0), 99.0);
-        assert_eq!(percentile(&sorted, 100.0), 100.0);
-        assert_eq!(percentile(&[42.0], 50.0), 42.0);
-        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(nearest_rank(&sorted, 50.0), 50.0);
+        assert_eq!(nearest_rank(&sorted, 99.0), 99.0);
+        assert_eq!(nearest_rank(&sorted, 100.0), 100.0);
+        assert_eq!(nearest_rank(&[42.0], 50.0), 42.0);
+        assert_eq!(nearest_rank(&[], 99.0), 0.0);
     }
 
     #[test]
@@ -608,6 +622,12 @@ mod tests {
             p50_ms: 1.5,
             p99_ms: 9.25,
             mean_ms: 2.0,
+            latency_hist: {
+                let h = Histogram::new();
+                h.record(1_500_000);
+                h.record(9_250_000);
+                h.snapshot()
+            },
             wall_seconds: 0.5,
             graphs_per_sec: 20.0,
             dedup_hit_rate: 0.5,
@@ -643,7 +663,8 @@ mod tests {
         };
         let json = report.to_json();
         for key in [
-            "\"schema\": \"mwl_serve_loadgen/v3\"",
+            "\"schema\": \"mwl_serve_loadgen/v4\"",
+            "\"latency_histogram_ns\": {\"count\": 2, \"min\": 1500000, \"max\": 9250000,",
             "\"portfolio\": {\"jobs\": 14, \"improved\": 3, \"area_saved\": 120}",
             "\"area_breakdown\": {\"fu\": 4200, \"register\": 96, \"mux\": 30}",
             "\"certificate\": \"optimal\"",

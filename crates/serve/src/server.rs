@@ -39,11 +39,12 @@ use std::time::Duration;
 use mwl_core::{AllocError, AllocScratch};
 use mwl_driver::{solve_job, width_grid_cache, BatchJob, JobStats};
 use mwl_model::{CostModel, SonicCostModel};
+use mwl_obs::{Histogram, MetricsRegistry, Stopwatch};
 
 use crate::dedup::{job_key, DedupCache};
 use crate::wire::{
-    CancelOutcome, Request, Response, StatsSnapshot, SubmitRequest, WireOutcome,
-    CODE_GRAPH_TOO_LARGE, CODE_INVALID_GRAPH, CODE_QUEUE_FULL, CODE_SHUTTING_DOWN,
+    CancelOutcome, MetricsReply, Request, Response, StatsSnapshot, SubmitRequest, WireHistogram,
+    WireOutcome, CODE_GRAPH_TOO_LARGE, CODE_INVALID_GRAPH, CODE_QUEUE_FULL, CODE_SHUTTING_DOWN,
 };
 
 /// How often blocked threads re-check the stop flag.
@@ -149,6 +150,9 @@ struct Task {
     job: BatchJob,
     /// Dedup content key (when dedup is enabled).
     key: Option<u64>,
+    /// Started at admission; read when a worker pops the task to feed the
+    /// `serve.queue_wait_ns` histogram.
+    admitted: Stopwatch,
     cancelled: AtomicBool,
     state: AtomicU8,
     out: Arc<ConnOut>,
@@ -201,6 +205,45 @@ struct Counters {
     rejected: AtomicU64,
 }
 
+/// Request-lifecycle latency histograms (see `docs/OBSERVABILITY.md` for
+/// the metric taxonomy).  The `Arc` handles are resolved once at startup so
+/// the hot paths record lock-free; the registry itself is kept for the
+/// `metrics` wire command's snapshot.
+///
+/// These clocks time the *service* around the allocator, never the
+/// allocator itself: result payloads stay byte-identical to a direct batch
+/// run (the parity suite), because nothing recorded here flows back into an
+/// allocation decision.
+#[derive(Debug)]
+struct ServeMetrics {
+    registry: MetricsRegistry,
+    /// Admission (post-ack) to a worker popping the task.
+    queue_wait: Arc<Histogram>,
+    /// Dedup-cache lookup, hit or miss.
+    dedup_lookup: Arc<Histogram>,
+    /// The actual solve (dedup misses and dedup-off jobs only).
+    alloc: Arc<Histogram>,
+    /// Encoding the result line.
+    serialize: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let queue_wait = registry.histogram("serve.queue_wait_ns");
+        let dedup_lookup = registry.histogram("serve.dedup_lookup_ns");
+        let alloc = registry.histogram("serve.alloc_ns");
+        let serialize = registry.histogram("serve.serialize_ns");
+        ServeMetrics {
+            registry,
+            queue_wait,
+            dedup_lookup,
+            alloc,
+            serialize,
+        }
+    }
+}
+
 /// State shared by the listener, readers and workers.
 #[derive(Debug)]
 struct Shared {
@@ -210,6 +253,7 @@ struct Shared {
     stop: Arc<AtomicBool>,
     dedup: Option<DedupCache>,
     counters: Counters,
+    metrics: ServeMetrics,
     seq: AtomicU64,
     config: ServerConfig,
 }
@@ -236,6 +280,19 @@ impl Shared {
             in_flight,
             workers: self.config.workers as u64,
             queue_capacity: self.config.queue_capacity as u64,
+        }
+    }
+
+    fn metrics_reply(&self) -> MetricsReply {
+        let snapshot = self.metrics.registry.snapshot();
+        MetricsReply {
+            dedup_hits: self.dedup.as_ref().map_or(0, DedupCache::hits),
+            dedup_misses: self.dedup.as_ref().map_or(0, DedupCache::misses),
+            histograms: snapshot
+                .histograms
+                .iter()
+                .map(|(name, h)| WireHistogram::from_snapshot(name, h))
+                .collect(),
         }
     }
 }
@@ -363,6 +420,7 @@ impl Server {
             stop: Arc::clone(&self.stop),
             dedup: config.dedup.then(DedupCache::new),
             counters: Counters::default(),
+            metrics: ServeMetrics::new(),
             seq: AtomicU64::new(0),
             config,
         };
@@ -419,16 +477,13 @@ fn worker_loop(shared: &Shared, model: &(dyn CostModel + Sync)) {
         };
 
         task.state.store(STATE_RUNNING, Ordering::SeqCst);
-        let line = if task.cancelled.load(Ordering::SeqCst) {
+        shared.metrics.queue_wait.record(task.admitted.elapsed_ns());
+        let outcome = if task.cancelled.load(Ordering::SeqCst) {
             // Cancelled while queued: skip the solve entirely.  The dedup
             // cache is not consulted, so its counters reconcile with jobs
             // actually considered for solving.
             shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-            Response::Result {
-                id: task.client_id,
-                outcome: WireOutcome::Cancelled,
-            }
-            .encode()
+            WireOutcome::Cancelled
         } else {
             let result = solve_or_reuse(shared, model, &task, &mut scratch);
             if task.cancelled.load(Ordering::SeqCst) {
@@ -436,13 +491,9 @@ fn worker_loop(shared: &Shared, model: &(dyn CostModel + Sync)) {
                 // allocator has no preemption points) but the client asked
                 // for — and gets — a cancelled result.
                 shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                Response::Result {
-                    id: task.client_id,
-                    outcome: WireOutcome::Cancelled,
-                }
-                .encode()
+                WireOutcome::Cancelled
             } else {
-                let outcome = match &result {
+                match &result {
                     Ok(stats) => WireOutcome::Ok(stats.into()),
                     Err(e) => {
                         shared.counters.failed.fetch_add(1, Ordering::Relaxed);
@@ -450,14 +501,16 @@ fn worker_loop(shared: &Shared, model: &(dyn CostModel + Sync)) {
                             error: e.to_string(),
                         }
                     }
-                };
-                Response::Result {
-                    id: task.client_id,
-                    outcome,
                 }
-                .encode()
             }
         };
+        let serialize = Stopwatch::start();
+        let line = Response::Result {
+            id: task.client_id,
+            outcome,
+        }
+        .encode();
+        shared.metrics.serialize.record(serialize.elapsed_ns());
         shared.counters.completed.fetch_add(1, Ordering::Relaxed);
         task.out.deliver(task.ordinal, line);
         task.state.store(STATE_DONE, Ordering::SeqCst);
@@ -487,17 +540,25 @@ fn solve_or_reuse(
         // oracle and names the outcome slot, so result payloads depend on
         // nothing but the job content — the invariant the dedup cache and
         // the determinism suite rely on.
-        solve_job(0, &task.job, model, 1, scratch).result
+        let sw = Stopwatch::start();
+        let result = solve_job(0, &task.job, model, 1, scratch).result;
+        shared.metrics.alloc.record(sw.elapsed_ns());
+        result
     };
     match (&shared.dedup, task.key) {
-        (Some(cache), Some(key)) => match cache.lookup(key) {
-            Some(result) => result,
-            None => {
-                let result = solve(scratch);
-                cache.insert(key, result.clone());
-                result
+        (Some(cache), Some(key)) => {
+            let sw = Stopwatch::start();
+            let cached = cache.lookup(key);
+            shared.metrics.dedup_lookup.record(sw.elapsed_ns());
+            match cached {
+                Some(result) => result,
+                None => {
+                    let result = solve(scratch);
+                    cache.insert(key, result.clone());
+                    result
+                }
             }
-        },
+        }
         _ => solve(scratch),
     }
 }
@@ -596,6 +657,10 @@ fn handle_line(
         }
         Ok(Request::Stats) => {
             out.send_line(&Response::Stats(shared.snapshot()).encode());
+            ControlFlow::Continue(())
+        }
+        Ok(Request::Metrics) => {
+            out.send_line(&Response::Metrics(shared.metrics_reply()).encode());
             ControlFlow::Continue(())
         }
         Ok(Request::Cancel { id }) => {
@@ -714,6 +779,7 @@ fn handle_submit(
         ordinal: *next_ordinal,
         job,
         key,
+        admitted: Stopwatch::start(),
         cancelled: AtomicBool::new(false),
         state: AtomicU8::new(STATE_QUEUED),
         out: Arc::clone(out),

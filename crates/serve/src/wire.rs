@@ -391,6 +391,9 @@ pub enum Request {
     },
     /// Request a server statistics snapshot.
     Stats,
+    /// Request the server's telemetry snapshot (request-lifecycle latency
+    /// histograms plus dedup counters).
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Drain all outstanding jobs, then stop the server.
@@ -420,6 +423,7 @@ impl Request {
                 .build()
                 .encode(),
             Request::Stats => ObjectBuilder::new().str("type", "stats").build().encode(),
+            Request::Metrics => ObjectBuilder::new().str("type", "metrics").build().encode(),
             Request::Ping => ObjectBuilder::new().str("type", "ping").build().encode(),
             Request::Shutdown => ObjectBuilder::new()
                 .str("type", "shutdown")
@@ -478,6 +482,7 @@ impl Request {
                     .ok_or_else(|| missing("id"))?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError(format!("unknown request type '{other}'"))),
@@ -633,6 +638,58 @@ pub struct StatsSnapshot {
     pub queue_capacity: u64,
 }
 
+/// One latency histogram in wire form: an integer digest (count, sum,
+/// min/max and the p50/p95/p99 quantiles in nanoseconds) of a
+/// [`mwl_obs::Histogram`], not the raw buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Metric name (e.g. `"serve.queue_wait_ns"`).
+    pub name: String,
+    /// Recorded samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Exact smallest sample (`0` when empty).
+    pub min: u64,
+    /// Exact largest sample (`0` when empty).
+    pub max: u64,
+    /// Median (≈3% bucket resolution).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl WireHistogram {
+    /// Digests a histogram snapshot under its registry name.
+    #[must_use]
+    pub fn from_snapshot(name: &str, h: &mwl_obs::HistogramSnapshot) -> Self {
+        WireHistogram {
+            name: name.to_string(),
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+        }
+    }
+}
+
+/// A server telemetry snapshot: the request-lifecycle latency histograms
+/// plus the dedup counters, name-sorted so the encoding is canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReply {
+    /// Dedup-cache hits.
+    pub dedup_hits: u64,
+    /// Dedup-cache misses (jobs actually solved).
+    pub dedup_misses: u64,
+    /// Latency histograms in registry (lexicographic) order.
+    pub histograms: Vec<WireHistogram>,
+}
+
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -668,6 +725,8 @@ pub enum Response {
     },
     /// Answer to a stats request.
     Stats(StatsSnapshot),
+    /// Answer to a metrics request.
+    Metrics(MetricsReply),
     /// Answer to a ping.
     Pong,
     /// All outstanding jobs have drained; the server is stopping.
@@ -770,6 +829,31 @@ impl Response {
                 .uint("queue_capacity", s.queue_capacity)
                 .build()
                 .encode(),
+            Response::Metrics(m) => {
+                let histograms = m
+                    .histograms
+                    .iter()
+                    .map(|h| {
+                        ObjectBuilder::new()
+                            .str("name", &h.name)
+                            .uint("count", h.count)
+                            .uint("sum", h.sum)
+                            .uint("min", h.min)
+                            .uint("max", h.max)
+                            .uint("p50", h.p50)
+                            .uint("p95", h.p95)
+                            .uint("p99", h.p99)
+                            .build()
+                    })
+                    .collect();
+                ObjectBuilder::new()
+                    .str("type", "metrics")
+                    .uint("dedup_hits", m.dedup_hits)
+                    .uint("dedup_misses", m.dedup_misses)
+                    .field("histograms", Json::Array(histograms))
+                    .build()
+                    .encode()
+            }
             Response::Pong => ObjectBuilder::new().str("type", "pong").build().encode(),
             Response::ShutdownAck { drained } => ObjectBuilder::new()
                 .str("type", "shutdown_ack")
@@ -941,6 +1025,44 @@ impl Response {
                     in_flight: u("in_flight")?,
                     workers: u("workers")?,
                     queue_capacity: u("queue_capacity")?,
+                }))
+            }
+            "metrics" => {
+                let u = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| missing(key))
+                };
+                let mut histograms = Vec::new();
+                for h in v
+                    .get("histograms")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| missing("histograms"))?
+                {
+                    let hu = |key: &str| {
+                        h.get(key)
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| missing(key))
+                    };
+                    histograms.push(WireHistogram {
+                        name: h
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| missing("name"))?
+                            .to_string(),
+                        count: hu("count")?,
+                        sum: hu("sum")?,
+                        min: hu("min")?,
+                        max: hu("max")?,
+                        p50: hu("p50")?,
+                        p95: hu("p95")?,
+                        p99: hu("p99")?,
+                    });
+                }
+                Ok(Response::Metrics(MetricsReply {
+                    dedup_hits: u("dedup_hits")?,
+                    dedup_misses: u("dedup_misses")?,
+                    histograms,
                 }))
             }
             "pong" => Ok(Response::Pong),
@@ -1152,6 +1274,32 @@ mod tests {
                 workers: 2,
                 queue_capacity: 64,
             }),
+            Response::Metrics(MetricsReply {
+                dedup_hits: 4,
+                dedup_misses: 6,
+                histograms: vec![
+                    WireHistogram {
+                        name: "serve.alloc_ns".into(),
+                        count: 10,
+                        sum: 5_000_000,
+                        min: 100_000,
+                        max: 900_000,
+                        p50: 480_000,
+                        p95: 880_000,
+                        p99: 900_000,
+                    },
+                    WireHistogram {
+                        name: "serve.queue_wait_ns".into(),
+                        count: 0,
+                        sum: 0,
+                        min: 0,
+                        max: 0,
+                        p50: 0,
+                        p95: 0,
+                        p99: 0,
+                    },
+                ],
+            }),
             Response::Pong,
             Response::ShutdownAck { drained: 3 },
             Response::Error {
@@ -1163,6 +1311,27 @@ mod tests {
             assert_eq!(Response::parse(&line).unwrap(), response, "{line}");
             assert_eq!(Response::parse(&line).unwrap().encode(), line);
         }
+    }
+
+    #[test]
+    fn metrics_request_round_trips_and_digest_matches_histogram() {
+        let line = Request::Metrics.encode();
+        assert_eq!(line, r#"{"type":"metrics"}"#);
+        assert_eq!(Request::parse(&line).unwrap(), Request::Metrics);
+
+        // The wire digest is exactly the snapshot's integer summary.
+        let h = mwl_obs::Histogram::new();
+        for v in [1_000u64, 2_000, 3_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let wire = WireHistogram::from_snapshot("serve.alloc_ns", &snap);
+        assert_eq!(wire.count, 3);
+        assert_eq!(wire.sum, 6_000);
+        assert_eq!(wire.min, 1_000);
+        assert_eq!(wire.max, 3_000);
+        assert_eq!(wire.p50, snap.percentile(50.0));
+        assert_eq!(wire.p99, snap.percentile(99.0));
     }
 
     #[test]

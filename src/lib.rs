@@ -6,6 +6,8 @@
 //! examples, integration tests and downstream users can depend on a single
 //! crate:
 //!
+//! * [`obs`] — zero-dependency telemetry: stage spans, metrics, Chrome
+//!   traces, provably non-perturbing ([`mwl_obs`]);
 //! * [`model`] — operations, wordlengths, resource types, cost models and the
 //!   sequencing graph ([`mwl_model`]);
 //! * [`sched`] — ASAP/ALAP and resource-constrained list scheduling with the
@@ -84,6 +86,61 @@
 /// ```
 pub mod model {
     pub use mwl_model::*;
+}
+
+/// Zero-dependency telemetry: hierarchical stage spans, a metrics registry
+/// (counters, gauges, log-bucketed histograms), Chrome trace-event and
+/// metrics-snapshot JSON writers.
+///
+/// The defining invariant — pinned by `crates/core/tests/obs_identity.rs`
+/// and `crates/driver/tests/obs_determinism.rs`, and measured by the
+/// committed `BENCH_obs.json` gate — is that recording is **non-perturbing**:
+/// allocation results are bit-identical with observability off, in
+/// stage-timing mode and in full trace mode, at every worker count.  See
+/// `docs/OBSERVABILITY.md` for the span taxonomy and metric names.
+///
+/// # Examples
+///
+/// Time the allocator's internal stages through the scratch-state recorder
+/// (the batch driver and daemon drive the same hooks):
+///
+/// ```
+/// use mwl::obs::{ObsMode, Stage};
+/// use mwl::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut generator = TgffGenerator::new(TgffConfig::with_ops(10), 5);
+/// let graph = generator.generate();
+/// let cost = SonicCostModel::default();
+/// let native = OpLatencies::from_fn(&graph, |op| cost.native_latency(op.shape()));
+/// let lambda = critical_path_length(&graph, &native) + 2;
+///
+/// let mut scratch = AllocScratch::new();
+/// scratch.obs.set_mode(ObsMode::Stages);
+/// DpAllocator::new(&cost, AllocConfig::new(lambda))
+///     .allocate_with_scratch(&graph, &mut scratch)?;
+/// let stages = scratch.obs.take_stages();
+/// assert!(stages.get(Stage::Schedule) > 0);
+/// assert!(stages.get(Stage::Bind) > 0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Aggregate service-style metrics and render the snapshot document:
+///
+/// ```
+/// use mwl::obs::{MetricsRegistry, Stopwatch};
+///
+/// let registry = MetricsRegistry::new();
+/// let latency = registry.histogram("request_ns");
+/// let clock = Stopwatch::start();
+/// registry.counter("requests").add(1);
+/// latency.record(clock.elapsed_ns().max(1));
+/// let snapshot = registry.snapshot();
+/// assert!(snapshot.to_json().contains("\"schema\":\"mwl_obs_metrics_v1\""));
+/// ```
+pub mod obs {
+    pub use mwl_obs::*;
 }
 
 /// ASAP/ALAP, list scheduling and scheduling-set computation.
@@ -1005,6 +1062,7 @@ pub mod prelude {
         AreaBreakdown, CostModel, Cycles, OpId, OpKind, OpShape, Operation, ResourceClass,
         ResourceType, SequencingGraph, SequencingGraphBuilder, SonicCostModel, StorageCosts,
     };
+    pub use mwl_obs::{ObsMode, Stage, StageNanos, Stopwatch};
     pub use mwl_optimal::{ExhaustiveAllocator, IlpAllocator};
     pub use mwl_rtl::{
         check_equivalence, emit_verilog, evaluate_reference, lower_datapath, random_vectors,
