@@ -6,7 +6,7 @@
 //!
 //! Exit codes: 0 success; 1 a hard gate failed (bit-identity broken, or the
 //! multi-core ≥2× check failed on a ≥4-core machine, or `--enforce` and the
-//! single-thread speedup is below 3×); 2 usage error.
+//! single-thread speedup is below 6×); 2 usage error.
 
 use mwl_bench::{
     run_perf_gate, MultiCoreStatus, PerfGateConfig, MULTI_CORE_TARGET, SINGLE_THREAD_TARGET,

@@ -54,8 +54,8 @@ pub use obs::{
     ENABLED_OVERHEAD_LIMIT, TRACE_OVERHEAD_LIMIT,
 };
 pub use perf::{
-    run_perf_gate, MultiCoreStatus, PerfGateConfig, PerfGateResults, WorkerRow, MULTI_CORE_TARGET,
-    SINGLE_THREAD_TARGET,
+    run_perf_gate, MultiCoreStatus, PerfGateConfig, PerfGateResults, StageRow, WorkerRow,
+    MULTI_CORE_TARGET, SINGLE_THREAD_TARGET,
 };
 pub use portfolio::{
     run_portfolio_gate, FamilyGateRow, IlpGapRow, PortfolioGateConfig, PortfolioGateResults,

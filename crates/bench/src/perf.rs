@@ -14,19 +14,36 @@
 //! 4-worker/1-worker speedup; on machines with fewer than 4 cores the ≥2×
 //! check is *skipped, not failed* (the ROADMAP multi-core item), so the gate
 //! stays green in single-core containers while the claim is re-checked
-//! automatically the moment CI lands on real hardware.
+//! automatically the moment CI lands on real hardware.  Worker rows beyond
+//! the core count are additionally labelled `noise_limited`: their numbers
+//! are recorded but carry no scaling signal.
+//!
+//! **v2** additionally commits a per-stage before/after breakdown: both the
+//! retained Vec/`BTreeSet` oracle kernels ([`mwl_wcg::KernelMode::Oracle`],
+//! the "before" arm) and the word-parallel bitset kernels
+//! ([`mwl_wcg::KernelMode::Bitset`], the "after" arm) run through the same
+//! allocator loop under [`mwl_obs::ObsMode::Stages`], and the fastest
+//! repetition's [`mwl_obs::StageNanos`] lands in the `stages` block of
+//! `BENCH_alloc.json`.  Timed regions measure the allocator only: per-job
+//! latency-spec resolution and config setup happen once, before any clock
+//! starts, and are shared by every arm.
 
 use std::time::Instant;
 
-use mwl_core::{reference, AllocError, AllocOutcome, AllocScratch, CachedCostModel, DpAllocator};
+use mwl_core::{
+    reference, AllocConfig, AllocError, AllocOutcome, AllocScratch, CachedCostModel, DpAllocator,
+};
 use mwl_driver::{run_batch, BatchJob, BatchOptions};
 use mwl_model::{AreaBreakdown, SonicCostModel};
+use mwl_obs::{ObsMode, Stage, StageNanos};
+use mwl_wcg::KernelMode;
 
 use crate::batch::{scenario_jobs, BatchSweepConfig};
 
 /// Required single-thread speedup of the optimized allocator over the frozen
-/// reference (the PR's headline acceptance criterion).
-pub const SINGLE_THREAD_TARGET: f64 = 3.0;
+/// reference (the PR's headline acceptance criterion, raised from 3× by the
+/// round-2 bitset-kernel PR).
+pub const SINGLE_THREAD_TARGET: f64 = 6.0;
 
 /// Required 4-worker speedup over 1 worker on a ≥4-core machine.
 pub const MULTI_CORE_TARGET: f64 = 2.0;
@@ -80,6 +97,22 @@ pub struct WorkerRow {
     pub graphs_per_sec: f64,
     /// Whether the report was bit-identical to the 1-worker reference run.
     pub identical: bool,
+    /// `"ok"`, or `"noise_limited"` when the machine has fewer cores than
+    /// workers — the row's throughput then measures scheduler noise, not
+    /// scaling, and must not be read as a regression.
+    pub status: &'static str,
+}
+
+/// Fastest-repetition nanoseconds of one allocator stage, oracle kernels
+/// (`before`) vs bitset kernels (`after`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRow {
+    /// Stage name (see [`mwl_obs::Stage::name`]).
+    pub stage: &'static str,
+    /// Nanoseconds under [`KernelMode::Oracle`].
+    pub before_ns: u64,
+    /// Nanoseconds under [`KernelMode::Bitset`].
+    pub after_ns: u64,
 }
 
 /// Outcome of the ≥2× @ 4-worker multi-core check.
@@ -131,6 +164,9 @@ pub struct PerfGateResults {
     pub identical_merging_off: bool,
     /// Driver throughput per worker count (`identical` vs the 1-worker run).
     pub workers: Vec<WorkerRow>,
+    /// Per-stage before/after nanoseconds (oracle vs bitset kernels), only
+    /// stages the allocator loop actually exercised.
+    pub stages: Vec<StageRow>,
     /// 4-worker/1-worker speedup when measured.
     pub multi_core_speedup: Option<f64>,
     /// Status of the multi-core check.
@@ -170,11 +206,18 @@ impl PerfGateResults {
             "bit-identical: merging on {}, merging off {}\n",
             self.identical_merging_on, self.identical_merging_off
         ));
-        out.push_str("workers   seconds   graphs/sec   identical\n");
+        out.push_str("workers   seconds   graphs/sec   identical   status\n");
         for w in &self.workers {
             out.push_str(&format!(
-                "{:>7} {:>9.4} {:>12.1} {:>11}\n",
-                w.workers, w.seconds, w.graphs_per_sec, w.identical
+                "{:>7} {:>9.4} {:>12.1} {:>11}   {}\n",
+                w.workers, w.seconds, w.graphs_per_sec, w.identical, w.status
+            ));
+        }
+        out.push_str("stage      before(oracle) ns   after(bitset) ns\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:>8} {:>19} {:>18}\n",
+                s.stage, s.before_ns, s.after_ns
             ));
         }
         out.push_str(&format!(
@@ -192,7 +235,7 @@ impl PerfGateResults {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"mwl_perf_gate_v1\",\n");
+        out.push_str("  \"schema\": \"mwl_perf_gate_v2\",\n");
         out.push_str(&format!(
             "  \"scenario\": \"{}\",\n  \"jobs\": {},\n  \"cores\": {},\n  \"repetitions\": {},\n",
             self.scenario, self.jobs, self.cores, self.repetitions
@@ -220,12 +263,24 @@ impl PerfGateResults {
         out.push_str("  \"throughput\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"workers\": {}, \"seconds\": {:.6}, \"graphs_per_sec\": {:.3}, \"identical\": {}}}{}\n",
+                "    {{\"workers\": {}, \"seconds\": {:.6}, \"graphs_per_sec\": {:.3}, \"identical\": {}, \"status\": \"{}\"}}{}\n",
                 w.workers,
                 w.seconds,
                 w.graphs_per_sec,
                 w.identical,
+                w.status,
                 if i + 1 < self.workers.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"before_ns\": {}, \"after_ns\": {}}}{}\n",
+                s.stage,
+                s.before_ns,
+                s.after_ns,
+                if i + 1 < self.stages.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n");
@@ -241,32 +296,50 @@ impl PerfGateResults {
     }
 }
 
-/// Resolved per-job allocation inputs of the mix.
-fn job_outcomes(
+/// Resolves each job's latency spec and merging flag into a ready-to-run
+/// [`AllocConfig`] — the per-job setup every measurement arm shares, done
+/// once so no timed region pays for it.
+fn resolved_configs(
     jobs: &[BatchJob],
     cache: &CachedCostModel<'_>,
     merging: bool,
-    optimized: bool,
-    scratch: &mut AllocScratch,
-) -> Vec<Result<AllocOutcome, AllocError>> {
+) -> Vec<AllocConfig> {
     jobs.iter()
         .map(|job| {
             let mut config = job.config.clone();
             config.latency_constraint = job.latency.resolve(&job.graph, cache);
             config.instance_merging = merging;
+            config
+        })
+        .collect()
+}
+
+/// Per-job allocation outcomes of the mix under pre-resolved configs.
+fn job_outcomes(
+    jobs: &[BatchJob],
+    configs: &[AllocConfig],
+    cache: &CachedCostModel<'_>,
+    optimized: bool,
+    scratch: &mut AllocScratch,
+) -> Vec<Result<AllocOutcome, AllocError>> {
+    jobs.iter()
+        .zip(configs)
+        .map(|(job, config)| {
             if optimized {
-                DpAllocator::new(cache, config).allocate_with_scratch(&job.graph, scratch)
+                DpAllocator::new(cache, config.clone()).allocate_with_scratch(&job.graph, scratch)
             } else {
-                reference::allocate_with_stats(cache, &config, &job.graph)
+                reference::allocate_with_stats(cache, config, &job.graph)
             }
         })
         .collect()
 }
 
 /// Times one single-thread pass over the mix, returning the fastest
-/// repetition in seconds.
+/// repetition in seconds.  Configs are pre-resolved; the clock covers only
+/// the allocator.
 fn time_single_thread(
     jobs: &[BatchJob],
+    configs: &[AllocConfig],
     cache: &CachedCostModel<'_>,
     repetitions: usize,
     optimized: bool,
@@ -275,12 +348,60 @@ fn time_single_thread(
     let mut best = f64::INFINITY;
     for _ in 0..repetitions.max(1) {
         let started = Instant::now();
-        let outcomes = job_outcomes(jobs, cache, true, optimized, &mut scratch);
+        let outcomes = job_outcomes(jobs, configs, cache, optimized, &mut scratch);
         let elapsed = started.elapsed().as_secs_f64();
         assert_eq!(outcomes.len(), jobs.len());
         best = best.min(elapsed);
     }
     best.max(1e-9)
+}
+
+/// Stage-attributed nanoseconds of the fastest full pass over the mix under
+/// the given kernel mode, recorded via [`ObsMode::Stages`].
+fn stage_profile(
+    jobs: &[BatchJob],
+    configs: &[AllocConfig],
+    cache: &CachedCostModel<'_>,
+    repetitions: usize,
+    mode: KernelMode,
+) -> StageNanos {
+    let mut scratch = AllocScratch::new();
+    scratch.set_kernel_mode(mode);
+    // Warm pass: fault in every scratch buffer before the measured reps.
+    let _ = job_outcomes(jobs, configs, cache, true, &mut scratch);
+    scratch.obs.set_mode(ObsMode::Stages);
+    let mut best_wall = f64::INFINITY;
+    let mut best = StageNanos::default();
+    for _ in 0..repetitions.max(1) {
+        scratch.obs.take_stages();
+        let started = Instant::now();
+        let outcomes = job_outcomes(jobs, configs, cache, true, &mut scratch);
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(outcomes.len(), jobs.len());
+        let nanos = scratch.obs.take_stages();
+        if elapsed < best_wall {
+            best_wall = elapsed;
+            best = nanos;
+        }
+    }
+    best
+}
+
+/// Joins the oracle/bitset stage profiles into [`StageRow`]s, keeping only
+/// stages the allocator loop exercised.
+fn stage_rows(before: &StageNanos, after: &StageNanos) -> Vec<StageRow> {
+    Stage::ALL
+        .iter()
+        .filter_map(|&stage| {
+            let before_ns = before.get(stage);
+            let after_ns = after.get(stage);
+            (before_ns > 0 || after_ns > 0).then_some(StageRow {
+                stage: stage.name(),
+                before_ns,
+                after_ns,
+            })
+        })
+        .collect()
 }
 
 /// Runs the full perf gate (see the module docs).
@@ -293,21 +414,46 @@ pub fn run_perf_gate(config: &PerfGateConfig) -> PerfGateResults {
         cache.warm_graph(&job.graph);
     }
 
+    // Per-job configs, resolved once and shared by every arm below.
+    let merging_on = resolved_configs(&jobs, &cache, true);
+    let merging_off = resolved_configs(&jobs, &cache, false);
+
     // Bit-identity, merging on and off (the hard gate).
     let mut scratch = AllocScratch::new();
-    let identical_merging_on = job_outcomes(&jobs, &cache, true, true, &mut scratch)
-        == job_outcomes(&jobs, &cache, true, false, &mut scratch);
-    let identical_merging_off = job_outcomes(&jobs, &cache, false, true, &mut scratch)
-        == job_outcomes(&jobs, &cache, false, false, &mut scratch);
+    let identical_merging_on = job_outcomes(&jobs, &merging_on, &cache, true, &mut scratch)
+        == job_outcomes(&jobs, &merging_on, &cache, false, &mut scratch);
+    let identical_merging_off = job_outcomes(&jobs, &merging_off, &cache, true, &mut scratch)
+        == job_outcomes(&jobs, &merging_off, &cache, false, &mut scratch);
 
     // Single-thread throughput, frozen reference vs optimized.
-    let reference_seconds = time_single_thread(&jobs, &cache, config.repetitions, false);
-    let optimized_seconds = time_single_thread(&jobs, &cache, config.repetitions, true);
+    let reference_seconds =
+        time_single_thread(&jobs, &merging_on, &cache, config.repetitions, false);
+    let optimized_seconds =
+        time_single_thread(&jobs, &merging_on, &cache, config.repetitions, true);
     let reference_graphs_per_sec = jobs.len() as f64 / reference_seconds;
     let optimized_graphs_per_sec = jobs.len() as f64 / optimized_seconds;
 
+    // Per-stage before/after attribution: oracle vs bitset kernels through
+    // the same loop, fastest repetition each.
+    let oracle_stages = stage_profile(
+        &jobs,
+        &merging_on,
+        &cache,
+        config.repetitions,
+        KernelMode::Oracle,
+    );
+    let bitset_stages = stage_profile(
+        &jobs,
+        &merging_on,
+        &cache,
+        config.repetitions,
+        KernelMode::Bitset,
+    );
+    let stages = stage_rows(&oracle_stages, &bitset_stages);
+
     // Driver throughput per worker count, identity-checked against the
     // 1-worker report.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let reference_report = run_batch(&jobs, &cost, &BatchOptions::sequential());
     let mut workers = Vec::new();
     for &count in &config.worker_counts {
@@ -325,10 +471,9 @@ pub fn run_perf_gate(config: &PerfGateConfig) -> PerfGateResults {
             seconds,
             graphs_per_sec: jobs.len() as f64 / seconds,
             identical,
+            status: if cores < count { "noise_limited" } else { "ok" },
         });
     }
-
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let gps_at = |count: usize| {
         workers
             .iter()
@@ -362,6 +507,7 @@ pub fn run_perf_gate(config: &PerfGateConfig) -> PerfGateResults {
         identical_merging_on,
         identical_merging_off,
         workers,
+        stages,
         multi_core_speedup,
         multi_core_status,
     }
@@ -388,6 +534,21 @@ mod tests {
         assert!(results.optimized_graphs_per_sec > 0.0);
         assert!(results.speedup > 0.0);
         assert_eq!(results.workers.len(), 2);
+        // The loop always schedules and binds, so those stages must be
+        // attributed in both arms.
+        for name in ["schedule", "bind"] {
+            let row = results
+                .stages
+                .iter()
+                .find(|s| s.stage == name)
+                .unwrap_or_else(|| panic!("missing stage row {name}"));
+            assert!(row.before_ns > 0, "empty before arm for {name}");
+            assert!(row.after_ns > 0, "empty after arm for {name}");
+        }
+        for w in &results.workers {
+            assert!(w.status == "ok" || w.status == "noise_limited");
+            assert_eq!(w.status == "noise_limited", results.cores < w.workers);
+        }
     }
 
     #[test]
@@ -395,12 +556,16 @@ mod tests {
         let results = run_perf_gate(&tiny());
         let json = results.to_json();
         for key in [
-            "\"schema\": \"mwl_perf_gate_v1\"",
+            "\"schema\": \"mwl_perf_gate_v2\"",
             "\"scenario\": \"test_tiny\"",
             "\"area_breakdown\": {\"fu\": ",
             "\"single_thread\"",
             "\"bit_identical\"",
             "\"throughput\"",
+            "\"stages\"",
+            "\"before_ns\"",
+            "\"after_ns\"",
+            "\"status\"",
             "\"multi_core\"",
             "\"target_speedup\"",
         ] {

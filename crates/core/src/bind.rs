@@ -19,7 +19,7 @@
 //!    deleted, compensating for the greediness of earlier selections.
 
 use mwl_model::OpId;
-use mwl_wcg::WordlengthCompatibilityGraph;
+use mwl_wcg::{KernelMode, WordlengthCompatibilityGraph};
 
 use crate::datapath::ResourceInstance;
 use crate::error::AllocError;
@@ -57,30 +57,71 @@ pub fn bind_select(
     wcg: &WordlengthCompatibilityGraph,
     options: BindSelectOptions,
 ) -> Result<Vec<ResourceInstance>, AllocError> {
-    bind_select_with_scratch(wcg, options, &mut BindScratch::default())
+    let mut scratch = BindScratch::default();
+    bind_select_with_scratch(wcg, options, &mut scratch)?;
+    Ok(materialize_instances(wcg, &scratch))
+}
+
+/// Builds the [`ResourceInstance`] list from the cliques a
+/// [`bind_select_with_scratch`] call left in the scratch — paid only when a
+/// binding is actually kept (the allocator materialises the feasible
+/// iteration's binding, not every iteration's).
+pub(crate) fn materialize_instances(
+    wcg: &WordlengthCompatibilityGraph,
+    scratch: &BindScratch,
+) -> Vec<ResourceInstance> {
+    (0..scratch.clique_count)
+        .map(|k| {
+            ResourceInstance::new(
+                *wcg.resource(scratch.clique_res[k]),
+                scratch.clique_ops[k].clone(),
+            )
+        })
+        .collect()
 }
 
 /// The scratch-reusing form of [`bind_select`] the allocator's inner loop
 /// runs once per refinement iteration (one [`crate::AllocScratch`] per
-/// driver worker).  Decisions are identical to [`bind_select`].
+/// driver worker).  Decisions are identical to [`bind_select`]; the selected
+/// cliques are left in the scratch's pooled arrays (see
+/// [`materialize_instances`]) and their number is returned.
 pub(crate) fn bind_select_with_scratch(
     wcg: &WordlengthCompatibilityGraph,
     options: BindSelectOptions,
     scratch: &mut BindScratch,
-) -> Result<Vec<ResourceInstance>, AllocError> {
+) -> Result<usize, AllocError> {
     let n = wcg.num_ops();
+    let words = wcg.op_mask_words();
+    let bitset = wcg.kernel_mode() == KernelMode::Bitset;
     let BindScratch {
         covered,
         chain,
         chain_buf,
         best_chain,
         union,
+        clique_ops,
+        clique_res,
+        clique_masks,
+        new_mask,
+        union_mask,
+        uncovered_mask,
+        clique_count: clique_slot,
     } = scratch;
     covered.clear();
     covered.resize(n, false);
+    union_mask.clear();
+    union_mask.resize(words, 0);
+    uncovered_mask.clear();
+    uncovered_mask.resize(words, 0);
+    for i in 0..n {
+        uncovered_mask[i / 64] |= 1u64 << (i % 64);
+    }
     let mut remaining = n;
-    // Selected cliques: operations + chosen resource index.
-    let mut cliques: Vec<(Vec<OpId>, usize)> = Vec::new();
+    // Selected cliques live in the pooled parallel arrays `clique_ops` /
+    // `clique_res` / `clique_masks` (one `words`-sized chunk per clique);
+    // only the first `clique_count` slots are active, the rest keep their
+    // capacity warm across rounds and jobs.
+    let mut clique_count = 0usize;
 
     while remaining > 0 {
         // Find, per resource type, a maximum clique of uncovered operations
@@ -88,6 +129,21 @@ pub(crate) fn bind_select_with_scratch(
         let mut best: Option<usize> = None;
         let mut best_key = (0.0f64, 0usize, u64::MAX);
         for r in 0..wcg.resources().len() {
+            if bitset {
+                // The uncovered candidate count bounds any chain's length,
+                // so a resource whose count/area ratio already falls short
+                // of the incumbent (beyond the tie tolerance) cannot win —
+                // skip it without running the chain DP.  A zero count is
+                // the `chain_buf.is_empty()` case below.
+                let count = wcg.mask_candidate_count(uncovered_mask, r);
+                if count == 0 {
+                    continue;
+                }
+                let area = wcg.resource_area(r).max(1);
+                if best.is_some() && (count as f64 / area as f64) < best_key.0 - f64::EPSILON {
+                    continue;
+                }
+            }
             wcg.max_chain_into(r, covered, chain, chain_buf);
             if chain_buf.is_empty() {
                 continue;
@@ -121,35 +177,78 @@ pub(crate) fn bind_select_with_scratch(
 
         for &op in best_chain.iter() {
             covered[op.index()] = true;
+            uncovered_mask[op.index() / 64] &= !(1u64 << (op.index() % 64));
         }
         remaining -= best_chain.len();
-        let mut new_clique = (best_chain.clone(), resource);
+        // The new clique grows in `best_chain` itself (the next selection
+        // round overwrites it via the swap above); its operation bitset
+        // lives in `new_mask`.
+        if bitset {
+            new_mask.clear();
+            new_mask.resize(words, 0);
+            for &op in best_chain.iter() {
+                new_mask[op.index() / 64] |= 1u64 << (op.index() % 64);
+            }
+        }
 
         if options.grow_cliques {
             // Try to grow the new clique to absorb previously selected
             // cliques; absorbed cliques are deleted (their resource cost is
-            // saved).
+            // saved).  The bitset kernels test cover and chainness on the
+            // word-parallel union mask; the oracle kernels materialise the
+            // union operation list — decisions are identical.
             let mut i = 0;
-            while i < cliques.len() {
-                union.clear();
-                union.extend(new_clique.0.iter().chain(cliques[i].0.iter()).copied());
-                let resource_covers_union = union.iter().all(|&o| wcg.has_edge(o, new_clique.1));
-                if resource_covers_union && wcg.is_chain(union) {
-                    std::mem::swap(&mut new_clique.0, union);
-                    cliques.remove(i);
+            while i < clique_count {
+                let absorbs = if bitset {
+                    for w in 0..words {
+                        union_mask[w] = new_mask[w] | clique_masks[i * words + w];
+                    }
+                    wcg.mask_covered_by(union_mask, resource) && wcg.mask_is_chain(union_mask)
+                } else {
+                    union.clear();
+                    union.extend(best_chain.iter().chain(clique_ops[i].iter()).copied());
+                    union.iter().all(|&o| wcg.has_edge(o, resource)) && wcg.is_chain(union)
+                };
+                if absorbs {
+                    // Swallow clique `i`: append its operations to the new
+                    // clique and close the gap, preserving selection order.
+                    // The absorbed slot's buffer rotates past the active
+                    // range and is reused by a later selection.
+                    best_chain.extend_from_slice(&clique_ops[i]);
+                    clique_ops[i..clique_count].rotate_left(1);
+                    clique_res.copy_within(i + 1..clique_count, i);
+                    if bitset {
+                        new_mask.copy_from_slice(&union_mask[..words]);
+                        clique_masks.copy_within((i + 1) * words..clique_count * words, i * words);
+                    }
+                    clique_count -= 1;
                 } else {
                     i += 1;
                 }
             }
         }
 
-        cliques.push(new_clique);
+        // Append the (possibly grown) new clique to the active range.
+        if clique_ops.len() == clique_count {
+            clique_ops.push(Vec::new());
+        }
+        if clique_res.len() == clique_count {
+            clique_res.push(0);
+        }
+        clique_ops[clique_count].clear();
+        clique_ops[clique_count].extend_from_slice(best_chain);
+        clique_res[clique_count] = resource;
+        if bitset {
+            if clique_masks.len() < (clique_count + 1) * words {
+                clique_masks.resize((clique_count + 1) * words, 0);
+            }
+            clique_masks[clique_count * words..][..words].copy_from_slice(new_mask);
+        }
+        clique_count += 1;
     }
 
-    Ok(cliques
-        .into_iter()
-        .map(|(ops, r)| ResourceInstance::new(*wcg.resource(r), ops))
-        .collect())
+    *clique_slot = clique_count;
+    Ok(clique_count)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::bind::{bind_select_with_scratch, BindSelectOptions};
+use crate::bind::{bind_select_with_scratch, materialize_instances, BindSelectOptions};
 use crate::datapath::Datapath;
 use crate::error::AllocError;
 use crate::merge::merge_instances_with_scratch;
@@ -223,6 +223,25 @@ impl<'a> DpAllocator<'a> {
             });
         }
 
+        // The compatibility graph depends only on the graph and cost model,
+        // not on the resource bounds: build it once per job, snapshot the
+        // unrefined tables, and let each escalation round restore the
+        // snapshot instead of re-deriving the graph.
+        scratch.wcg.rebuild(graph, self.cost);
+        scratch.wcg.snapshot_pristine();
+        for op in graph.op_ids() {
+            if scratch.wcg.candidate_slice(op).is_empty() {
+                return Err(AllocError::UncoverableOperation(op));
+            }
+        }
+        scratch.op_classes.clear();
+        scratch.op_classes.extend(
+            graph
+                .operations()
+                .iter()
+                .map(|o| ResourceClass::for_kind(o.kind())),
+        );
+
         // Per-class operation counts bound the escalation.
         let mut class_ops: BTreeMap<ResourceClass, usize> = BTreeMap::new();
         for op in graph.operations() {
@@ -324,19 +343,7 @@ impl<'a> DpAllocator<'a> {
         refinements: &mut usize,
         scratch: &mut AllocScratch,
     ) -> Result<Datapath, InnerFailure> {
-        scratch.wcg.rebuild(graph, self.cost);
-        for op in graph.op_ids() {
-            if scratch.wcg.candidate_slice(op).is_empty() {
-                return Err(InnerFailure::Fatal(AllocError::UncoverableOperation(op)));
-            }
-        }
-        scratch.op_classes.clear();
-        scratch.op_classes.extend(
-            graph
-                .operations()
-                .iter()
-                .map(|o| ResourceClass::for_kind(o.kind())),
-        );
+        scratch.wcg.restore_pristine();
         let mut dense_bounds = [None; ResourceClass::COUNT];
         for (&class, &bound) in bounds {
             dense_bounds[class.index()] = Some(bound);
@@ -403,30 +410,42 @@ impl<'a> DpAllocator<'a> {
 
             let bind_timer = scratch.obs.start();
             scratch.wcg.attach_schedule(&schedule, &scratch.upper);
-            let instances =
+            let num_cliques =
                 bind_select_with_scratch(&scratch.wcg, self.config.bind_options, &mut scratch.bind)
                     .map_err(InnerFailure::Fatal)?;
-            let datapath = Datapath::assemble(schedule, instances, self.cost);
+            // Binding and bound-latency tables straight from the pooled
+            // cliques; `ResourceInstance`s and the full datapath are
+            // materialised only for the feasible iteration.  `BindSelect`
+            // covers every operation, so both tables are fully overwritten.
+            scratch.binding.clear();
+            scratch.binding.resize(graph.len(), usize::MAX);
+            scratch.bound.copy_from_slice(scratch.upper.as_slice());
+            for k in 0..num_cliques {
+                // `resource_latency` is the same cost model's answer, cached
+                // in the graph's flat table at rebuild.
+                let latency = scratch.wcg.resource_latency(scratch.bind.clique_res[k]);
+                for &op in &scratch.bind.clique_ops[k] {
+                    scratch.binding[op.index()] = k;
+                    scratch.bound.set(op, latency);
+                }
+            }
+            let latency = schedule.makespan(&scratch.bound);
             scratch.obs.stop(Stage::Bind, bind_timer);
 
-            if datapath.latency() <= self.config.latency_constraint {
-                return Ok(datapath);
+            if latency <= self.config.latency_constraint {
+                let instances = materialize_instances(&scratch.wcg, &scratch.bind);
+                return Ok(Datapath::assemble(schedule, instances, self.cost));
             }
 
             // Constraint violated: refine wordlength information.
             let refine_timer = scratch.obs.start();
-            scratch.binding.clear();
-            scratch
-                .binding
-                .extend(graph.op_ids().map(|o| datapath.instance_of(o)));
-            let bound_latencies = datapath.bound_latencies(self.cost);
             let chosen = match self.config.refinement {
                 RefinementPolicy::BoundCriticalPath => select_refinement_op_with_scratch(
                     graph,
                     &scratch.wcg,
-                    datapath.schedule(),
+                    &schedule,
                     &scratch.upper,
-                    &bound_latencies,
+                    &scratch.bound,
                     &scratch.binding,
                     self.config.latency_constraint,
                     &mut scratch.refine,
@@ -448,7 +467,7 @@ impl<'a> DpAllocator<'a> {
                     // resources are needed.  Escalate the class whose
                     // operations are the most serialised under the current
                     // bounds.
-                    let class = most_contended_class(graph, &bound_latencies, bounds, |_| true)
+                    let class = most_contended_class(graph, &scratch.bound, bounds, |_| true)
                         .unwrap_or(ResourceClass::Adder);
                     return Err(InnerFailure::NeedMoreResources(class));
                 }

@@ -37,7 +37,7 @@
 //! compatibility graph and rescheduled for every candidate.
 
 use mwl_model::{Area, CostModel, Cycles, OpId, ResourceType, SequencingGraph};
-use mwl_sched::{ListScheduler, OpLatencies, PerInstanceExclusive, Schedule, SchedulePriority};
+use mwl_sched::{ListScheduler, SchedulePriority};
 
 use crate::datapath::{Datapath, ResourceInstance};
 use crate::scratch::MergeScratch;
@@ -62,12 +62,31 @@ impl MergeStats {
     }
 }
 
-/// One candidate merge: the instance indices to coalesce and the widened
-/// resource type implementing their union.
-struct Candidate {
-    members: Vec<usize>,
+/// One candidate merge header: the sub-slice of
+/// [`MergeScratch::cand_members`] holding the instance indices to coalesce,
+/// the widened resource type implementing their union, and the admissible
+/// area saving.  A small `Copy` value so the evaluation loop can detach it
+/// from the scratch space it indexes into.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CandidateMeta {
+    /// Start of the member sub-slice in the flattened pool.
+    members_start: usize,
+    /// Number of members.
+    members_len: usize,
+    /// The widened resource type implementing the union.
     merged: ResourceType,
+    /// Area saving (always strictly positive).
     saving: Area,
+    /// Enumeration index — the tie-break that lets the allocation-free
+    /// unstable sort reproduce the frozen pass's stable sort exactly.
+    seq: u32,
+}
+
+impl CandidateMeta {
+    /// The member sub-slice's index range in [`MergeScratch::cand_members`].
+    fn members(self) -> std::ops::Range<usize> {
+        self.members_start..self.members_start + self.members_len
+    }
 }
 
 /// Greedily merges same-class resource instances of a feasible datapath while
@@ -91,6 +110,12 @@ pub fn merge_instances(
 /// (one [`crate::AllocScratch`] per driver worker).  `salt` deterministically
 /// shuffles the tie order among equal-saving candidates; `0` keeps the
 /// enumeration order, making the pass identical to [`merge_instances`].
+///
+/// Apart from the cloned input datapath and the accepted merges' instance
+/// lists, the pass allocates nothing once the scratch is warm: candidates
+/// are enumerated into pooled buffers, sorted in place, and evaluated with a
+/// scratch-reusing list reschedule (pinned by the counting-allocator test in
+/// `tests/steady_state_alloc.rs`).
 pub(crate) fn merge_instances_with_scratch(
     datapath: &Datapath,
     graph: &SequencingGraph,
@@ -136,28 +161,38 @@ fn best_merge(
     scratch: &mut MergeScratch,
 ) -> Option<(Datapath, usize)> {
     let instances = current.instances();
-    let mut candidates = candidates(instances, cost);
-    if candidates.is_empty() {
+    candidates_into(instances, cost, scratch);
+    if scratch.cands.is_empty() {
         return None;
     }
-    // A stable sort keeps enumeration order among equal savings, so the
-    // first feasible candidate below is exactly the maximum-saving feasible
-    // one — without paying a full reschedule for every candidate.  A
-    // non-zero salt replaces the tie order with a deterministic hash of the
-    // candidate's members: still a maximum-saving feasible merge, but a
-    // different one when several savings tie.
-    if salt == 0 {
-        candidates.sort_by_key(|c| std::cmp::Reverse(c.saving));
-    } else {
-        candidates.sort_by_key(|c| {
-            let mut h = crate::fingerprint::StableHasher::new();
-            h.write_u64(salt);
-            h.write_u64(c.members.len() as u64);
-            for &m in &c.members {
-                h.write_u64(m as u64);
-            }
-            (std::cmp::Reverse(c.saving), h.finish())
-        });
+    // Candidates are evaluated in decreasing-saving order with enumeration
+    // order among equal savings, so the first feasible candidate below is
+    // exactly the maximum-saving feasible one — without paying a full
+    // reschedule for every candidate.  The enumeration index as the final
+    // sort key lets the allocation-free unstable sort reproduce the frozen
+    // pass's stable sort bit for bit.  A non-zero salt replaces the tie
+    // order with a deterministic hash of the candidate's members: still a
+    // maximum-saving feasible merge, but a different one when several
+    // savings tie.
+    {
+        let MergeScratch {
+            cands,
+            cand_members,
+            ..
+        } = scratch;
+        if salt == 0 {
+            cands.sort_unstable_by_key(|c| (std::cmp::Reverse(c.saving), c.seq));
+        } else {
+            cands.sort_unstable_by_key(|c| {
+                let mut h = crate::fingerprint::StableHasher::new();
+                h.write_u64(salt);
+                h.write_u64(c.members_len as u64);
+                for &m in &cand_members[c.members()] {
+                    h.write_u64(m as u64);
+                }
+                (std::cmp::Reverse(c.saving), h.finish(), c.seq)
+            });
+        }
     }
 
     // Per-round tables for the lower-bound precheck.
@@ -178,12 +213,13 @@ fn best_merge(
     scratch.in_candidate.clear();
     scratch.in_candidate.resize(instances.len(), false);
 
-    for candidate in candidates {
-        if lower_bound(graph, instances, &candidate, cost, scratch) > latency_constraint {
+    for idx in 0..scratch.cands.len() {
+        let candidate = scratch.cands[idx];
+        if lower_bound(graph, instances, candidate, cost, scratch) > latency_constraint {
             continue;
         }
-        if let Some(dp) = apply(current, &candidate, graph, cost, latency_constraint) {
-            return Some((dp, candidate.members.len() - 1));
+        if let Some(dp) = try_apply(current, candidate, graph, cost, latency_constraint, scratch) {
+            return Some((dp, candidate.members_len - 1));
         }
     }
     None
@@ -202,12 +238,13 @@ fn best_merge(
 fn lower_bound(
     graph: &SequencingGraph,
     instances: &[ResourceInstance],
-    candidate: &Candidate,
+    candidate: CandidateMeta,
     cost: &dyn CostModel,
     scratch: &mut MergeScratch,
 ) -> Cycles {
     let merged_latency = cost.latency(&candidate.merged);
-    for &k in &candidate.members {
+    for m in candidate.members() {
+        let k = scratch.cand_members[m];
         scratch.in_candidate[k] = true;
     }
 
@@ -243,7 +280,8 @@ fn lower_bound(
         bound = bound.max(scratch.finish[i]);
     }
 
-    for &k in &candidate.members {
+    for m in candidate.members() {
+        let k = scratch.cand_members[m];
         scratch.in_candidate[k] = false;
     }
     bound
@@ -251,9 +289,16 @@ fn lower_bound(
 
 /// Enumerates merge candidates in deterministic order: all same-class pairs,
 /// then one class-collapse per class with more than two instances.  Only
-/// candidates with a strictly positive area saving are produced.
-fn candidates(instances: &[ResourceInstance], cost: &dyn CostModel) -> Vec<Candidate> {
-    let mut out = Vec::new();
+/// candidates with a strictly positive area saving are produced.  Headers go
+/// into [`MergeScratch::cands`] and member indices into the flattened
+/// [`MergeScratch::cand_members`] pool, so a warm round allocates nothing.
+fn candidates_into(
+    instances: &[ResourceInstance],
+    cost: &dyn CostModel,
+    scratch: &mut MergeScratch,
+) {
+    scratch.cands.clear();
+    scratch.cand_members.clear();
     for i in 0..instances.len() {
         for j in (i + 1)..instances.len() {
             let ri = instances[i].resource();
@@ -264,10 +309,16 @@ fn candidates(instances: &[ResourceInstance], cost: &dyn CostModel) -> Vec<Candi
             let before = cost.area(&ri) + cost.area(&rj);
             let after = cost.area(&merged);
             if after < before {
-                out.push(Candidate {
-                    members: vec![i, j],
+                let members_start = scratch.cand_members.len();
+                scratch.cand_members.push(i);
+                scratch.cand_members.push(j);
+                let seq = scratch.cands.len() as u32;
+                scratch.cands.push(CandidateMeta {
+                    members_start,
+                    members_len: 2,
                     merged,
                     saving: before - after,
+                    seq,
                 });
             }
         }
@@ -276,13 +327,17 @@ fn candidates(instances: &[ResourceInstance], cost: &dyn CostModel) -> Vec<Candi
     // maximum (the uniform baseline's design point for that class).
     for class_rep in 0..instances.len() {
         let class = instances[class_rep].resource().class();
-        let members: Vec<usize> = (0..instances.len())
-            .filter(|&k| instances[k].resource().class() == class)
-            .collect();
+        let members_start = scratch.cand_members.len();
+        scratch
+            .cand_members
+            .extend((0..instances.len()).filter(|&k| instances[k].resource().class() == class));
+        let members = &scratch.cand_members[members_start..];
         if members[0] != class_rep || members.len() <= 2 {
             // Only emit once per class; pairs are already enumerated above.
+            scratch.cand_members.truncate(members_start);
             continue;
         }
+        let members_len = members.len();
         let merged = members
             .iter()
             .map(|&k| instances[k].resource())
@@ -294,93 +349,149 @@ fn candidates(instances: &[ResourceInstance], cost: &dyn CostModel) -> Vec<Candi
             .sum();
         let after = cost.area(&merged);
         if after < before {
-            out.push(Candidate {
-                members,
+            let seq = scratch.cands.len() as u32;
+            scratch.cands.push(CandidateMeta {
+                members_start,
+                members_len,
                 merged,
                 saving: before - after,
+                seq,
             });
+        } else {
+            scratch.cand_members.truncate(members_start);
         }
     }
-    out
 }
 
-/// Attempts to apply a candidate merge: builds the merged instance list,
-/// re-serialises with a binding-aware list schedule, and accepts only when the
-/// new latency meets the constraint and every clique passes the chain test.
-fn apply(
+/// Attempts to apply a candidate merge entirely in scratch space: builds the
+/// post-merge binding and latency tables, re-serialises with a binding-aware
+/// list schedule, and only pays for materialising the new instance list and
+/// [`Datapath`] once the new latency meets the constraint and every clique
+/// passes the chain test.  Accept/reject decisions and the accepted datapath
+/// are bit-identical to the frozen pass's clone-and-reschedule evaluation.
+fn try_apply(
     current: &Datapath,
-    candidate: &Candidate,
+    candidate: CandidateMeta,
     graph: &SequencingGraph,
     cost: &dyn CostModel,
     latency_constraint: Cycles,
+    scratch: &mut MergeScratch,
 ) -> Option<Datapath> {
-    let mut merged_ops: Vec<OpId> = Vec::new();
-    let mut instances: Vec<ResourceInstance> = Vec::new();
-    for (k, inst) in current.instances().iter().enumerate() {
-        if candidate.members.contains(&k) {
-            merged_ops.extend_from_slice(inst.ops());
+    for m in candidate.members() {
+        let k = scratch.cand_members[m];
+        scratch.in_candidate[k] = true;
+    }
+    let result = try_apply_marked(current, candidate, graph, cost, latency_constraint, scratch);
+    for m in candidate.members() {
+        let k = scratch.cand_members[m];
+        scratch.in_candidate[k] = false;
+    }
+    result
+}
+
+/// The body of [`try_apply`], entered with the candidate's members marked in
+/// `scratch.in_candidate` (cleared by the caller on every exit path).
+fn try_apply_marked(
+    current: &Datapath,
+    candidate: CandidateMeta,
+    graph: &SequencingGraph,
+    cost: &dyn CostModel,
+    latency_constraint: Cycles,
+    scratch: &mut MergeScratch,
+) -> Option<Datapath> {
+    let instances = current.instances();
+
+    // Post-merge instance numbering: surviving instances keep their relative
+    // order, the merged instance goes last — matching the instance list
+    // materialised on acceptance.
+    scratch.new_index.clear();
+    let mut next = 0usize;
+    for k in 0..instances.len() {
+        if scratch.in_candidate[k] {
+            scratch.new_index.push(usize::MAX);
         } else {
-            instances.push(inst.clone());
+            scratch.new_index.push(next);
+            next += 1;
         }
     }
-    instances.push(ResourceInstance::new(candidate.merged, merged_ops));
+    let merged_index = next;
+    let num_new = next + 1;
 
-    let schedule = reschedule(graph, &instances, cost)?;
-    let dp = Datapath::assemble(schedule, instances, cost);
-    if dp.latency() > latency_constraint {
+    // Binding and latency tables of the re-serialised datapath.
+    let merged_latency = cost.latency(&candidate.merged);
+    scratch
+        .resched_latencies
+        .copy_from_slice(&scratch.base_latency);
+    scratch.resched_binding.clear();
+    for i in 0..graph.len() {
+        let old = scratch.binding[i];
+        if scratch.in_candidate[old] {
+            scratch.resched_binding.push(merged_index);
+            scratch
+                .resched_latencies
+                .set(OpId::new(i as u32), merged_latency);
+        } else {
+            scratch.resched_binding.push(scratch.new_index[old]);
+        }
+    }
+
+    // Binding-aware rescheduling: critical-path list scheduling under the
+    // [`mwl_sched::PerInstanceExclusive`] constraint, so every operation
+    // runs at its instance's latency and no two operations sharing an
+    // instance overlap — re-serialising each merged clique back-to-back.
+    scratch.exclusive.rebuild(&scratch.resched_binding, num_new);
+    let schedule = ListScheduler::new(SchedulePriority::CriticalPath)
+        .schedule_with_scratch(
+            graph,
+            &scratch.resched_latencies,
+            &mut scratch.exclusive,
+            &mut scratch.sched,
+        )
+        .ok()?;
+    if schedule.makespan(&scratch.resched_latencies) > latency_constraint {
         return None;
     }
 
     // Re-check every instance's clique under the new schedule (Eqn 4
     // feasibility of the re-serialised binding).  The list schedule
-    // guarantees this by construction; the test keeps the acceptance
-    // criterion independent of the scheduler.  Checked directly on the
-    // schedule intervals — equivalent to the compatibility graph's
-    // `is_chain`, without rebuilding the graph per candidate.
-    let bound = dp.bound_latencies(cost);
-    for inst in dp.instances() {
-        let mut intervals: Vec<(Cycles, Cycles)> = inst
-            .ops()
-            .iter()
-            .map(|&o| (dp.schedule().start(o), dp.schedule().end(o, &bound)))
-            .collect();
-        intervals.sort_by_key(|&(start, _)| start);
-        if intervals.windows(2).any(|w| w[0].1 > w[1].0) {
+    // guarantees this by construction; the check keeps the acceptance
+    // criterion independent of the scheduler.  Instance op lists are sorted
+    // by operation id, so walking operations in id order reproduces the
+    // frozen pass's per-instance interval order, and sorting by
+    // `(start, position)` its stable start-order sort.
+    for inst in 0..num_new {
+        scratch.intervals.clear();
+        for i in 0..graph.len() {
+            if scratch.resched_binding[i] == inst {
+                let o = OpId::new(i as u32);
+                let tie = scratch.intervals.len();
+                scratch.intervals.push((
+                    schedule.start(o),
+                    schedule.end(o, &scratch.resched_latencies),
+                    tie,
+                ));
+            }
+        }
+        scratch
+            .intervals
+            .sort_unstable_by_key(|&(start, _, tie)| (start, tie));
+        if scratch.intervals.windows(2).any(|w| w[0].1 > w[1].0) {
             return None;
         }
     }
-    Some(dp)
-}
 
-/// Binding-aware rescheduling: critical-path list scheduling under the
-/// [`PerInstanceExclusive`] constraint, so every operation runs at its
-/// instance's latency and no two operations sharing an instance overlap.
-/// This re-serialises each merged clique back-to-back.
-///
-/// Returns `None` if some operation is not covered by any instance (a
-/// malformed input datapath) or the scheduler rejects the binding.
-fn reschedule(
-    graph: &SequencingGraph,
-    instances: &[ResourceInstance],
-    cost: &dyn CostModel,
-) -> Option<Schedule> {
-    let n = graph.len();
-    let mut binding = vec![usize::MAX; n];
+    // Accepted: materialise the merged instance list and the new datapath.
+    let mut merged_ops: Vec<OpId> = Vec::new();
+    let mut new_instances: Vec<ResourceInstance> = Vec::with_capacity(num_new);
     for (k, inst) in instances.iter().enumerate() {
-        for &op in inst.ops() {
-            binding[op.index()] = k;
+        if scratch.in_candidate[k] {
+            merged_ops.extend_from_slice(inst.ops());
+        } else {
+            new_instances.push(inst.clone());
         }
     }
-    if binding.contains(&usize::MAX) {
-        return None;
-    }
-    let latencies = OpLatencies::from_fn(graph, |op| {
-        cost.latency(&instances[binding[op.id().index()]].resource())
-    });
-    let constraint = PerInstanceExclusive::new(binding, instances.len());
-    ListScheduler::new(SchedulePriority::CriticalPath)
-        .schedule(graph, &latencies, constraint)
-        .ok()
+    new_instances.push(ResourceInstance::new(candidate.merged, merged_ops));
+    Some(Datapath::assemble(schedule, new_instances, cost))
 }
 
 #[cfg(test)]
@@ -388,7 +499,7 @@ mod tests {
     use super::*;
     use crate::dpalloc::{AllocConfig, DpAllocator};
     use mwl_model::{OpShape, ResourceClass, SequencingGraphBuilder, SonicCostModel};
-    use mwl_sched::{critical_path_length, OpLatencies};
+    use mwl_sched::{critical_path_length, OpLatencies, Schedule};
     use mwl_tgff::{TgffConfig, TgffGenerator};
 
     fn cost() -> SonicCostModel {

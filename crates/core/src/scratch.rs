@@ -16,8 +16,10 @@
 //! [`crate::reference`] implementation).
 
 use mwl_model::{Cycles, OpId, ResourceClass};
-use mwl_sched::{CoverScratch, DenseSchedulingSetBound, OpLatencies, SchedScratch};
-use mwl_wcg::{ChainScratch, WordlengthCompatibilityGraph};
+use mwl_sched::{
+    CoverScratch, DenseSchedulingSetBound, OpLatencies, PerInstanceExclusive, SchedScratch,
+};
+use mwl_wcg::{ChainScratch, KernelMode, WordlengthCompatibilityGraph};
 
 /// Reusable buffers for one allocator worker (see the module docs).
 ///
@@ -62,6 +64,11 @@ pub struct AllocScratch {
     pub(crate) sched: SchedScratch,
     /// Instance index per operation (refinement input).
     pub(crate) binding: Vec<usize>,
+    /// Bound latency `ℓ(o)` per operation of the current binding — the
+    /// latency table the feasibility check and the refinement rule read,
+    /// computed straight from the `BindSelect` cliques so the full
+    /// [`crate::Datapath`] is assembled only for the feasible iteration.
+    pub(crate) bound: OpLatencies,
     /// The compatibility-graph workspace, rebuilt in place per
     /// bound-escalation attempt.
     pub(crate) wcg: WordlengthCompatibilityGraph,
@@ -84,6 +91,21 @@ impl AllocScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Selects which compatibility-graph kernels the allocator runs through
+    /// this scratch: the word-parallel bitset kernels (the default) or the
+    /// retained sorted-`Vec` oracle kernels.  Decisions are bit-identical
+    /// either way; the oracle mode exists as the equivalence baseline and as
+    /// the "before" arm of the stage-attributed perf gate.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.wcg.set_kernel_mode(mode);
+    }
+
+    /// The active compatibility-graph kernel mode.
+    #[must_use]
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.wcg.kernel_mode()
+    }
 }
 
 /// Reusable buffers of Algorithm `BindSelect`: the covered-operation map,
@@ -98,8 +120,26 @@ pub(crate) struct BindScratch {
     pub(crate) chain_buf: Vec<OpId>,
     /// Best chain of the current covering round.
     pub(crate) best_chain: Vec<OpId>,
-    /// Union buffer of the clique-growth step.
+    /// Union buffer of the clique-growth step (oracle kernels).
     pub(crate) union: Vec<OpId>,
+    /// Operation lists of the selected cliques; slots beyond the active
+    /// count keep their capacity across rounds and jobs.
+    pub(crate) clique_ops: Vec<Vec<OpId>>,
+    /// Chosen resource index per selected clique (parallel to `clique_ops`).
+    pub(crate) clique_res: Vec<usize>,
+    /// Operation bitset per selected clique, `op_mask_words` words each
+    /// (bitset kernels).
+    pub(crate) clique_masks: Vec<u64>,
+    /// Operation bitset of the clique currently being grown.
+    pub(crate) new_mask: Vec<u64>,
+    /// Union bitset of the clique-growth step (bitset kernels).
+    pub(crate) union_mask: Vec<u64>,
+    /// Bitset of not-yet-covered operations, maintained across covering
+    /// rounds to drive the popcount pre-skip (bitset kernels).
+    pub(crate) uncovered_mask: Vec<u64>,
+    /// Number of active cliques in the pooled arrays after the last
+    /// [`crate::bind::bind_select_with_scratch`] run.
+    pub(crate) clique_count: usize,
 }
 
 /// Reusable tables of the post-bind merging pass: the admissible
@@ -120,4 +160,23 @@ pub(crate) struct MergeScratch {
     pub(crate) in_candidate: Vec<bool>,
     /// Per-operation finish times of the critical-path lower bound.
     pub(crate) finish: Vec<Cycles>,
+    /// Flattened member-index pool of the candidate enumeration; each
+    /// [`crate::merge::CandidateMeta`] addresses a sub-slice.
+    pub(crate) cand_members: Vec<usize>,
+    /// Candidate headers of the current round, sorted by decreasing saving.
+    pub(crate) cands: Vec<crate::merge::CandidateMeta>,
+    /// Post-merge instance index per pre-merge instance (`usize::MAX` for
+    /// candidate members, which all map to the merged instance).
+    pub(crate) new_index: Vec<usize>,
+    /// Post-merge instance index per operation (reschedule input).
+    pub(crate) resched_binding: Vec<usize>,
+    /// Post-merge latency table of the candidate under evaluation.
+    pub(crate) resched_latencies: OpLatencies,
+    /// The binding-aware exclusivity constraint of the reschedule, rebuilt
+    /// in place per candidate.
+    pub(crate) exclusive: PerInstanceExclusive,
+    /// List-scheduler working buffers of the reschedule.
+    pub(crate) sched: SchedScratch,
+    /// `(start, end, tie)` intervals of the per-instance chain re-check.
+    pub(crate) intervals: Vec<(Cycles, Cycles, usize)>,
 }

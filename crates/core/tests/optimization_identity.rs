@@ -13,9 +13,13 @@
 
 use proptest::prelude::*;
 
-use mwl_core::{reference, AllocConfig, AllocError, AllocOutcome, AllocScratch, DpAllocator};
+use mwl_core::{
+    bind_select, reference, AllocConfig, AllocError, AllocOutcome, AllocScratch, BindSelectOptions,
+    DpAllocator,
+};
 use mwl_model::{CostModel, SequencingGraph, SonicCostModel};
 use mwl_tgff::{GraphShape, TgffConfig, TgffGenerator, WidthProfile};
+use mwl_wcg::{KernelMode, WordlengthCompatibilityGraph};
 
 /// One allocation problem drawn from the full scenario space.
 #[derive(Debug, Clone)]
@@ -88,6 +92,41 @@ proptest! {
         if let Ok(outcome) = &optimized {
             outcome.datapath.validate(&problem.graph, &cost).unwrap();
         }
+    }
+
+    /// The kernel dispatch is invisible: running the full allocator with the
+    /// scratch pinned to [`KernelMode::Oracle`] (the retained sorted-`Vec`
+    /// kernels) produces the same outcome as the default bitset kernels, and
+    /// both equal the frozen reference.
+    #[test]
+    fn oracle_kernel_mode_is_bit_identical(problem in problem_strategy()) {
+        let cost = SonicCostModel::default();
+        let mut bitset_scratch = AllocScratch::new();
+        let mut oracle_scratch = AllocScratch::new();
+        oracle_scratch.set_kernel_mode(KernelMode::Oracle);
+        let (with_bitset, frozen) = solve_both(&problem, &cost, &mut bitset_scratch);
+        let (with_oracle, _) = solve_both(&problem, &cost, &mut oracle_scratch);
+        prop_assert_eq!(&with_oracle, &with_bitset);
+        prop_assert_eq!(&with_oracle, &frozen);
+    }
+
+    /// Clique growth in isolation: `bind_select` over a scheduled WCG emits
+    /// the identical instance list under both kernel modes.
+    #[test]
+    fn bind_select_is_kernel_mode_invariant(
+        problem in problem_strategy(),
+        grow in any::<bool>(),
+    ) {
+        let cost = SonicCostModel::default();
+        let mut bitset = WordlengthCompatibilityGraph::new(&problem.graph, &cost);
+        let mut oracle = WordlengthCompatibilityGraph::new(&problem.graph, &cost);
+        oracle.set_kernel_mode(KernelMode::Oracle);
+        let upper = bitset.upper_bound_latencies();
+        let schedule = mwl_sched::asap(&problem.graph, &upper);
+        bitset.attach_schedule(&schedule, &upper);
+        oracle.attach_schedule(&schedule, &upper);
+        let options = BindSelectOptions { grow_cliques: grow };
+        prop_assert_eq!(bind_select(&bitset, options), bind_select(&oracle, options));
     }
 
     /// Scratch reuse across a whole job sequence changes nothing: solving

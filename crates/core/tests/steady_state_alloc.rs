@@ -1,0 +1,154 @@
+//! The steady-state allocation budget, asserted with a counting allocator.
+//!
+//! The hot-path rewrite promises that a warm [`AllocScratch`] solves each
+//! graph without *growing*: after warm-up, every repeat of the same job
+//! performs exactly the same (output-only) allocations — the kernels
+//! themselves (`max_chain_into`, `is_chain`, the mask primitives, dense
+//! admits) run allocation-free on warm buffers.
+//!
+//! Everything lives in one `#[test]` so the global counter is never read
+//! concurrently by a second libtest thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mwl_core::{AllocConfig, AllocScratch, DpAllocator};
+use mwl_model::{CostModel, OpId, ResourceClass, SonicCostModel};
+use mwl_sched::{asap, DenseSchedulingSetBound, ResourceConstraint};
+use mwl_tgff::{TgffConfig, TgffGenerator};
+use mwl_wcg::{ChainScratch, WordlengthCompatibilityGraph};
+
+/// Counts every allocation and reallocation; frees are uncounted (releasing
+/// memory is always allowed in the steady state).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+/// Allocations performed by `f`, as seen from the calling thread.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+fn lambda_min(graph: &mwl_model::SequencingGraph, cost: &SonicCostModel) -> u32 {
+    let native = mwl_sched::OpLatencies::from_fn(graph, |op| cost.native_latency(op.shape()));
+    mwl_sched::critical_path_length(graph, &native)
+}
+
+#[test]
+fn warm_scratch_allocation_count_is_flat_and_kernels_are_allocation_free() {
+    let cost = SonicCostModel::default();
+    let graph = TgffGenerator::new(TgffConfig::with_ops(12), 4242).generate();
+    let config = AllocConfig::new(lambda_min(&graph, &cost) + 2).with_instance_merging(true);
+    let allocator = DpAllocator::new(&cost, config);
+    let mut scratch = AllocScratch::new();
+
+    // Warm-up: saturate every scratch buffer's capacity.
+    for _ in 0..3 {
+        allocator
+            .allocate_with_scratch(&graph, &mut scratch)
+            .expect("job solves");
+    }
+
+    // Steady state: repeats of the same job must perform the identical
+    // (output-only) allocation count — any growth means a buffer is being
+    // re-materialised per solve instead of reused.
+    let mut deltas = Vec::new();
+    for _ in 0..5 {
+        let (delta, outcome) =
+            allocations_during(|| allocator.allocate_with_scratch(&graph, &mut scratch));
+        outcome.expect("job solves");
+        deltas.push(delta);
+    }
+    assert!(
+        deltas.windows(2).all(|w| w[0] == w[1]),
+        "steady-state allocation count is not flat: {deltas:?}"
+    );
+
+    // Kernel-level budget: on warm buffers the compatibility and admission
+    // kernels allocate nothing at all.
+    let mut wcg = WordlengthCompatibilityGraph::new(&graph, &cost);
+    let upper = wcg.upper_bound_latencies();
+    let schedule = asap(&graph, &upper);
+    wcg.attach_schedule(&schedule, &upper);
+
+    let covered = vec![false; graph.len()];
+    let mut chain_scratch = ChainScratch::default();
+    let mut chain = Vec::new();
+    for r in 0..wcg.resources().len() {
+        wcg.max_chain_into(r, &covered, &mut chain_scratch, &mut chain); // warm
+        let (delta, ()) = allocations_during(|| {
+            wcg.max_chain_into(r, &covered, &mut chain_scratch, &mut chain);
+        });
+        assert_eq!(delta, 0, "max_chain_into allocated on warm scratch (r={r})");
+    }
+
+    let ids: Vec<OpId> = graph.op_ids().collect();
+    let mut mask = vec![0u64; wcg.op_mask_words()];
+    for &op in &ids {
+        mask[op.index() / 64] |= 1 << (op.index() % 64);
+    }
+    let (delta, _) = allocations_during(|| {
+        let chain_ok = wcg.is_chain(&ids);
+        let mask_ok = wcg.mask_is_chain(&mask);
+        let mut probes = 0usize;
+        for r in 0..wcg.resources().len() {
+            probes += usize::from(wcg.mask_covered_by(&mask, r));
+            probes += wcg.mask_candidate_count(&mask, r);
+        }
+        (chain_ok, mask_ok, probes)
+    });
+    assert_eq!(delta, 0, "bitset chain/mask kernels allocated");
+
+    // Dense admission probes are allocation-free once the rows are set.
+    let op_classes: Vec<ResourceClass> = graph
+        .operations()
+        .iter()
+        .map(|o| ResourceClass::for_kind(o.kind()))
+        .collect();
+    let mut dense = DenseSchedulingSetBound::new();
+    let mut bounds = [None; ResourceClass::COUNT];
+    bounds[ResourceClass::Adder.index()] = Some(2);
+    bounds[ResourceClass::Multiplier.index()] = Some(2);
+    dense.reset_problem(&op_classes, bounds);
+    dense.set_members(wcg.resources().iter().map(|r| r.class()));
+    for op in graph.op_ids() {
+        dense.set_row(op, wcg.candidate_slice(op).iter().copied());
+    }
+    dense.reset_loads();
+    let (delta, _) = allocations_during(|| {
+        let mut admitted = 0usize;
+        for op in graph.op_ids() {
+            let latency = wcg.upper_bound_latency(op).max(1);
+            admitted += usize::from(dense.admits(op, 0, latency));
+            admitted += usize::from(dense.admissible_at_all(op, latency));
+        }
+        admitted
+    });
+    assert_eq!(delta, 0, "dense admission probes allocated");
+}

@@ -21,6 +21,18 @@ use mwl_model::{Cycles, OpId, ResourceClass};
 /// Numerical slack used when comparing fractional resource usage.
 const EPSILON: f64 = 1e-9;
 
+const WORD_BITS: usize = u64::BITS as usize;
+
+#[inline]
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+#[inline]
+fn bit_is_set(words: &[u64], bit: usize) -> bool {
+    words[bit / WORD_BITS] >> (bit % WORD_BITS) & 1 == 1
+}
+
 /// A pluggable admission policy consulted by the list scheduler before
 /// placing an operation at a control step.
 ///
@@ -152,7 +164,7 @@ impl ResourceConstraint for PerClassBound {
 /// datapath — e.g. the post-bind instance-merging pass, which serialises the
 /// cliques of coalesced instances back-to-back — where the binding is data,
 /// not a per-class head count.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PerInstanceExclusive {
     /// Instance index of every operation, indexed by [`OpId`].
     op_instances: Vec<usize>,
@@ -169,6 +181,23 @@ impl PerInstanceExclusive {
         PerInstanceExclusive {
             op_instances,
             committed: vec![Vec::new(); num_instances],
+        }
+    }
+
+    /// Re-initialises the policy in place, reusing the committed-interval
+    /// buffers — the allocation-free counterpart of [`new`](Self::new) for
+    /// callers (like the merge pass) that re-schedule many bindings in a
+    /// loop.  The result is indistinguishable from a fresh policy.
+    pub fn rebuild(&mut self, op_instances: &[usize], num_instances: usize) {
+        debug_assert!(op_instances.iter().all(|&i| i < num_instances));
+        self.op_instances.clear();
+        self.op_instances.extend_from_slice(op_instances);
+        self.committed.truncate(num_instances);
+        for intervals in &mut self.committed {
+            intervals.clear();
+        }
+        if self.committed.len() < num_instances {
+            self.committed.resize_with(num_instances, Vec::new);
         }
     }
 }
@@ -360,8 +389,17 @@ pub struct DenseSchedulingSetBound {
     /// Eqn (3) left-hand side.
     class_members: [Vec<u32>; ResourceClass::COUNT],
     /// Scheduling-set members compatible with every operation (`S(o)`),
-    /// ascending member indices, indexed by [`OpId`].
+    /// ascending member indices, indexed by [`OpId`].  Kept for the share
+    /// denominator `|S(o)|` and as the readable form of the rows.
     rows: Vec<Vec<u32>>,
+    /// Dense membership: bit `j` of row `o` is set iff member `j` ∈ `S(o)`.
+    /// Flat, stride `row_words` — the membership probe inside
+    /// [`admits`](ResourceConstraint::admits) is a single bit test instead
+    /// of a binary search, while the class-member walk (and therefore the
+    /// FP summation order) is unchanged.
+    row_bits: Vec<u64>,
+    /// Words per `row_bits` row (`ceil(members / 64)`).
+    row_words: usize,
     /// Per-member load profile over control steps.
     load: Vec<Vec<f64>>,
     /// Per-member peak load so far.
@@ -395,6 +433,7 @@ impl DenseSchedulingSetBound {
         for row in &mut self.rows {
             row.clear();
         }
+        self.row_bits.clear();
     }
 
     /// Replaces the scheduling-set member classes (invalidating every row —
@@ -415,6 +454,10 @@ impl DenseSchedulingSetBound {
         if self.peak.len() < members {
             self.peak.resize(members, 0.0);
         }
+        self.row_words = words_for(members);
+        self.row_bits.clear();
+        self.row_bits
+            .resize(self.op_classes.len() * self.row_words, 0);
     }
 
     /// Rewrites one operation's member row `S(o)` (ascending member
@@ -423,6 +466,11 @@ impl DenseSchedulingSetBound {
         let row = &mut self.rows[op.index()];
         row.clear();
         row.extend(members.map(|j| j as u32));
+        let bits = &mut self.row_bits[op.index() * self.row_words..][..self.row_words];
+        bits.fill(0);
+        for &j in row.iter() {
+            bits[j as usize / WORD_BITS] |= 1 << (j as usize % WORD_BITS);
+        }
     }
 
     /// Clears all committed load and peaks, keeping every buffer allocation —
@@ -454,14 +502,16 @@ impl ResourceConstraint for DenseSchedulingSetBound {
             return false;
         }
         let share = 1.0 / row.len() as f64;
+        let bits = &self.row_bits[op.index() * self.row_words..][..self.row_words];
         // The Eqn (3) left-hand side with this op tentatively placed: walk
         // the class's members in index order (the same order, and therefore
         // the same rounding, as SchedulingSetBound::class_total) overlaying
-        // the tentative peak of the op's own members on the fly.
+        // the tentative peak of the op's own members on the fly.  Membership
+        // is a bit probe into the dense row.
         let mut total = 0.0f64;
         for &j in &self.class_members[class.index()] {
             let m = j as usize;
-            let value = if row.binary_search(&j).is_ok() {
+            let value = if bit_is_set(bits, m) {
                 let mut new_peak = self.peak[m];
                 for t in step..step + latency {
                     new_peak = new_peak.max(self.load_at(m, t) + share);
@@ -506,10 +556,11 @@ impl ResourceConstraint for DenseSchedulingSetBound {
             return false;
         }
         let share = 1.0 / row.len() as f64;
+        let bits = &self.row_bits[op.index() * self.row_words..][..self.row_words];
         let mut total = 0.0f64;
         for &j in &self.class_members[class.index()] {
             let m = j as usize;
-            let value = if row.binary_search(&j).is_ok() {
+            let value = if bit_is_set(bits, m) {
                 self.peak[m].max(share)
             } else {
                 self.peak[m]

@@ -72,6 +72,8 @@ pub struct SchedScratch {
     start: Vec<Option<Cycles>>,
     priority: Vec<Cycles>,
     ready: Vec<OpId>,
+    dfs_state: Vec<u8>,
+    dfs_stack: Vec<OpId>,
 }
 
 impl SchedScratch {
@@ -134,8 +136,10 @@ impl ListScheduler {
             start,
             priority,
             ready,
+            dfs_state,
+            dfs_stack,
         } = scratch;
-        self.priority_values_into(graph, latencies, priority);
+        self.priority_values_into(graph, latencies, priority, dfs_state, dfs_stack);
         start.clear();
         start.resize(n, None);
 
@@ -209,23 +213,61 @@ impl ListScheduler {
 
     /// Longest path from each operation to any sink, including the
     /// operation's own latency (classic list-scheduling urgency metric).
+    ///
+    /// Computed by an iterative post-order walk over the successor lists so
+    /// the per-iteration scheduling loop never materialises a topological
+    /// order.  In a DAG a gray (expanded, unfinished) node can never be a
+    /// successor of the node being finished — that would close a cycle — so
+    /// every successor's value is final when read.
     fn priority_values_into(
         &self,
         graph: &SequencingGraph,
         latencies: &OpLatencies,
         value: &mut Vec<Cycles>,
+        state: &mut Vec<u8>,
+        stack: &mut Vec<OpId>,
     ) {
-        let order = graph.topological_order();
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
         value.clear();
         value.resize(graph.len(), 0);
-        for &v in order.iter().rev() {
-            let tail = graph
-                .successors(v)
-                .iter()
-                .map(|&s| value[s.index()])
-                .max()
-                .unwrap_or(0);
-            value[v.index()] = tail + latencies.get(v);
+        state.clear();
+        state.resize(graph.len(), WHITE);
+        for root in graph.op_ids() {
+            if state[root.index()] != WHITE {
+                continue;
+            }
+            stack.push(root);
+            while let Some(&v) = stack.last() {
+                match state[v.index()] {
+                    WHITE => {
+                        state[v.index()] = GRAY;
+                        stack.extend(
+                            graph
+                                .successors(v)
+                                .iter()
+                                .copied()
+                                .filter(|&s| state[s.index()] == WHITE),
+                        );
+                    }
+                    GRAY => {
+                        stack.pop();
+                        let tail = graph
+                            .successors(v)
+                            .iter()
+                            .map(|&s| value[s.index()])
+                            .max()
+                            .unwrap_or(0);
+                        value[v.index()] = tail + latencies.get(v);
+                        state[v.index()] = 2; // black: finished
+                    }
+                    _ => {
+                        // A duplicate of an already-finished node (pushed
+                        // white by two parents before its first expansion).
+                        stack.pop();
+                    }
+                }
+            }
         }
     }
 

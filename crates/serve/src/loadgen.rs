@@ -111,8 +111,16 @@ pub struct FaultChecks {
 pub struct LoadReport {
     /// Jobs submitted across all waves (excluding the fault phase).
     pub submitted: u64,
-    /// Results received with status ok.
-    pub ok: u64,
+    /// Ok results from the measured waves (plain, portfolio and shutdown
+    /// drain) — the jobs counted in `submitted`.  When no job failed,
+    /// `ok_waves == submitted` by construction; earlier schema versions
+    /// published a single `ok` that also absorbed the fault phase, which is
+    /// why the committed artifact could show `ok > submitted`.
+    pub ok_waves: u64,
+    /// Ok results from the fault-exercise phase (queue-full burst and
+    /// cancellation fillers).  These jobs are deliberately *not* part of
+    /// `submitted`: they measure fault handling, not throughput.
+    pub ok_faults: u64,
     /// Results received with status failed.
     pub failed: u64,
     /// Results received with status cancelled.
@@ -166,9 +174,10 @@ impl LoadReport {
         let s = &self.server;
         let h = &self.latency_hist;
         format!(
-            "{{\n  \"schema\": \"mwl_serve_loadgen/v4\",\n  \"jobs\": {{\"submitted\": {}, \"ok\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n  \"certificate\": \"{}\",\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"latency_histogram_ns\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"portfolio\": {{\"jobs\": {}, \"improved\": {}, \"area_saved\": {}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"skipped_large_queue\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}, \"queue_capacity\": {}}}\n}}\n",
+            "{{\n  \"schema\": \"mwl_serve_loadgen/v5\",\n  \"jobs\": {{\"submitted\": {}, \"ok_waves\": {}, \"ok_faults\": {}, \"failed\": {}, \"cancelled\": {}}},\n  \"area_breakdown\": {{\"fu\": {}, \"register\": {}, \"mux\": {}}},\n  \"certificate\": \"{}\",\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \"latency_histogram_ns\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}},\n  \"throughput\": {{\"wall_seconds\": {:.6}, \"graphs_per_sec\": {:.3}}},\n  \"dedup\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n  \"portfolio\": {{\"jobs\": {}, \"improved\": {}, \"area_saved\": {}}},\n  \"rejections\": {{\"total\": {}, \"queue_full\": {}}},\n  \"faults\": {{\"queue_full_exercised\": {}, \"skipped_large_queue\": {}, \"cancellation_exercised\": {}, \"malformed_line_answered\": {}}},\n  \"shutdown\": {{\"requested\": {}, \"drained\": {}}},\n  \"server\": {{\"accepted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"rejected\": {}, \"dedup_hits\": {}, \"dedup_misses\": {}, \"workers\": {}, \"queue_capacity\": {}}}\n}}\n",
             self.submitted,
-            self.ok,
+            self.ok_waves,
+            self.ok_faults,
             self.failed,
             self.cancelled,
             self.area_breakdown.fu,
@@ -236,7 +245,11 @@ fn to_submit(id: u64, job: &BatchJob, priority: i64) -> SubmitRequest {
 struct Pipeline {
     pending: HashMap<u64, Instant>,
     latencies_ms: Vec<f64>,
-    ok: u64,
+    ok_waves: u64,
+    ok_faults: u64,
+    /// Set while the fault-exercise phase runs, so its ok results are
+    /// tallied separately from the measured waves.
+    fault_phase: bool,
     failed: u64,
     cancelled: u64,
     rejections: u64,
@@ -254,7 +267,11 @@ impl Pipeline {
     fn tally(&mut self, outcome: &WireOutcome) {
         match outcome {
             WireOutcome::Ok(stats) => {
-                self.ok += 1;
+                if self.fault_phase {
+                    self.ok_faults += 1;
+                } else {
+                    self.ok_waves += 1;
+                }
                 self.area.fu += stats.area_breakdown.fu;
                 self.area.register += stats.area_breakdown.register;
                 self.area.mux += stats.area_breakdown.mux;
@@ -327,7 +344,9 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
     let mut pipeline = Pipeline {
         pending: HashMap::new(),
         latencies_ms: Vec::new(),
-        ok: 0,
+        ok_waves: 0,
+        ok_faults: 0,
+        fault_phase: false,
         failed: 0,
         cancelled: 0,
         rejections: 0,
@@ -383,7 +402,9 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
 
     let mut faults = FaultChecks::default();
     if config.exercise_faults {
+        pipeline.fault_phase = true;
         faults = exercise_faults(&mut client, &mut pipeline, &mut next_id)?;
+        pipeline.fault_phase = false;
     }
 
     let mut drained = 0;
@@ -435,7 +456,8 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadReport, ClientError> {
     let denominator = server.dedup_hits + server.dedup_misses;
     Ok(LoadReport {
         submitted,
-        ok: pipeline.ok,
+        ok_waves: pipeline.ok_waves,
+        ok_faults: pipeline.ok_faults,
         failed: pipeline.failed,
         cancelled: pipeline.cancelled,
         rejections: pipeline.rejections,
@@ -614,7 +636,8 @@ mod tests {
     fn report_json_is_schema_stable() {
         let report = LoadReport {
             submitted: 10,
-            ok: 9,
+            ok_waves: 10,
+            ok_faults: 6,
             failed: 0,
             cancelled: 1,
             rejections: 3,
@@ -663,7 +686,8 @@ mod tests {
         };
         let json = report.to_json();
         for key in [
-            "\"schema\": \"mwl_serve_loadgen/v4\"",
+            "\"schema\": \"mwl_serve_loadgen/v5\"",
+            "\"jobs\": {\"submitted\": 10, \"ok_waves\": 10, \"ok_faults\": 6, \"failed\": 0, \"cancelled\": 1}",
             "\"latency_histogram_ns\": {\"count\": 2, \"min\": 1500000, \"max\": 9250000,",
             "\"portfolio\": {\"jobs\": 14, \"improved\": 3, \"area_saved\": 120}",
             "\"area_breakdown\": {\"fu\": 4200, \"register\": 96, \"mux\": 30}",

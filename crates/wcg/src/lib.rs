@@ -44,6 +44,46 @@ use mwl_sched::{OpLatencies, Schedule};
 /// Index of a resource-wordlength type within the graph's resource list.
 pub type ResourceIndex = usize;
 
+/// Which kernel implementations the graph's chain/clique queries dispatch to.
+///
+/// [`Bitset`](KernelMode::Bitset) (the default) runs the word-parallel
+/// popcount/AND kernels over the dense `u64` adjacency rows.
+/// [`Oracle`](KernelMode::Oracle) runs the original sorted-`Vec` kernels the
+/// bitset paths were derived from; it is retained as the equivalence oracle
+/// for the property suites and as the "before" arm of the stage-attributed
+/// perf gate.  Both modes answer every query identically — the mode only
+/// selects *how* the answer is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Word-parallel bitset kernels (default).
+    #[default]
+    Bitset,
+    /// The retained sorted-`Vec` kernels, used as a test oracle.
+    Oracle,
+}
+
+const WORD_BITS: usize = u64::BITS as usize;
+
+#[inline]
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+#[inline]
+fn bit_is_set(words: &[u64], bit: usize) -> bool {
+    words[bit / WORD_BITS] >> (bit % WORD_BITS) & 1 == 1
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], bit: usize) {
+    words[bit / WORD_BITS] |= 1 << (bit % WORD_BITS);
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], bit: usize) {
+    words[bit / WORD_BITS] &= !(1 << (bit % WORD_BITS));
+}
+
 /// Reusable buffers for
 /// [`WordlengthCompatibilityGraph::max_chain_into`]: the candidate list and
 /// the longest-chain dynamic-programming tables.
@@ -105,6 +145,41 @@ pub struct WordlengthCompatibilityGraph {
     intervals: Vec<(Cycles, Cycles)>,
     /// Whether `intervals` currently holds an attached schedule.
     scheduled: bool,
+    /// Which kernel family the chain/clique queries dispatch to.
+    kernel_mode: KernelMode,
+    /// Words per op row in `op_rows` (`ceil(|R| / 64)`).
+    res_words: usize,
+    /// Words per resource column in `resource_cols` and per op row in
+    /// `compat` (`ceil(|O| / 64)`).
+    op_words: usize,
+    /// Dense `H` adjacency per operation: bit `r` of row `o` is set iff the
+    /// edge `{o, r}` is present.  Flat, stride `res_words`.
+    op_rows: Vec<u64>,
+    /// Dense `H` adjacency per resource (the transpose of `op_rows`): bit
+    /// `o` of column `r` is set iff `{o, r}` is present.  Flat, stride
+    /// `op_words`.
+    resource_cols: Vec<u64>,
+    /// Undirected time-compatibility masks (the symmetric closure of the `C`
+    /// edges): bit `j` of row `i` is set iff the execution intervals of `i`
+    /// and `j` are disjoint.  Flat, stride `op_words`; valid only while a
+    /// schedule is attached.
+    compat: Vec<u64>,
+    /// All operations sorted by `(start, end, id)` under the attached
+    /// schedule — the shared candidate order of every `max_chain` query.
+    start_order: Vec<OpId>,
+    /// Unrefined copies of the refinement-mutable `H` tables, captured by
+    /// [`snapshot_pristine`](Self::snapshot_pristine).
+    pristine_edges: Vec<Vec<ResourceIndex>>,
+    /// See `pristine_edges`.
+    pristine_resource_ops: Vec<Vec<OpId>>,
+    /// See `pristine_edges`.
+    pristine_upper: Vec<Cycles>,
+    /// See `pristine_edges`.
+    pristine_op_rows: Vec<u64>,
+    /// See `pristine_edges`.
+    pristine_resource_cols: Vec<u64>,
+    /// Whether the pristine buffers hold a snapshot of the current problem.
+    pristine_valid: bool,
 }
 
 impl Default for WordlengthCompatibilityGraph {
@@ -120,6 +195,19 @@ impl Default for WordlengthCompatibilityGraph {
             upper: Vec::new(),
             intervals: Vec::new(),
             scheduled: false,
+            kernel_mode: KernelMode::default(),
+            res_words: 0,
+            op_words: 0,
+            op_rows: Vec::new(),
+            resource_cols: Vec::new(),
+            compat: Vec::new(),
+            start_order: Vec::new(),
+            pristine_edges: Vec::new(),
+            pristine_resource_ops: Vec::new(),
+            pristine_upper: Vec::new(),
+            pristine_op_rows: Vec::new(),
+            pristine_resource_cols: Vec::new(),
+            pristine_valid: false,
         }
     }
 }
@@ -189,6 +277,12 @@ impl WordlengthCompatibilityGraph {
         }
         self.upper.clear();
         self.upper.resize(n, 0);
+        self.res_words = words_for(num_resources);
+        self.op_words = words_for(n);
+        self.op_rows.clear();
+        self.op_rows.resize(n * self.res_words, 0);
+        self.resource_cols.clear();
+        self.resource_cols.resize(num_resources * self.op_words, 0);
         for (i, op) in graph.operations().iter().enumerate() {
             let shape = op.shape();
             self.edges[i].clear();
@@ -196,6 +290,8 @@ impl WordlengthCompatibilityGraph {
                 if self.resources[j].covers(shape) {
                     self.edges[i].push(j);
                     self.resource_ops[j].push(OpId::new(i as u32));
+                    set_bit(&mut self.op_rows[i * self.res_words..], j);
+                    set_bit(&mut self.resource_cols[j * self.op_words..], i);
                 }
             }
             self.upper[i] = self.edges[i]
@@ -206,6 +302,67 @@ impl WordlengthCompatibilityGraph {
         }
         self.intervals.clear();
         self.scheduled = false;
+        self.pristine_valid = false;
+    }
+
+    /// Captures the current — typically just-rebuilt, unrefined — `H`
+    /// tables so a later [`restore_pristine`](Self::restore_pristine) can
+    /// undo every refinement deletion without re-deriving the graph.  The
+    /// allocator snapshots once per job and restores per resource-bound
+    /// escalation: restoring is a handful of flat copies, where a full
+    /// [`rebuild`](Self::rebuild) re-extracts the resource set and
+    /// re-queries the cost model.
+    pub fn snapshot_pristine(&mut self) {
+        self.pristine_edges.clone_from(&self.edges);
+        self.pristine_resource_ops.clone_from(&self.resource_ops);
+        self.pristine_upper.clone_from(&self.upper);
+        self.pristine_op_rows.clone_from(&self.op_rows);
+        self.pristine_resource_cols.clone_from(&self.resource_cols);
+        self.pristine_valid = true;
+    }
+
+    /// Restores the tables captured by
+    /// [`snapshot_pristine`](Self::snapshot_pristine) and detaches any
+    /// schedule — observably identical to a fresh
+    /// [`rebuild`](Self::rebuild) with the same graph and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot was taken since the last rebuild.
+    pub fn restore_pristine(&mut self) {
+        assert!(
+            self.pristine_valid,
+            "restore_pristine without a snapshot of the current problem"
+        );
+        self.edges.clone_from(&self.pristine_edges);
+        self.resource_ops.clone_from(&self.pristine_resource_ops);
+        self.upper.clone_from(&self.pristine_upper);
+        self.op_rows.clone_from(&self.pristine_op_rows);
+        self.resource_cols.clone_from(&self.pristine_resource_cols);
+        self.intervals.clear();
+        self.scheduled = false;
+    }
+
+    /// Selects the kernel family ([`KernelMode`]) the chain/clique queries
+    /// dispatch to.  The mode survives [`rebuild`](Self::rebuild) — it is a
+    /// property of the workspace, not of one problem.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.kernel_mode = mode;
+    }
+
+    /// The active kernel family.
+    #[must_use]
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel_mode
+    }
+
+    /// Words per operation-set mask (`ceil(|O| / 64)`) — the stride callers
+    /// of [`mask_covered_by`](Self::mask_covered_by) and
+    /// [`mask_is_chain`](Self::mask_is_chain) must use.
+    #[must_use]
+    #[inline]
+    pub fn op_mask_words(&self) -> usize {
+        self.op_words
     }
 
     /// Number of operations `|O|`.
@@ -262,7 +419,12 @@ impl WordlengthCompatibilityGraph {
     #[must_use]
     #[inline]
     pub fn has_edge(&self, op: OpId, resource: ResourceIndex) -> bool {
-        self.edges[op.index()].binary_search(&resource).is_ok()
+        match self.kernel_mode {
+            KernelMode::Bitset => {
+                bit_is_set(&self.op_rows[op.index() * self.res_words..], resource)
+            }
+            KernelMode::Oracle => self.edges[op.index()].binary_search(&resource).is_ok(),
+        }
     }
 
     /// The operations compatible with a resource type (`O(r)`).
@@ -355,6 +517,12 @@ impl WordlengthCompatibilityGraph {
         }
     }
 
+    /// Clears the dense-adjacency bits of one `H` edge.
+    fn clear_edge_bits(&mut self, op: usize, resource: ResourceIndex) {
+        clear_bit(&mut self.op_rows[op * self.res_words..], resource);
+        clear_bit(&mut self.resource_cols[resource * self.op_words..], op);
+    }
+
     /// Deletes a single `H` edge.  Returns `true` if the edge existed.
     pub fn delete_edge(&mut self, op: OpId, resource: ResourceIndex) -> bool {
         let row = &mut self.edges[op.index()];
@@ -363,6 +531,7 @@ impl WordlengthCompatibilityGraph {
         };
         row.remove(pos);
         self.unlink_resource(op, resource);
+        self.clear_edge_bits(op.index(), resource);
         self.refresh_upper(op.index());
         true
     }
@@ -374,6 +543,46 @@ impl WordlengthCompatibilityGraph {
     ///
     /// Returns the number of edges removed.
     pub fn refine_op(&mut self, op: OpId) -> usize {
+        match self.kernel_mode {
+            KernelMode::Bitset => self.refine_op_inplace(op),
+            KernelMode::Oracle => self.refine_op_oracle(op),
+        }
+    }
+
+    /// Allocation-free refinement: deletes the at-bound edges in place.  An
+    /// operation whose every remaining candidate sits at the bound latency
+    /// cannot be refined without being stranded (that is exactly the
+    /// "single distinct latency" case), so the early return is equivalent to
+    /// the oracle's `slow.len() == row.len() && !refinable` guard — and once
+    /// a faster edge is known to survive, the deletion loop can never remove
+    /// the last edge.
+    fn refine_op_inplace(&mut self, op: OpId) -> usize {
+        let bound = self.upper_bound_latency(op);
+        if self.edges[op.index()]
+            .iter()
+            .all(|&r| self.latencies[r] == bound)
+        {
+            return 0;
+        }
+        let mut removed = 0;
+        let mut i = 0;
+        while i < self.edges[op.index()].len() {
+            let r = self.edges[op.index()][i];
+            if self.latencies[r] == bound {
+                self.edges[op.index()].remove(i);
+                self.unlink_resource(op, r);
+                self.clear_edge_bits(op.index(), r);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        self.refresh_upper(op.index());
+        removed
+    }
+
+    /// The retained sorted-`Vec` refinement kernel ([`KernelMode::Oracle`]).
+    fn refine_op_oracle(&mut self, op: OpId) -> usize {
         let bound = self.upper_bound_latency(op);
         let row = &self.edges[op.index()];
         let slow: Vec<ResourceIndex> = row
@@ -419,6 +628,26 @@ impl WordlengthCompatibilityGraph {
             let op = OpId::new(i as u32);
             (schedule.start(op), schedule.end(op, latencies))
         }));
+        let n = self.num_ops();
+        let intervals = &self.intervals;
+        self.start_order.clear();
+        self.start_order.extend((0..n).map(|i| OpId::new(i as u32)));
+        self.start_order
+            .sort_unstable_by_key(|o| (intervals[o.index()].0, intervals[o.index()].1, *o));
+        self.compat.clear();
+        self.compat.resize(n * self.op_words, 0);
+        for i in 0..n {
+            let (start_i, end_i) = self.intervals[i];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (start_j, end_j) = self.intervals[j];
+                if end_i <= start_j || end_j <= start_i {
+                    set_bit(&mut self.compat[i * self.op_words..], j);
+                }
+            }
+        }
         self.scheduled = true;
     }
 
@@ -462,12 +691,93 @@ impl WordlengthCompatibilityGraph {
     /// Panics if no schedule is attached.
     #[must_use]
     pub fn is_chain(&self, ops: &[OpId]) -> bool {
+        match self.kernel_mode {
+            KernelMode::Bitset => {
+                // A set of operations is a chain iff every pair is
+                // time-compatible (pairwise-disjoint intervals can always be
+                // ordered by start time), so the query reduces to probes of
+                // the `compat` masks — no sort, no allocation.
+                let _ = self.intervals("compatibility queries");
+                ops.iter().enumerate().all(|(idx, &a)| {
+                    let row = &self.compat[a.index() * self.op_words..];
+                    ops[idx + 1..].iter().all(|&b| bit_is_set(row, b.index()))
+                })
+            }
+            KernelMode::Oracle => self.is_chain_oracle(ops),
+        }
+    }
+
+    /// The retained sort-based chain test ([`KernelMode::Oracle`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule is attached.
+    #[must_use]
+    pub fn is_chain_oracle(&self, ops: &[OpId]) -> bool {
         let intervals = self.intervals("compatibility queries");
         let mut sorted: Vec<OpId> = ops.to_vec();
         sorted.sort_by_key(|o| intervals[o.index()].0);
         sorted
             .windows(2)
             .all(|w| intervals[w[0].index()].1 <= intervals[w[1].index()].0)
+    }
+
+    /// Returns `true` if every operation in the mask (stride
+    /// [`op_mask_words`](Self::op_mask_words)) is `H`-compatible with the
+    /// given resource — the word-parallel form of the clique-growth cover
+    /// check (`mask ∧ ¬O(r) = ∅`).
+    #[must_use]
+    #[inline]
+    pub fn mask_covered_by(&self, mask: &[u64], resource: ResourceIndex) -> bool {
+        let col = &self.resource_cols[resource * self.op_words..][..self.op_words];
+        mask.iter().zip(col).all(|(&m, &c)| m & !c == 0)
+    }
+
+    /// Number of operations in the mask (stride
+    /// [`op_mask_words`](Self::op_mask_words)) that are `H`-compatible with
+    /// the given resource: `popcount(mask ∧ O(r))`.  An upper bound on the
+    /// length of any chain of masked operations on `resource`, which lets
+    /// `BindSelect` skip resources that cannot beat the incumbent ratio
+    /// without running the chain DP.
+    #[must_use]
+    #[inline]
+    pub fn mask_candidate_count(&self, mask: &[u64], resource: ResourceIndex) -> usize {
+        let col = &self.resource_cols[resource * self.op_words..][..self.op_words];
+        mask.iter()
+            .zip(col)
+            .map(|(&m, &c)| (m & c).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `true` if the operations in the mask (stride
+    /// [`op_mask_words`](Self::op_mask_words)) are pairwise time-compatible:
+    /// for every member `i`, the mask minus `i` must sit inside `i`'s
+    /// compatibility row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule is attached.
+    #[must_use]
+    pub fn mask_is_chain(&self, mask: &[u64]) -> bool {
+        let _ = self.intervals("compatibility queries");
+        for (w, &word) in mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let row = &self.compat[(w * WORD_BITS + b) * self.op_words..][..self.op_words];
+                for (v, (&m, &c)) in mask.iter().zip(row).enumerate() {
+                    let mut others = m & !c;
+                    if v == w {
+                        others &= !(1u64 << b);
+                    }
+                    if others != 0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Finds a maximum clique of *uncovered* operations within `O(r)`.
@@ -511,13 +821,30 @@ impl WordlengthCompatibilityGraph {
             prev,
         } = scratch;
         candidates.clear();
-        candidates.extend(
-            self.resource_ops[resource]
-                .iter()
-                .copied()
-                .filter(|o| !covered[o.index()]),
-        );
-        candidates.sort_by_key(|o| (intervals[o.index()].0, intervals[o.index()].1, *o));
+        match self.kernel_mode {
+            KernelMode::Bitset => {
+                // `start_order` is already sorted by the total key
+                // `(start, end, id)`, so filtering it by the resource-column
+                // bit yields exactly the sequence the oracle produces by
+                // sorting the filtered `O(r)` list.
+                let col = &self.resource_cols[resource * self.op_words..][..self.op_words];
+                candidates.extend(
+                    self.start_order
+                        .iter()
+                        .copied()
+                        .filter(|o| !covered[o.index()] && bit_is_set(col, o.index())),
+                );
+            }
+            KernelMode::Oracle => {
+                candidates.extend(
+                    self.resource_ops[resource]
+                        .iter()
+                        .copied()
+                        .filter(|o| !covered[o.index()]),
+                );
+                candidates.sort_by_key(|o| (intervals[o.index()].0, intervals[o.index()].1, *o));
+            }
+        }
         let k = candidates.len();
         if k == 0 {
             return;
@@ -550,6 +877,25 @@ impl WordlengthCompatibilityGraph {
     /// given set, if one exists.
     #[must_use]
     pub fn cheapest_common_resource(&self, ops: &[OpId]) -> Option<ResourceIndex> {
+        if self.kernel_mode == KernelMode::Bitset && !ops.is_empty() {
+            // AND the op rows word by word; surviving bits are the common
+            // resources.  Words past the resource count are always zero.
+            let mut best: Option<ResourceIndex> = None;
+            for w in 0..self.res_words {
+                let mut acc = u64::MAX;
+                for &o in ops {
+                    acc &= self.op_rows[o.index() * self.res_words + w];
+                }
+                while acc != 0 {
+                    let r = w * WORD_BITS + acc.trailing_zeros() as usize;
+                    acc &= acc - 1;
+                    if best.is_none_or(|b| (self.areas[r], r) < (self.areas[b], b)) {
+                        best = Some(r);
+                    }
+                }
+            }
+            return best;
+        }
         (0..self.resources.len())
             .filter(|&r| ops.iter().all(|&o| self.has_edge(o, r)))
             .min_by_key(|&r| (self.areas[r], r))
@@ -812,6 +1158,105 @@ mod tests {
         for r in wcg.resources() {
             assert!(s.contains(&r.to_string()));
         }
+    }
+
+    /// Runs `f` against the sample graph in both kernel modes and asserts the
+    /// results agree.
+    fn assert_modes_agree<T: PartialEq + std::fmt::Debug>(
+        f: impl Fn(&WordlengthCompatibilityGraph) -> T,
+    ) {
+        let (g, mut wcg) = sample();
+        let lat = wcg.upper_bound_latencies();
+        let schedule = asap(&g, &lat);
+        wcg.attach_schedule(&schedule, &lat);
+        assert_eq!(wcg.kernel_mode(), KernelMode::Bitset);
+        let fast = f(&wcg);
+        wcg.set_kernel_mode(KernelMode::Oracle);
+        assert_eq!(fast, f(&wcg));
+    }
+
+    #[test]
+    fn kernel_modes_agree_on_sample_queries() {
+        let ids: Vec<OpId> = (0..4).map(OpId::new).collect();
+        assert_modes_agree(|wcg| {
+            let mut out = Vec::new();
+            for a in &ids {
+                for b in &ids {
+                    out.push((
+                        wcg.is_chain(&[*a, *b]),
+                        wcg.cheapest_common_resource(&[*a, *b]),
+                        (0..wcg.resources().len())
+                            .map(|r| wcg.has_edge(*a, r))
+                            .collect::<Vec<bool>>(),
+                    ));
+                }
+            }
+            out
+        });
+        assert_modes_agree(|wcg| {
+            let mut out = Vec::new();
+            for r in 0..wcg.resources().len() {
+                out.push(wcg.max_chain(r, &[false; 4]));
+                out.push(wcg.max_chain(r, &[true, false, true, false]));
+            }
+            out
+        });
+    }
+
+    #[test]
+    fn refine_agrees_across_kernel_modes() {
+        let (_, mut fast) = sample();
+        let (_, mut oracle) = sample();
+        oracle.set_kernel_mode(KernelMode::Oracle);
+        for i in 0..4 {
+            let op = OpId::new(i);
+            loop {
+                let removed = fast.refine_op(op);
+                assert_eq!(removed, oracle.refine_op(op));
+                assert_eq!(fast.resources_for(op), oracle.resources_for(op));
+                assert_eq!(fast.upper_bound_latency(op), oracle.upper_bound_latency(op));
+                if removed == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_kernels_match_slice_kernels() {
+        let (g, mut wcg) = sample();
+        let lat = wcg.upper_bound_latencies();
+        let schedule = asap(&g, &lat);
+        wcg.attach_schedule(&schedule, &lat);
+        let words = wcg.op_mask_words();
+        let sets: Vec<Vec<OpId>> = vec![
+            vec![OpId::new(0)],
+            vec![OpId::new(0), OpId::new(3)],
+            vec![OpId::new(0), OpId::new(1)],
+            vec![OpId::new(0), OpId::new(1), OpId::new(2), OpId::new(3)],
+        ];
+        for ops in &sets {
+            let mut mask = vec![0u64; words];
+            for o in ops {
+                mask[o.index() / 64] |= 1 << (o.index() % 64);
+            }
+            assert_eq!(wcg.mask_is_chain(&mask), wcg.is_chain(ops));
+            for r in 0..wcg.resources().len() {
+                assert_eq!(
+                    wcg.mask_covered_by(&mask, r),
+                    ops.iter().all(|&o| wcg.has_edge(o, r))
+                );
+            }
+        }
+        assert!(wcg.mask_is_chain(&vec![0u64; words]));
+    }
+
+    #[test]
+    fn kernel_mode_survives_rebuild() {
+        let (g, mut wcg) = sample();
+        wcg.set_kernel_mode(KernelMode::Oracle);
+        wcg.rebuild(&g, &SonicCostModel::default());
+        assert_eq!(wcg.kernel_mode(), KernelMode::Oracle);
     }
 
     #[test]

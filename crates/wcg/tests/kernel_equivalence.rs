@@ -1,0 +1,259 @@
+//! Bitset-kernel equivalence: every word-parallel query of the wordlength
+//! compatibility graph must return exactly what the retained sorted-`Vec`
+//! oracle ([`KernelMode::Oracle`]) returns, across all `GraphShape` ×
+//! `WidthProfile` families, through refinement, and regardless of whether
+//! the chain scratch is warm or fresh.
+//!
+//! The oracle is the pre-bitset implementation kept alive precisely for
+//! these tests; the allocator-level identity against the frozen reference
+//! lives in `mwl_core/tests/optimization_identity.rs`.
+
+use proptest::prelude::*;
+
+use mwl_model::{OpId, SonicCostModel};
+use mwl_sched::asap;
+use mwl_tgff::{GraphShape, TgffConfig, TgffGenerator, WidthProfile};
+use mwl_wcg::{ChainScratch, KernelMode, WordlengthCompatibilityGraph};
+
+/// One generated problem covering the full scenario space.
+#[derive(Debug, Clone)]
+struct Case {
+    shape: GraphShape,
+    widths: WidthProfile,
+    ops: usize,
+    seed: u64,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        prop_oneof![
+            Just(GraphShape::Layered),
+            Just(GraphShape::Wide),
+            Just(GraphShape::Deep),
+            Just(GraphShape::Diamond),
+        ],
+        prop_oneof![
+            Just(WidthProfile::Uniform),
+            Just(WidthProfile::Mixed { high_fraction: 0.3 }),
+            Just(WidthProfile::Mixed { high_fraction: 0.7 }),
+        ],
+        1usize..=14,
+        0u64..=2000,
+    )
+        .prop_map(|(shape, widths, ops, seed)| Case {
+            shape,
+            widths,
+            ops,
+            seed,
+        })
+}
+
+fn build(case: &Case) -> mwl_model::SequencingGraph {
+    let config = TgffConfig::with_ops(case.ops)
+        .shape(case.shape)
+        .width_profile(case.widths);
+    TgffGenerator::new(config, case.seed).generate()
+}
+
+/// Builds the twin graphs — same problem, opposite kernel modes — with a
+/// shared ASAP schedule attached.
+fn scheduled_twins(
+    graph: &mwl_model::SequencingGraph,
+    cost: &SonicCostModel,
+) -> (WordlengthCompatibilityGraph, WordlengthCompatibilityGraph) {
+    let mut bitset = WordlengthCompatibilityGraph::new(graph, cost);
+    let mut oracle = WordlengthCompatibilityGraph::new(graph, cost);
+    oracle.set_kernel_mode(KernelMode::Oracle);
+    let upper = bitset.upper_bound_latencies();
+    let schedule = asap(graph, &upper);
+    bitset.attach_schedule(&schedule, &upper);
+    oracle.attach_schedule(&schedule, &upper);
+    (bitset, oracle)
+}
+
+/// Deterministic bit source for subset sampling (no `rand` dev-dependency
+/// here; proptest drives the seed).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Structural queries agree between the kernels: edge probes, candidate
+    /// lists, per-resource operation lists and edge counts, and the
+    /// cheapest-common-resource selection for arbitrary op subsets.
+    #[test]
+    fn structure_queries_match_oracle(case in case_strategy(), subset_seed in any::<u64>()) {
+        let graph = build(&case);
+        let cost = SonicCostModel::default();
+        let (bitset, oracle) = scheduled_twins(&graph, &cost);
+
+        for op in graph.op_ids() {
+            prop_assert_eq!(bitset.resources_for(op), oracle.resources_for(op));
+            for r in 0..bitset.resources().len() {
+                prop_assert_eq!(bitset.has_edge(op, r), oracle.has_edge(op, r));
+            }
+        }
+        for r in 0..bitset.resources().len() {
+            prop_assert_eq!(bitset.ops_for(r), oracle.ops_for(r));
+            prop_assert_eq!(bitset.resource_edge_count(r), oracle.resource_edge_count(r));
+        }
+
+        let mut state = subset_seed;
+        let ids: Vec<OpId> = graph.op_ids().collect();
+        for _ in 0..8 {
+            let mask = splitmix(&mut state);
+            let subset: Vec<OpId> = ids
+                .iter()
+                .copied()
+                .filter(|o| mask & (1 << (o.index() % 64)) != 0)
+                .collect();
+            prop_assert_eq!(
+                bitset.cheapest_common_resource(&subset),
+                oracle.cheapest_common_resource(&subset)
+            );
+        }
+    }
+
+    /// `is_chain` agrees with the sort-based oracle on arbitrary subsets
+    /// (both through the mode dispatch and via `is_chain_oracle` directly),
+    /// and the mask form agrees with the slice form.
+    #[test]
+    fn is_chain_matches_oracle(case in case_strategy(), subset_seed in any::<u64>()) {
+        let graph = build(&case);
+        let cost = SonicCostModel::default();
+        let (bitset, oracle) = scheduled_twins(&graph, &cost);
+        let ids: Vec<OpId> = graph.op_ids().collect();
+
+        let mut state = subset_seed;
+        let words = bitset.op_mask_words();
+        for round in 0..12 {
+            let sample = splitmix(&mut state);
+            let subset: Vec<OpId> = ids
+                .iter()
+                .copied()
+                .filter(|o| sample & (1 << (o.index() % 64)) != 0)
+                .collect();
+            // Mix in real chains so the `true` branch is exercised, not just
+            // random (usually incompatible) subsets.
+            let subset = if round % 3 == 0 && !bitset.resources().is_empty() {
+                let covered = vec![false; graph.len()];
+                bitset.max_chain(round % bitset.resources().len(), &covered)
+            } else {
+                subset
+            };
+            let expected = oracle.is_chain(&subset);
+            prop_assert_eq!(bitset.is_chain(&subset), expected);
+            prop_assert_eq!(bitset.is_chain_oracle(&subset), expected);
+
+            let mut mask = vec![0u64; words];
+            for &op in &subset {
+                mask[op.index() / 64] |= 1 << (op.index() % 64);
+            }
+            prop_assert_eq!(bitset.mask_is_chain(&mask), expected);
+        }
+    }
+
+    /// `max_chain_into` produces the identical chain under both kernels, for
+    /// every resource and for arbitrary covered sets — and a warm scratch
+    /// (reused across every query) is indistinguishable from a fresh one.
+    #[test]
+    fn max_chain_matches_oracle_warm_and_fresh(
+        case in case_strategy(),
+        covered_seed in any::<u64>(),
+    ) {
+        let graph = build(&case);
+        let cost = SonicCostModel::default();
+        let (bitset, oracle) = scheduled_twins(&graph, &cost);
+
+        let mut state = covered_seed;
+        let mut warm = ChainScratch::default();
+        let mut warm_chain = Vec::new();
+        for round in 0..4 {
+            let sample = splitmix(&mut state);
+            let covered: Vec<bool> = (0..graph.len())
+                .map(|i| round > 0 && sample & (1 << (i % 64)) != 0)
+                .collect();
+            for r in 0..bitset.resources().len() {
+                let expected = oracle.max_chain(r, &covered);
+                prop_assert_eq!(&bitset.max_chain(r, &covered), &expected);
+                bitset.max_chain_into(r, &covered, &mut warm, &mut warm_chain);
+                prop_assert_eq!(&warm_chain, &expected);
+            }
+        }
+    }
+
+    /// The mask-form clique-growth primitives agree with their scalar
+    /// definitions: `mask_covered_by` ⇔ every masked op has the H edge,
+    /// `mask_candidate_count` = |mask ∩ O(r)|.
+    #[test]
+    fn mask_primitives_match_scalar_definitions(
+        case in case_strategy(),
+        mask_seed in any::<u64>(),
+    ) {
+        let graph = build(&case);
+        let cost = SonicCostModel::default();
+        let (bitset, oracle) = scheduled_twins(&graph, &cost);
+        let ids: Vec<OpId> = graph.op_ids().collect();
+        let words = bitset.op_mask_words();
+
+        let mut state = mask_seed;
+        for _ in 0..8 {
+            let sample = splitmix(&mut state);
+            let subset: Vec<OpId> = ids
+                .iter()
+                .copied()
+                .filter(|o| sample & (1 << (o.index() % 64)) != 0)
+                .collect();
+            let mut mask = vec![0u64; words];
+            for &op in &subset {
+                mask[op.index() / 64] |= 1 << (op.index() % 64);
+            }
+            for r in 0..bitset.resources().len() {
+                prop_assert_eq!(
+                    bitset.mask_covered_by(&mask, r),
+                    subset.iter().all(|&op| oracle.has_edge(op, r))
+                );
+                prop_assert_eq!(
+                    bitset.mask_candidate_count(&mask, r),
+                    subset.iter().filter(|&&op| oracle.has_edge(op, r)).count()
+                );
+            }
+        }
+    }
+
+    /// Refinement keeps the kernels in lock-step: driving the identical
+    /// refinement sequence through both modes preserves upper bounds,
+    /// candidate lists and the whole edge relation after every step.
+    #[test]
+    fn refinement_keeps_kernels_identical(case in case_strategy()) {
+        let graph = build(&case);
+        let cost = SonicCostModel::default();
+        let mut bitset = WordlengthCompatibilityGraph::new(&graph, &cost);
+        let mut oracle = WordlengthCompatibilityGraph::new(&graph, &cost);
+        oracle.set_kernel_mode(KernelMode::Oracle);
+
+        for op in graph.op_ids() {
+            while bitset.refinable(op) {
+                prop_assert!(oracle.refinable(op));
+                prop_assert_eq!(bitset.refine_op(op), oracle.refine_op(op));
+                prop_assert_eq!(
+                    bitset.upper_bound_latency(op),
+                    oracle.upper_bound_latency(op)
+                );
+                prop_assert_eq!(bitset.resources_for(op), oracle.resources_for(op));
+            }
+            prop_assert!(!oracle.refinable(op));
+        }
+        for op in graph.op_ids() {
+            for r in 0..bitset.resources().len() {
+                prop_assert_eq!(bitset.has_edge(op, r), oracle.has_edge(op, r));
+            }
+        }
+    }
+}
